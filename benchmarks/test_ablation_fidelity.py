@@ -1,0 +1,67 @@
+"""Ablation: behavioral vs circuit fidelity of continuous Newton.
+
+DESIGN.md calls out the two simulation fidelities of the analog
+engine: *behavioral* solves the inner linear system exactly at every
+instant, while *circuit* integrates the actual Figure-1 topology with
+the gradient-descent quotient loop as explicit fast dynamics. The
+ablation verifies they agree on the answer, that circuit fidelity needs
+adequate loop gain, and quantifies the simulation-cost gap that makes
+behavioral the default (the paper's own simulated accelerators are
+behavioral, Section 6.1).
+"""
+
+import numpy as np
+import pytest
+
+from repro.nonlinear.continuous_newton import continuous_newton_solve
+from repro.nonlinear.systems import CoupledQuadraticSystem
+
+
+@pytest.fixture(scope="module")
+def system():
+    return CoupledQuadraticSystem(1.0, 1.0)
+
+
+def test_fidelities_agree_on_roots(benchmark, system):
+    u0 = np.array([1.0, 1.0])
+
+    def run_both():
+        behavioral = continuous_newton_solve(system, u0, fidelity="behavioral")
+        circuit = continuous_newton_solve(
+            system, u0, fidelity="circuit", gain=50.0, time_limit=120.0
+        )
+        return behavioral, circuit
+
+    behavioral, circuit = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert behavioral.converged and circuit.converged
+    np.testing.assert_allclose(circuit.u, behavioral.u, atol=1e-2)
+
+
+def test_circuit_cost_multiplier(benchmark, system):
+    # The circuit model is stiff (two-timescale): it needs far more
+    # integration work, which is why behavioral is the default.
+    u0 = np.array([1.0, 1.0])
+
+    def run_both():
+        behavioral = continuous_newton_solve(system, u0, fidelity="behavioral")
+        circuit = continuous_newton_solve(
+            system, u0, fidelity="circuit", gain=50.0, time_limit=120.0
+        )
+        return behavioral, circuit
+
+    behavioral, circuit = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert circuit.solution.rhs_evaluations > 3.0 * behavioral.solution.rhs_evaluations
+
+
+def test_circuit_gain_is_load_bearing(benchmark, system):
+    u0 = np.array([1.0, 1.0])
+    good = benchmark.pedantic(
+        continuous_newton_solve,
+        args=(system, u0),
+        kwargs={"fidelity": "circuit", "gain": 50.0, "time_limit": 10.0},
+        rounds=1,
+        iterations=1,
+    )
+    starved = continuous_newton_solve(system, u0, fidelity="circuit", gain=0.05, time_limit=10.0)
+    assert good.residual_norm < 1e-3
+    assert starved.residual_norm > 10.0 * good.residual_norm

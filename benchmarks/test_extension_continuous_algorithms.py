@@ -1,0 +1,87 @@
+"""Extension bench: the Section 9 continuous-algorithm family.
+
+Not a paper table/figure — the paper's conclusion points at
+eigenanalysis and linear programming as the next analog kernels; this
+bench validates this library's implementations of both and the hybrid
+structure they share with the headline method (approximate continuous
+kernel + exact digital finish).
+"""
+
+import numpy as np
+import pytest
+
+from repro.nonlinear.flows import dominant_eigenpairs, oja_flow
+from repro.optimize import LinearProgram, barrier_flow_solve, hybrid_lp_solve, simplex_solve
+
+
+def random_symmetric(n, seed):
+    rng = np.random.default_rng(seed)
+    raw = rng.standard_normal((n, n))
+    return (raw + raw.T) / 2.0
+
+
+def test_eigen_flow_accuracy(benchmark):
+    matrix = random_symmetric(8, seed=3)
+
+    def run():
+        return dominant_eigenpairs(matrix, count=3, seed=1)
+
+    pairs = benchmark.pedantic(run, rounds=1, iterations=1)
+    expected = np.sort(np.linalg.eigvalsh(matrix))[::-1][:3]
+    measured = [pair.eigenvalue for pair in pairs]
+    print("\nflow eigenvalues:", np.round(measured, 6), "expected:", np.round(expected, 6))
+    np.testing.assert_allclose(measured, expected, atol=1e-3)
+    for pair in pairs:
+        assert pair.residual_norm < 1e-2
+
+
+def test_eigen_flow_settles_without_step_size(benchmark):
+    # The analog selling point: no step-size parameter exists at all;
+    # the flow settles from a random start.
+    matrix = random_symmetric(6, seed=9)
+    result = benchmark.pedantic(oja_flow, args=(matrix,), kwargs={"seed": 4}, rounds=1, iterations=1)
+    assert result.settled
+    assert result.settle_time > 0.0
+
+
+def test_hybrid_lp_matches_simplex(benchmark):
+    problems = []
+    for seed in range(5):
+        rng = np.random.default_rng(seed)
+        problems.append(
+            LinearProgram.from_inequalities(
+                c=rng.uniform(-1.0, -0.1, 4),
+                a_ub=rng.uniform(0.1, 1.0, (3, 4)),
+                b_ub=rng.uniform(1.0, 5.0, 3),
+            )
+        )
+
+    def run():
+        return [(hybrid_lp_solve(lp), simplex_solve(lp)) for lp in problems]
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    crossover_wins = 0
+    for hybrid, exact in outcomes:
+        assert exact.optimal
+        assert hybrid.optimal
+        assert hybrid.objective == pytest.approx(exact.objective, abs=1e-5)
+        if not hybrid.used_fallback:
+            crossover_wins += 1
+    # The analog seed routinely removes the pivot sequence entirely.
+    print(f"\ncrossover succeeded without simplex on {crossover_wins}/{len(outcomes)} LPs")
+    assert crossover_wins >= 3
+
+
+def test_barrier_temperature_accuracy_dial(benchmark):
+    lp = LinearProgram.from_inequalities(
+        c=np.array([-1.0, -2.0]),
+        a_ub=np.array([[1.0, 1.0], [0.0, 1.0]]),
+        b_ub=np.array([4.0, 2.0]),
+    )
+    exact = simplex_solve(lp).objective
+
+    def run():
+        return {mu: barrier_flow_solve(lp, mu=mu).objective for mu in (1e-2, 1e-4)}
+
+    objectives = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert abs(objectives[1e-4] - exact) < abs(objectives[1e-2] - exact)

@@ -1,0 +1,93 @@
+"""Extension bench: time-stepping scheme trade-offs (Section 7).
+
+"In this paper we use Crank-Nicolson time stepping ... Higher-order
+time stepping methods allow larger step sizes to be taken, at the cost
+of putting more unknown variables at play." This bench quantifies the
+menu on a nonlinear decay problem: implicit Euler (1st order),
+Crank-Nicolson (2nd, one history level), and BDF2 (2nd, two history
+levels), at equal step counts and at equal accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nonlinear.newton import NewtonOptions, newton_solve
+from repro.pde.timestepping import (
+    Bdf2System,
+    CrankNicolsonSystem,
+    ImplicitEulerSystem,
+    SpatialOperator,
+)
+
+# dy/dt = -(y + y^3): a stiff-ish nonlinear decay with known qualitative
+# behaviour; reference computed with tiny CN steps.
+OPERATOR = SpatialOperator(
+    dimension=1,
+    apply=lambda y: y + y**3,
+    jacobian=lambda y: np.array([[1.0 + 3.0 * y[0] ** 2]]),
+)
+Y0 = np.array([1.0])
+HORIZON = 1.0
+
+
+def integrate(scheme: str, steps: int) -> float:
+    dt = HORIZON / steps
+    options = NewtonOptions(tolerance=1e-13, max_iterations=50)
+    if scheme == "euler":
+        y = Y0.copy()
+        for _ in range(steps):
+            y = newton_solve(ImplicitEulerSystem(OPERATOR, y, dt), y, options).u
+        return float(y[0])
+    if scheme == "cn":
+        y = Y0.copy()
+        for _ in range(steps):
+            y = newton_solve(CrankNicolsonSystem(OPERATOR, y, dt), y, options).u
+        return float(y[0])
+    if scheme == "bdf2":
+        y_prev2 = Y0.copy()
+        y_prev = newton_solve(CrankNicolsonSystem(OPERATOR, y_prev2, dt), y_prev2, options).u
+        for _ in range(steps - 1):
+            system = Bdf2System(OPERATOR, y_prev, y_prev2, dt)
+            y_prev2, y_prev = y_prev, newton_solve(system, y_prev, options).u
+        return float(y_prev[0])
+    raise ValueError(scheme)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return integrate("cn", 4096)
+
+
+def test_time_stepping_accuracy_orders(benchmark, reference):
+    def sweep():
+        return {
+            scheme: {steps: abs(integrate(scheme, steps) - reference) for steps in (8, 16, 32)}
+            for scheme in ("euler", "cn", "bdf2")
+        }
+
+    errors = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nerrors by scheme/steps:", {k: {s: f"{e:.2e}" for s, e in v.items()} for k, v in errors.items()})
+
+    # Convergence orders across a step doubling.
+    euler_ratio = errors["euler"][8] / errors["euler"][16]
+    cn_ratio = errors["cn"][8] / errors["cn"][16]
+    bdf2_ratio = errors["bdf2"][8] / errors["bdf2"][16]
+    assert 1.5 < euler_ratio < 3.0  # ~2^1
+    assert 3.0 < cn_ratio < 5.0  # ~2^2
+    assert 2.5 < bdf2_ratio < 6.0  # ~2^2
+
+    # The second-order schemes beat Euler at every step count.
+    for steps in (8, 16, 32):
+        assert errors["cn"][steps] < errors["euler"][steps]
+        assert errors["bdf2"][steps] < errors["euler"][steps]
+
+
+def test_equal_accuracy_step_budget(reference):
+    # How many implicit-Euler steps match CN at 16 steps? The larger
+    # budget is the cost of the lower order (more accelerator runs per
+    # unit simulated time in the hybrid setting).
+    target = abs(integrate("cn", 16) - reference)
+    steps = 16
+    while steps < 5000 and abs(integrate("euler", steps) - reference) > target:
+        steps *= 2
+    assert steps >= 8 * 16

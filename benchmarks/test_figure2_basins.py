@@ -1,0 +1,49 @@
+"""Benchmark: Figure 2 — continuous Newton basins for u^3 - 1.
+
+Regenerates the basin-of-attraction maps and asserts the figure's
+claims: the chip returns all three cube roots; which root depends on
+the initial condition; and the continuous Newton basins are more
+contiguous than classical/damped Newton's fractal ones.
+"""
+
+import numpy as np
+
+from repro.experiments.figure2 import run_figure2
+
+
+def test_figure2(benchmark):
+    result = benchmark.pedantic(
+        run_figure2, kwargs={"resolution": 96, "noise_level": 1e-3}, rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+
+    analog = result.maps["continuous Newton (analog)"]
+    classical = result.maps["classical Newton (digital)"]
+    damped = result.maps["damped Newton (digital, h=0.25)"]
+
+    # "the chip is able to return all of the three roots"
+    assert set(np.unique(analog.labels)) - {-1} == {0, 1, 2}
+
+    # "Which root it converges to depends on the choice of the initial
+    # condition": every root owns a substantial share of the plane.
+    assert analog.root_fractions().min() > 0.2
+
+    # "The convergence basins are more contiguous compared to those in
+    # classical or damped Newton methods."
+    assert result.scores["continuous Newton (analog)"] > result.scores[
+        "classical Newton (digital)"
+    ]
+    assert (
+        result.scores["continuous Newton (analog)"]
+        >= result.scores["damped Newton (digital, h=0.25)"]
+    )
+
+    # Damping already smooths the fractal relative to classical Newton
+    # (Section 2.1's "pictures become less complex").
+    assert (
+        result.scores["damped Newton (digital, h=0.25)"]
+        > result.scores["classical Newton (digital)"]
+    )
+
+    # Nearly every pixel converges under the flow.
+    assert analog.converged_fraction > 0.95

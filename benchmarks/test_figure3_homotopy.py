@@ -1,0 +1,44 @@
+"""Benchmark: Figure 3 — Equation 2 with and without homotopy.
+
+Regenerates the three outcome maps and asserts the figure's claims:
+naive continuous Newton leaves a wrong-result region; the homotopy
+start settles every pixel on one of the four (+-1, +-1) roots; and at
+the homotopy end "all choices of initial conditions ... lead to one
+correct solution or another", with the chip returning two roots.
+"""
+
+import numpy as np
+
+from repro.experiments.figure3 import run_figure3
+
+
+def test_figure3(benchmark):
+    result = benchmark.pedantic(run_figure3, kwargs={"resolution": 64}, rounds=1, iterations=1)
+    print("\n" + result.render())
+
+    rows = {row["panel"]: row for row in result.rows()}
+
+    # Without homotopy: a nonempty wrong-result (pink) region.
+    assert rows["continuous Newton, no homotopy"]["wrong-result fraction"] > 0.0
+
+    # Homotopy beginning: the four sign-combination roots tile the plane.
+    start = rows["homotopy beginning (Equation 3 roots)"]
+    assert start["distinct outcomes"] == 4
+    assert start["correct-solution fraction"] == 1.0
+
+    # Homotopy end: every pixel lands on a true root of Equation 2.
+    end = rows["homotopy end"]
+    assert end["correct-solution fraction"] == 1.0
+    end_map = result.maps["homotopy end"]
+    reached = {int(v) for v in np.unique(end_map.labels)}
+    assert all(v >= 0 for v in reached)
+    # "The chip returns two roots for Equation 2."
+    assert len(reached) == 2
+    for label in reached:
+        assert result.system.residual_norm(end_map.roots[label]) < 1e-6
+
+    # Homotopy is strictly more reliable than the naive flow.
+    assert (
+        end["correct-solution fraction"]
+        > rows["continuous Newton, no homotopy"]["correct-solution fraction"]
+    )

@@ -1,0 +1,65 @@
+"""Benchmark: Figure 7 — time to convergence, digital vs analog.
+
+Regenerates the grid-size x Reynolds sweep at equal accuracy and checks
+the figure's shape: digital time grows with problem size, analog time
+stays flat, the crossover falls around the 4x4 grid, and the 16x16
+accelerator wins by roughly two orders of magnitude.
+"""
+
+import numpy as np
+
+from repro.experiments.figure7 import run_figure7
+
+GRID_SIZES = (2, 4, 8, 16)
+REYNOLDS = (0.1, 1.0)
+
+
+def test_figure7(benchmark):
+    result = benchmark.pedantic(
+        run_figure7,
+        kwargs={"grid_sizes": GRID_SIZES, "reynolds_values": REYNOLDS, "trials": 1},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+
+    # All cells present at these moderate Reynolds numbers.
+    assert len(result.rows()) == len(GRID_SIZES) * len(REYNOLDS)
+
+    digital = {n: result.cell(n, 1.0)["digital time (s)"] for n in GRID_SIZES}
+    analog = {n: result.cell(n, 1.0)["analog time (s)"] for n in GRID_SIZES}
+
+    # Digital grows with each quadrupling of the problem...
+    assert digital[16] > digital[8] > digital[4]
+    assert digital[16] > 50.0 * digital[2]
+    # ...while analog stays roughly constant (within 3x across sizes).
+    times = np.array(list(analog.values()))
+    assert times.max() / times.min() < 3.0
+
+    # Crossover around 4x4: digital still competitive at 4x4...
+    assert digital[4] < 10.0 * analog[4]
+    # ...digital faster (or comparable) at 2x2, exactly the paper's
+    # small-problem picture.
+    assert digital[2] < analog[2] * 3.0
+
+    # "the 16x16 analog accelerator ... may have 100x faster solution
+    # time compared to a purely digital approach."
+    ratio16 = digital[16] / analog[16]
+    assert 30.0 < ratio16 < 1000.0
+
+
+def test_figure7_high_reynolds_harder(benchmark):
+    result = benchmark.pedantic(
+        run_figure7,
+        kwargs={"grid_sizes": (8,), "reynolds_values": (0.01, 2.0), "trials": 2},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    easy = result.cell(8, 0.01)
+    hard = result.cell(8, 2.0)
+    if easy is None or hard is None:
+        # High-Re random instances can all fail to have solutions, the
+        # paper's own sparse-data caveat; nothing to compare then.
+        return
+    assert hard["digital time (s)"] >= easy["digital time (s)"]

@@ -1,0 +1,41 @@
+"""Benchmark: Figure 8 — baseline vs analog-seeded solver across Re.
+
+Regenerates the Reynolds sweep on 16x16 problems to full precision and
+checks the figure's shape: baseline and seeded times are comparable at
+low Reynolds numbers, the baseline blows up near Re = 2.0 where the
+damping search kicks in, and the seeded solver stays flat (the paper's
+0.81 s vs 0.05 s point).
+"""
+
+from repro.experiments.figure8 import run_figure8
+
+REYNOLDS = (0.25, 2.0)
+
+
+def test_figure8(benchmark):
+    result = benchmark.pedantic(
+        run_figure8,
+        kwargs={"grid_n": 16, "reynolds_values": REYNOLDS, "trials": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+
+    low = result.row_at(0.25)
+    high = result.row_at(2.0)
+    assert low is not None and high is not None
+
+    # Low Reynolds: baseline within a small factor of the seeded time.
+    assert low["baseline digital (s)"] < 4.0 * low["seeded digital (s)"]
+
+    # Re = 2.0: the baseline blows up (paper: 0.81 s vs ~0.08 s)...
+    assert high["baseline digital (s)"] > 5.0 * low["baseline digital (s)"]
+    # ...while the seeded time stays flat across Reynolds numbers.
+    assert high["seeded digital (s)"] < 3.0 * low["seeded digital (s)"]
+
+    # The headline: a large seeding speedup at Re = 2.0.
+    assert high["speedup"] > 5.0
+
+    # Analog seeding time is negligible next to either digital time.
+    assert high["analog seed (s)"] < 0.01 * high["seeded digital (s)"] * 100
+    assert high["analog seed (s)"] < high["seeded digital (s)"]

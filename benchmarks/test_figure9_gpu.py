@@ -1,0 +1,58 @@
+"""Benchmark: Figure 9 — GPU-scale time and energy, baseline vs seeded.
+
+Regenerates the paper's largest experiment: 16x16 and 32x32 Burgers
+problems at Re = 2.0, a GPU-offloaded Newton baseline against the full
+hybrid pipeline (analog-backed red-black Gauss-Seidel seeding + GPU
+polish). Checks the figure's shape: the seeded solver wins on both time
+and energy, the win grows with problem size (paper: 5.7x time, 11.6x
+energy at 32x32), and the analog seeding cost is negligible.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.figure9 import PAPER_FIGURE9, run_figure9
+
+# The 32x32 leg takes a few minutes; set REPRO_FULL=1 to include it.
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+GRID_SIZES = (16, 32) if FULL else (16,)
+
+
+def test_figure9(benchmark):
+    result = benchmark.pedantic(
+        run_figure9,
+        kwargs={"grid_sizes": GRID_SIZES, "trials": 2 if not FULL else 1, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+
+    row16 = result.row_at(16)
+    assert row16 is not None, "no 16x16 trial converged"
+
+    # Seeding wins on time and energy at 16x16.
+    assert row16["time speedup"] > 1.0
+    assert row16["energy savings"] > 1.0
+
+    # Analog seeding time is orders of magnitude below the GPU times
+    # (paper: 1e-4 s vs 0.3-0.5 s).
+    assert row16["analog seeding (s)"] < 0.01 * row16["digital seeded (s)"]
+    assert row16["analog energy (J)"] < 0.01 * row16["seeded energy (J)"]
+
+    if FULL:
+        row32 = result.row_at(32)
+        assert row32 is not None, "no 32x32 trial converged"
+        # The win grows with problem size (paper: 1.7x -> 5.7x time).
+        assert row32["time speedup"] > row16["time speedup"]
+        # Band around the paper's 5.7x / 11.6x headline.
+        assert 2.0 < row32["time speedup"] < 30.0
+        assert 3.0 < row32["energy savings"] < 60.0
+
+
+def test_paper_reference_numbers_recorded(benchmark):
+    # The comparison targets stay pinned to the paper's reported data.
+    benchmark.pedantic(lambda: PAPER_FIGURE9, rounds=1, iterations=1)
+    assert PAPER_FIGURE9[32][0] == pytest.approx(2.75)
+    assert PAPER_FIGURE9[32][0] / PAPER_FIGURE9[32][2] == pytest.approx(5.7, rel=0.02)
+    assert PAPER_FIGURE9[32][3] / PAPER_FIGURE9[32][5] == pytest.approx(11.6, rel=0.02)

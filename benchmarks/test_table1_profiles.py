@@ -1,0 +1,41 @@
+"""Benchmark: Table 1 — function profile of nonlinear PDE solvers.
+
+Regenerates the paper's workload characterization with the four
+instrumented mini-apps and checks its structural claims: equation
+solving is a major kernel everywhere, and structured-grid (finite
+difference) solvers spend a larger fraction in it than finite-volume /
+finite-element ones.
+"""
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+
+
+@pytest.fixture(scope="module")
+def table1(request):
+    return run_table1(repeats=2)
+
+
+def test_table1_rows(benchmark):
+    result = benchmark.pedantic(run_table1, kwargs={"repeats": 1}, rounds=1, iterations=1)
+    print("\n" + result.render())
+    assert len(result.rows()) == 4
+
+
+def test_equation_solving_major_everywhere(benchmark, table1):
+    rows = benchmark.pedantic(table1.rows, rounds=1, iterations=1)
+    for row in rows:
+        assert row["measured kernel time"] > 0.10, row["representative solver"]
+
+
+def test_structured_grid_fraction_highest(benchmark, table1):
+    rows = benchmark.pedantic(table1.rows, rounds=1, iterations=1)
+    fractions = {row["representative solver"]: row["measured kernel time"] for row in rows}
+    bwaves = fractions["SPEC CPU2006 410.bwaves"]
+    assert bwaves == max(fractions.values())
+    # FD rows above FV/FE rows, the paper's ordering.
+    by_paper_order = [row["measured kernel time"] for row in table1.rows()]
+    assert by_paper_order[0] > by_paper_order[2]  # bwaves > cavity (FV)
+    assert by_paper_order[0] > by_paper_order[3]  # bwaves > membrane (FE)
+    assert by_paper_order[1] > by_paper_order[2]  # Hartmann (FD) > cavity (FV)

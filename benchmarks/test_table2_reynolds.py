@@ -1,0 +1,36 @@
+"""Benchmark: Table 2 — effect of Reynolds number on Burgers' equation.
+
+Regenerates the qualitative classification and verifies its measured
+mechanism: the Burgers Jacobian's diagonal dominance collapses as the
+Reynolds number grows.
+"""
+
+from repro.experiments.table2 import run_table2
+
+
+def test_table2(benchmark):
+    result = benchmark.pedantic(
+        run_table2,
+        kwargs={"reynolds_values": (0.001, 0.01, 0.1, 1.0, 10.0), "trials": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+
+    rows = result.rows()
+    assert rows[0]["regime" if "regime" in rows[0] else "Reynolds number"] == "large"
+    assert rows[0]["nonlinearity"] == "quasilinear"
+    assert rows[1]["nonlinearity"] == "semilinear"
+
+    dominance = [row["min |diag| / sum |offdiag|"] for row in result.dominance_by_reynolds]
+    diag = [row["min |diag|"] for row in result.dominance_by_reynolds]
+    # "The elements on the diagonal of the Jacobian diminish with
+    # higher Reynolds numbers": min |diag| falls by orders of magnitude.
+    assert all(earlier > later for earlier, later in zip(diag, diag[1:]))
+    assert diag[0] > 100.0 * diag[-1]
+    # Diagonal dominance is likewise monotone decreasing, and is lost
+    # (ratio < 1) by Re = 10 — "increasing the chance the Jacobian
+    # becomes singular in the process of solving the equation".
+    assert all(earlier > later for earlier, later in zip(dominance, dominance[1:]))
+    assert dominance[0] > 0.99
+    assert dominance[-1] < 0.7

@@ -1,0 +1,33 @@
+"""Benchmark: Table 3 — analog component usage per PDE variable.
+
+Compiles a 2x2 Burgers problem onto the simulated two-chip prototype
+board and regenerates the per-variable component-by-role table with its
+area/power bottom rows.
+"""
+
+import pytest
+
+from repro.experiments.table3 import PAPER_TOTALS, run_table3
+
+
+def test_table3(benchmark):
+    result = benchmark.pedantic(run_table3, kwargs={"grid_n": 2}, rounds=1, iterations=1)
+    print("\n" + result.render())
+
+    by_component = {row["component"]: row for row in result.rows()}
+    for component, total in PAPER_TOTALS.items():
+        assert by_component[component]["total"] == total, component
+
+    # Role splits of the paper's table.
+    assert by_component["multiplier"]["nonlinear function"] == 4
+    assert by_component["multiplier"]["Jacobian matrix"] == 3
+    assert by_component["integrator"]["quotient feedback loop"] == 1
+    assert by_component["integrator"]["Newton method feedback loop"] == 1
+    assert by_component["DAC"]["nonlinear function"] == 3
+
+    # Area/power bottom rows.
+    assert by_component["total area (mm^2)"]["total"] == pytest.approx(0.70, abs=0.01)
+    assert by_component["total power (uW)"]["total"] == pytest.approx(763.0, abs=1.0)
+
+    # One variable per tile: the 2x2 problem fills the 8-tile board.
+    assert result.tiles_allocated == 8

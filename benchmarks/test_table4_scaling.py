@@ -1,0 +1,37 @@
+"""Benchmark: Table 4 — area/power model for scaled-up accelerators.
+
+Regenerates every row of the paper's table from the per-variable
+area/power model and checks the paper's qualitative claims: a 16x16
+solver is CPU-die-sized while drawing well under a watt, with power
+density orders of magnitude below digital dies.
+"""
+
+import pytest
+
+from repro.analog.area_power import AreaPowerModel
+from repro.experiments.table4 import run_table4
+
+
+def test_table4(benchmark):
+    result = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    print("\n" + result.render())
+
+    # Every row within 1% of the paper.
+    assert result.max_relative_deviation() < 0.01
+
+    rows = {row["solver size"]: row for row in result.rows()}
+    # 16x16 is "roughly the same size as CPU dies" (~350 mm^2)...
+    assert 300.0 < rows["16 x 16"]["chip area (mm^2)"] < 400.0
+    # ...while drawing under half a watt.
+    assert rows["16 x 16"]["power use (mW)"] < 500.0
+
+
+def test_power_density_about_400x_below_cpu(benchmark):
+    # CPUs dissipate on the order of 50 W/cm^2; the paper claims the
+    # analog design is ~400x lower.
+    model = AreaPowerModel()
+    density = benchmark.pedantic(
+        model.power_density_w_per_cm2, args=(16,), rounds=1, iterations=1
+    )
+    cpu_density = 50.0
+    assert 100.0 < cpu_density / density < 1500.0

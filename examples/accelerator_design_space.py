@@ -1,0 +1,77 @@
+"""Design-space exploration of scaled-up accelerators (Section 6).
+
+Sweeps accelerator/problem sizes and reports, per size:
+
+* chip area and peak power from the Table 4 model,
+* measured digital Newton work on random Burgers problems (converted
+  to modeled CPU seconds), and
+* the simulated analog settle time (converted to modeled seconds),
+
+reproducing the section's conclusions: the analog solution time stays
+flat while digital time grows with each quadrupling, the crossover sits
+around 4x4, and the 16x16 design wins ~100x while staying inside a
+CPU-sized die at milliwatt power.
+
+Run:  python examples/accelerator_design_space.py
+"""
+
+import numpy as np
+
+from repro.analog import AnalogAccelerator, AreaPowerModel
+from repro.experiments.common import ANALOG_ERROR_TARGET, equal_accuracy_damped_newton
+from repro.nonlinear import NewtonOptions, damped_newton_with_restarts
+from repro.perf import AnalogTimingModel, CpuModel
+from repro.pde import random_burgers_system
+
+GRID_SIZES = (2, 4, 8, 16)
+REYNOLDS = 1.0
+
+
+def main() -> None:
+    area_power = AreaPowerModel()
+    cpu = CpuModel()
+    analog_timing = AnalogTimingModel()
+
+    print(f"2-D Burgers design sweep at Re = {REYNOLDS} (equal-accuracy protocol)")
+    header = (
+        f"{'size':>6} | {'area mm^2':>9} | {'power mW':>8} | "
+        f"{'digital time':>12} | {'analog time':>11} | {'ratio':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for grid_n in GRID_SIZES:
+        rng = np.random.default_rng(grid_n)
+        system, guess = random_burgers_system(grid_n, REYNOLDS, rng)
+        golden = damped_newton_with_restarts(
+            system, guess, NewtonOptions(tolerance=1e-11, max_iterations=100)
+        )
+        if not golden.converged:
+            print(f"{grid_n:>4}x{grid_n:<2} | (instance unsolvable; skipped)")
+            continue
+        digital = equal_accuracy_damped_newton(
+            system, guess, golden.u, scale=3.3, target_error=ANALOG_ERROR_TARGET
+        )
+        nnz = system.jacobian(guess).nnz
+        digital_seconds = cpu.solve_seconds_from_counts(
+            digital.iterations, system.dimension, nnz
+        )
+        analog = AnalogAccelerator(seed=grid_n).solve(system, initial_guess=guess)
+        analog_seconds = analog_timing.seconds(analog.settle_time_units)
+        print(
+            f"{grid_n:>4}x{grid_n:<2} | {area_power.chip_area_mm2(grid_n):>9.2f} "
+            f"| {area_power.peak_power_mw(grid_n):>8.2f} "
+            f"| {digital_seconds:>10.2e} s | {analog_seconds:>9.2e} s "
+            f"| {digital_seconds / analog_seconds:>6.1f}x"
+        )
+
+    print(
+        "\nThe 16x16 design occupies a CPU-sized die at sub-watt power"
+        f" (power density {area_power.power_density_w_per_cm2(16):.3f} W/cm^2,"
+        " ~400x below digital dies) while answering ~100x faster than the"
+        " equal-accuracy digital solver - Section 6's design argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Time-evolving 2-D viscous Burgers' flow with hybrid per-step solves.
+
+This is the paper's envisioned deployment: a standard implicit PDE
+solver (Crank-Nicolson time stepping on the 2-D viscous Burgers'
+equation) whose per-step nonlinear systems are solved by the hybrid
+analog-digital pipeline instead of plain damped Newton.
+
+The script evolves a decaying vortex-like initial condition, prints the
+kinetic-energy decay, and compares the per-step digital Newton work
+with and without analog seeding.
+
+Run:  python examples/burgers_flow.py
+"""
+
+import numpy as np
+
+from repro.analog import AnalogAccelerator
+from repro.core import HybridSolver
+from repro.nonlinear import NewtonOptions, damped_newton_with_restarts
+from repro.pde import BurgersTimeStepper, DirichletBoundary, Grid2D
+
+GRID_N = 6
+REYNOLDS = 2.0
+DT = 0.1
+STEPS = 6
+
+
+def initial_fields(grid: Grid2D):
+    """A smooth swirling initial condition within the dynamic range."""
+    xs, ys = grid.interior_meshgrid()
+    lx = grid.dx * (grid.nx + 1)
+    ly = grid.dy * (grid.ny + 1)
+    u = 0.8 * np.sin(np.pi * xs / lx) * np.cos(np.pi * ys / ly)
+    v = -0.8 * np.cos(np.pi * xs / lx) * np.sin(np.pi * ys / ly)
+    return u, v
+
+
+def kinetic_energy(u: np.ndarray, v: np.ndarray) -> float:
+    return float(0.5 * np.mean(u**2 + v**2))
+
+
+def main() -> None:
+    grid = Grid2D.square(GRID_N)
+    boundary = DirichletBoundary.constant(grid, 0.0)
+    u, v = initial_fields(grid)
+
+    hybrid = HybridSolver(AnalogAccelerator(seed=7))
+    seeded_iterations = []
+    baseline_iterations = []
+
+    def hybrid_step_solver(system, guess):
+        # A control loop that re-targets has no warm history: compare a
+        # *cold-start* baseline (naive zero guess) against the analog
+        # seed on every step. (With a warm previous-step guess both are
+        # equally easy -- the hybrid pays off exactly when good guesses
+        # are unavailable, the paper's Section 1 premise.)
+        cold = np.zeros(system.dimension)
+        baseline = damped_newton_with_restarts(
+            system, cold, NewtonOptions(tolerance=1e-10, max_iterations=100)
+        )
+        baseline_iterations.append(baseline.total_iterations_including_restarts)
+        result = hybrid.solve(system, initial_guess=cold)
+        seeded_iterations.append(result.digital_iterations)
+        return result.digital
+
+    stepper = BurgersTimeStepper(
+        grid,
+        reynolds=REYNOLDS,
+        dt=DT,
+        boundary_u=boundary,
+        boundary_v=boundary,
+        solver=hybrid_step_solver,
+    )
+
+    print(f"2-D viscous Burgers, {GRID_N}x{GRID_N} grid, Re = {REYNOLDS}, dt = {DT}")
+    print(f"{'step':>4} | {'time':>5} | {'kinetic energy':>14} | {'max |u|':>8}")
+    print("-" * 45)
+    print(f"{0:>4} | {0.0:>5.2f} | {kinetic_energy(u, v):>14.6f} | {np.abs(u).max():>8.4f}")
+    for step in range(1, STEPS + 1):
+        u, v, result = stepper.step(u, v)
+        if not result.converged:
+            print(f"step {step}: solver failed ({result.failure_reason}); stopping")
+            break
+        print(
+            f"{step:>4} | {step * DT:>5.2f} | {kinetic_energy(u, v):>14.6f} "
+            f"| {np.abs(u).max():>8.4f}"
+        )
+
+    print("\nPer-step digital Newton iterations (cold start each step):")
+    print(f"  baseline damped Newton : {baseline_iterations}")
+    print(f"  analog-seeded Newton   : {seeded_iterations}")
+    total_baseline = sum(baseline_iterations)
+    total_seeded = sum(seeded_iterations)
+    print(
+        f"\nViscosity dissipates the swirl (energy decays monotonically)."
+        f"\nTotal digital iterations: baseline {total_baseline}, seeded {total_seeded}."
+        "\nOn smooth well-conditioned steps like these both solvers are cheap;"
+        "\nthe seeding payoff grows with problem hardness (high Reynolds number,"
+        "\nrandom forcing, no warm history) - see benchmarks/test_figure8_seeding.py."
+    )
+
+
+if __name__ == "__main__":
+    main()

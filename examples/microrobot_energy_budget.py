@@ -1,0 +1,88 @@
+"""Energy budgeting for an embedded fluid-model control loop.
+
+The paper's introduction motivates analog acceleration with "emerging
+microscopic robots [that] require the use of powerful mathematical
+models to simulate the physical world ... where energy budgets are
+limited". This example plays that scenario: a robot re-solves a small
+viscous-flow model (one implicit Burgers step) every control tick, on a
+fixed battery budget.
+
+We compare three execution strategies per tick and report how many
+control ticks each affords:
+
+* CPU baseline: damped Newton on the embedded CPU model;
+* GPU offload: Newton steps with QR offload (GPU model);
+* hybrid: analog accelerator seed + short digital polish.
+
+Run:  python examples/microrobot_energy_budget.py
+"""
+
+import numpy as np
+
+from repro.analog import AnalogAccelerator
+from repro.core import HybridSolver
+from repro.nonlinear import NewtonOptions
+from repro.perf import AnalogTimingModel, CpuModel, GpuModel
+from repro.pde import random_burgers_system
+
+GRID_N = 8
+REYNOLDS = 2.0
+BATTERY_JOULES = 10.0
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    system, guess = random_burgers_system(GRID_N, REYNOLDS, rng)
+    nnz = system.jacobian(guess).nnz
+    jacobian = system.jacobian(guess)
+
+    cpu = CpuModel()
+    gpu = GpuModel()
+    analog = AnalogTimingModel()
+
+    solver = HybridSolver(
+        AnalogAccelerator(seed=11),
+        polish_options=NewtonOptions(tolerance=1e-11, max_iterations=200),
+    )
+
+    baseline = solver.solve_baseline(system, initial_guess=guess)
+    hybrid = solver.solve(system, initial_guess=guess)
+    if not (baseline.converged and hybrid.converged):
+        raise SystemExit("solvers failed on this instance; try another seed")
+
+    cpu_seconds = cpu.solve_seconds(baseline, system.dimension, nnz, count_restarts=True)
+    cpu_joules = cpu.energy_joules(cpu_seconds)
+
+    gpu_seconds = gpu.solve_seconds(baseline, jacobian, count_restarts=True)
+    gpu_joules = gpu.energy_joules(gpu_seconds)
+
+    polish_seconds = cpu.solve_seconds(hybrid.digital, system.dimension, nnz)
+    seed_seconds = analog.seconds(hybrid.analog.settle_time_units)
+    hybrid_joules = cpu.energy_joules(polish_seconds) + analog.energy_joules(
+        GRID_N, hybrid.analog.settle_time_units
+    )
+    hybrid_seconds = polish_seconds + seed_seconds
+
+    print(f"One control tick = one {GRID_N}x{GRID_N} implicit Burgers solve at Re={REYNOLDS}")
+    print(f"battery budget: {BATTERY_JOULES} J\n")
+    print(f"{'strategy':<22} {'time/tick':>12} {'energy/tick':>13} {'ticks on battery':>17}")
+    print("-" * 68)
+    for name, seconds, joules in (
+        ("CPU damped Newton", cpu_seconds, cpu_joules),
+        ("GPU QR offload", gpu_seconds, gpu_joules),
+        ("hybrid analog+CPU", hybrid_seconds, hybrid_joules),
+    ):
+        ticks = int(BATTERY_JOULES / joules)
+        print(f"{name:<22} {seconds:>10.4f} s {joules:>11.4f} J {ticks:>17,d}")
+
+    print(
+        f"\ndigital iterations: baseline "
+        f"{baseline.total_iterations_including_restarts}, "
+        f"after analog seeding {hybrid.digital_iterations}"
+    )
+    print("The hybrid strategy stretches the same battery across far more")
+    print("control ticks - the paper's Figure 9 energy argument, embedded.")
+
+
+if __name__ == "__main__":
+    main()

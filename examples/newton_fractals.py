@@ -1,0 +1,71 @@
+"""Newton fractals vs contiguous analog basins (Figures 2 and 3).
+
+Renders, as terminal ASCII art, the convergence-basin maps that
+motivate the analog approach:
+
+* classical digital Newton on ``u^3 - 1``: fractal, intertwined basins;
+* continuous (analog) Newton on the same problem: large contiguous
+  basins — small changes in the initial guess rarely change the root;
+* the coupled system of Equation 2 solved by homotopy continuation:
+  every initial condition reaches a correct root.
+
+Run:  python examples/newton_fractals.py
+"""
+
+from repro.experiments.figure2 import render_basin_ascii
+from repro.nonlinear import (
+    CoupledQuadraticSystem,
+    contiguity_score,
+    continuous_newton_basins,
+    coupled_system_basins,
+    newton_iteration_basins,
+)
+
+RESOLUTION = 72
+
+
+def show(title: str, basins, glyph_note: str) -> None:
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print(render_basin_ascii(basins, max_size=48))
+    print(
+        f"\n  contiguity score: {contiguity_score(basins.labels):.4f}"
+        f"   converged fraction: {basins.converged_fraction:.3f}"
+    )
+    print(f"  ({glyph_note})\n")
+
+
+def main() -> None:
+    classical = newton_iteration_basins(resolution=RESOLUTION, damping=1.0)
+    show(
+        "Classical Newton's method on u^3 - 1 (digital, fractal basins)",
+        classical,
+        "#, o, + = the three cube roots; . = no convergence",
+    )
+
+    continuous = continuous_newton_basins(resolution=RESOLUTION, noise_level=1e-3)
+    show(
+        "Continuous Newton's method on u^3 - 1 (analog, contiguous basins)",
+        continuous,
+        "same encoding; note the clean pinwheel instead of fractal filigree",
+    )
+
+    system = CoupledQuadraticSystem(rhs0=1.0, rhs1=1.0)
+    direct = coupled_system_basins(system, resolution=RESOLUTION, method="newton_flow")
+    show(
+        "Equation 2 via continuous Newton, no homotopy (wrong-result region exists)",
+        direct,
+        ". = settles away from any true root (the paper's pink region)",
+    )
+
+    homotopy = coupled_system_basins(system, resolution=RESOLUTION, method="homotopy")
+    show(
+        "Equation 2 via homotopy continuation (every start reaches a true root)",
+        homotopy,
+        "no '.' pixels remain: homotopy repairs the wrong-result region",
+    )
+
+
+if __name__ == "__main__":
+    main()

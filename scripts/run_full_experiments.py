@@ -1,0 +1,86 @@
+"""Run every table/figure experiment at (near-)paper scale.
+
+Writes the rendered outputs to ``results/full_experiments.txt``; the
+paper-vs-measured summary in EXPERIMENTS.md is compiled from this run.
+Expect a total runtime of tens of minutes (the 32x32 Figure 9 leg and
+the 400-trial Figure 6 sweep dominate).
+
+Usage:  python scripts/run_full_experiments.py [output-path]
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    run_figure2,
+    run_figure3,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+EXPERIMENTS = [
+    ("Table 1: workload function profiles", lambda: run_table1(repeats=3)),
+    (
+        "Table 2: Reynolds number effects",
+        lambda: run_table2(reynolds_values=(0.001, 0.01, 0.1, 1.0, 10.0), trials=5),
+    ),
+    ("Table 3: analog component usage per PDE variable", lambda: run_table3(grid_n=2)),
+    ("Table 4: scaled-up accelerator area/power", run_table4),
+    ("Table 5: related-work matrix", run_table5),
+    (
+        "Figure 2: basins for u^3 - 1 (256x256, as in the paper)",
+        lambda: run_figure2(resolution=256, noise_level=1e-3),
+    ),
+    ("Figure 3: Equation 2 with/without homotopy (128x128)", lambda: run_figure3(resolution=128)),
+    ("Figure 6: analog error distribution (400 trials)", lambda: run_figure6(trials=400)),
+    (
+        "Figure 7: time to convergence sweep",
+        lambda: run_figure7(
+            grid_sizes=(2, 4, 8, 16),
+            reynolds_values=(0.001, 0.01, 0.1, 1.0, 2.0),
+            trials=2,
+        ),
+    ),
+    (
+        "Figure 8: baseline vs seeded across Reynolds (16x16)",
+        lambda: run_figure8(
+            grid_n=16, reynolds_values=(0.01, 0.25, 0.5, 1.0, 2.0), trials=3
+        ),
+    ),
+    (
+        "Figure 9: GPU-scale time and energy (16x16 and 32x32)",
+        lambda: run_figure9(grid_sizes=(16, 32), trials=2, seed=1),
+    ),
+]
+
+
+def main() -> None:
+    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results/full_experiments.txt")
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    sections = []
+    for title, runner in EXPERIMENTS:
+        print(f"=== {title} ...", flush=True)
+        start = time.time()
+        try:
+            result = runner()
+            body = result.render()
+        except Exception as error:  # record, keep going
+            body = f"FAILED: {error!r}"
+        elapsed = time.time() - start
+        section = f"{'=' * 72}\n{title}\n(completed in {elapsed:.1f} s)\n{'=' * 72}\n{body}\n"
+        sections.append(section)
+        out_path.write_text("\n".join(sections))
+        print(f"    done in {elapsed:.1f} s", flush=True)
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

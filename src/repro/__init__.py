@@ -1,0 +1,46 @@
+"""repro: hybrid analog-digital solution of nonlinear PDEs.
+
+An open-source reproduction of Huang et al., "Hybrid Analog-Digital
+Solution of Nonlinear Partial Differential Equations" (MICRO-50, 2017).
+
+The library is organized bottom-up:
+
+* :mod:`repro.linalg` -- dense/sparse linear algebra, Krylov solvers,
+  preconditioners, and the analog gradient-flow kernel.
+* :mod:`repro.ode` -- explicit and adaptive ODE integration with settle
+  detection (the analog accelerator's notion of "done").
+* :mod:`repro.nonlinear` -- digital Newton variants, the continuous
+  Newton flow, homotopy continuation, and basin-of-attraction maps.
+* :mod:`repro.pde` -- structured grids, finite-difference stencils,
+  Crank-Nicolson time stepping, and the 2-D viscous Burgers' equation.
+* :mod:`repro.analog` -- a component-level simulator of the prototyped
+  analog accelerator (tiles, chips, fabric, calibration, noise, and the
+  Figure-4-style programming API).
+* :mod:`repro.core` -- the paper's headline method: analog-seeded
+  digital Newton, plus red-black nonlinear Gauss-Seidel decomposition.
+* :mod:`repro.perf` -- CPU/GPU/analog time and energy models.
+* :mod:`repro.workloads` -- instrumented mini-apps behind Table 1.
+* :mod:`repro.experiments` -- one driver per paper table and figure.
+"""
+
+__version__ = "1.0.0"
+
+# Headline public API, re-exported for convenience; the subpackages
+# remain the canonical homes.
+from repro.analog.engine import AnalogAccelerator, AnalogSolveResult, solution_error
+from repro.core.gauss_seidel import RedBlackGaussSeidel
+from repro.core.hybrid import HybridResult, HybridSolver
+from repro.pde.burgers import BurgersStencilSystem, BurgersTimeStepper, random_burgers_system
+
+__all__ = [
+    "__version__",
+    "AnalogAccelerator",
+    "AnalogSolveResult",
+    "solution_error",
+    "HybridSolver",
+    "HybridResult",
+    "RedBlackGaussSeidel",
+    "BurgersStencilSystem",
+    "BurgersTimeStepper",
+    "random_burgers_system",
+]

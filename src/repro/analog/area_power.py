@@ -1,0 +1,126 @@
+"""Area and power models of the accelerator (Tables 3 and 4).
+
+Table 3 of the paper gives per-PDE-variable area (0.70 mm^2 summed over
+the four circuit roles) and peak power (763 uW); Table 4 extrapolates
+whole 2-D Burgers solvers from 1x1 to 16x16 grids. The per-variable
+constants below are fitted to Table 4's totals (0.688 mm^2 and
+0.763 mW per variable — Table 3's role split, which rounds to 0.70,
+carries the remaining rounding).
+
+Peak power is what Table 4 reports; "as the continuous Newton method
+approaches convergence the circuit activity and power consumption
+decreases", which :meth:`AreaPowerModel.run_energy` models with an
+activity-weighted integral.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analog.compiler import TABLE3_ROLES, ResourceCount
+
+__all__ = ["AreaPowerModel", "scaled_accelerator_table", "TABLE3_AREA_MM2", "TABLE3_POWER_UW"]
+
+# Table 3 bottom rows: per-variable area (mm^2) and power (uW) by role.
+TABLE3_AREA_MM2: Dict[str, float] = {
+    "nonlinear function": 0.30,
+    "Jacobian matrix": 0.17,
+    "quotient feedback loop": 0.14,
+    "Newton method feedback loop": 0.09,
+}
+TABLE3_POWER_UW: Dict[str, float] = {
+    "nonlinear function": 284.0,
+    "Jacobian matrix": 152.0,
+    "quotient feedback loop": 188.0,
+    "Newton method feedback loop": 139.0,
+}
+
+# Per-variable constants consistent with Table 4's whole-solver totals.
+_AREA_PER_VARIABLE_MM2 = 0.6882
+_POWER_PER_VARIABLE_MW = 0.763
+
+
+@dataclass(frozen=True)
+class AreaPowerModel:
+    """Area/peak-power extrapolation for a 2-D Burgers solver.
+
+    A grid of ``n x n`` nodes carries ``2 n^2`` PDE variables (u and v
+    fields), each occupying one tile.
+    """
+
+    area_per_variable_mm2: float = _AREA_PER_VARIABLE_MM2
+    power_per_variable_mw: float = _POWER_PER_VARIABLE_MW
+
+    def variables_for_grid(self, n: int) -> int:
+        if n <= 0:
+            raise ValueError("grid size must be positive")
+        return 2 * n * n
+
+    def chip_area_mm2(self, n: int) -> float:
+        """Total analog area of an ``n x n`` Burgers solver."""
+        return self.variables_for_grid(n) * self.area_per_variable_mm2
+
+    def peak_power_mw(self, n: int) -> float:
+        """Peak power; actual draw decays as the circuit converges."""
+        return self.variables_for_grid(n) * self.power_per_variable_mw
+
+    def run_energy_joules(self, n: int, settle_seconds: float, activity_factor: float = 0.6) -> float:
+        """Energy of one run: peak power x settle time x mean activity.
+
+        ``activity_factor`` (0, 1] is the time-averaged fraction of peak
+        power over a run; circuit activity tracks the decaying residual.
+        """
+        if settle_seconds < 0.0:
+            raise ValueError("settle_seconds must be nonnegative")
+        if not 0.0 < activity_factor <= 1.0:
+            raise ValueError("activity_factor must be in (0, 1]")
+        return self.peak_power_mw(n) * 1e-3 * settle_seconds * activity_factor
+
+    def power_density_w_per_cm2(self, n: int) -> float:
+        """Power density; the paper notes it is ~400x below CPU dies."""
+        area_cm2 = self.chip_area_mm2(n) / 100.0
+        return self.peak_power_mw(n) * 1e-3 / area_cm2
+
+
+def scaled_accelerator_table(grid_sizes: Tuple[int, ...] = (1, 2, 4, 8, 16)) -> List[dict]:
+    """Reproduce Table 4: area and power for scaled-up accelerators."""
+    model = AreaPowerModel()
+    return [
+        {
+            "solver size": f"{n} x {n}",
+            "chip area (mm^2)": round(model.chip_area_mm2(n), 2),
+            "power use (mW)": round(model.peak_power_mw(n), 2),
+        }
+        for n in grid_sizes
+    ]
+
+
+def table3_totals(resources: ResourceCount) -> List[dict]:
+    """Reproduce Table 3: per-variable component usage with the
+    area/power bottom rows."""
+    rows = []
+    for component in resources.components():
+        counts = resources.role_counts(component)
+        rows.append(
+            {
+                "component": component,
+                **{role: count for role, count in zip(TABLE3_ROLES, counts)},
+                "total": sum(counts),
+            }
+        )
+    rows.append(
+        {
+            "component": "total area (mm^2)",
+            **{role: TABLE3_AREA_MM2[role] for role in TABLE3_ROLES},
+            "total": round(sum(TABLE3_AREA_MM2.values()), 2),
+        }
+    )
+    rows.append(
+        {
+            "component": "total power (uW)",
+            **{role: TABLE3_POWER_UW[role] for role in TABLE3_ROLES},
+            "total": round(sum(TABLE3_POWER_UW.values()), 1),
+        }
+    )
+    return rows

@@ -1,0 +1,106 @@
+"""Process variation and the calibration procedure.
+
+As fabricated, every analog component's gain deviates from nominal by
+process variation and transistor mismatch. The chips calibrate "all
+components on the analog datapath" against on-chip references, but "the
+calibration precision is itself limited by DAC precision"
+(Section 5.4): correction codes are quantized, so a residual error
+remains. :class:`ProcessVariation` draws the as-fabricated errors;
+:meth:`ProcessVariation.calibrate` applies the DAC-limited correction
+and returns the residual errors the execution engine uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analog.noise import NoiseModel
+
+__all__ = ["CalibrationConfig", "ProcessVariation"]
+
+
+@dataclass(frozen=True)
+class CalibrationConfig:
+    """How calibration is performed.
+
+    Attributes
+    ----------
+    enabled:
+        Disabled calibration leaves raw process variation in place
+        (used by ablation benches to show calibration is load-bearing).
+    measurement_repeats:
+        Averaging repeats per component measurement; more repeats beat
+        down thermal noise in the measured gain (sqrt law).
+    """
+
+    enabled: bool = True
+    measurement_repeats: int = 16
+
+    def __post_init__(self) -> None:
+        if self.measurement_repeats <= 0:
+            raise ValueError("measurement_repeats must be positive")
+
+
+class ProcessVariation:
+    """Per-component multiplicative gain errors and offsets of one die.
+
+    The draw is deterministic given a seed, so one ``ProcessVariation``
+    instance behaves like one physical chip across runs — re-running a
+    problem on the same "chip" sees the same mismatch, while different
+    seeds model different dies.
+    """
+
+    def __init__(self, noise: NoiseModel, seed: int = 0):
+        self.noise = noise
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(seed)
+
+    def draw_gain_errors(self, count: int) -> np.ndarray:
+        """As-fabricated relative gain errors for ``count`` components."""
+        return self.noise.process_sigma * self._rng.standard_normal(count)
+
+    def draw_offsets(self, count: int) -> np.ndarray:
+        """As-fabricated input-referred offsets (pre-calibration).
+
+        Current-mode stages carry offsets of several percent of full
+        scale before trimming; calibration is what brings the chip into
+        its useful accuracy regime (Section 5.4).
+        """
+        return 2.0 * self.noise.process_sigma * self.noise.full_scale * self._rng.standard_normal(count)
+
+    def residual_offsets(self, count: int) -> np.ndarray:
+        """Post-calibration offsets: offset cancellation is bounded by
+        the same DAC-code quantization as gain trim, leaving the
+        ``residual_offset_sigma`` floor."""
+        return self.noise.residual_offset_sigma * self.noise.full_scale * self._rng.standard_normal(count)
+
+    def calibrate(
+        self, gain_errors: np.ndarray, config: CalibrationConfig
+    ) -> np.ndarray:
+        """Residual gain errors after DAC-limited calibration.
+
+        Calibration measures each component's gain (thermal noise
+        averaged down by ``measurement_repeats``) and subtracts a
+        correction quantized to the DAC's step size. The residual is
+        the sum of measurement noise and correction quantization, which
+        is what bounds the chip's accuracy.
+        """
+        gain_errors = np.asarray(gain_errors, dtype=float)
+        if not config.enabled:
+            return gain_errors.copy()
+        measurement_noise = (
+            self.noise.thermal_noise_sigma
+            / np.sqrt(config.measurement_repeats)
+            * self._rng.standard_normal(gain_errors.shape)
+        )
+        measured = gain_errors + measurement_noise
+        dac_step = 2.0 * self.noise.full_scale / 2**self.noise.dac_bits
+        # Correction codes quantize to the DAC step (relative units).
+        correction = np.round(measured / dac_step) * dac_step
+        residual = gain_errors - correction + measurement_noise
+        # Floor at the specified post-calibration mismatch: effects the
+        # correction cannot reach (temperature drift, local mismatch).
+        floor = self.noise.residual_mismatch_sigma * self._rng.standard_normal(gain_errors.shape)
+        return residual + floor

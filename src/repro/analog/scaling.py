@@ -1,0 +1,74 @@
+"""Dynamic-range scaling of problems into the analog range (Section 5.3).
+
+"The full dynamic range of the PDE problem variables must scale down to
+fit in the dynamic range of the analog hardware. ... In the Burgers'
+equation, the nonlinear function is a quadratic polynomial. So, if the
+variables u and v are scaled by 1/s, the system of equations should be
+scaled by 1/s^2. To make sure the terms in the nonlinear polynomial
+stay in correct proportion, any coefficients on linear terms of u and v
+should also be scaled by 1/s."
+
+:class:`ScaledSystem` implements exactly that substitution for any
+system with (at most) quadratic polynomial nonlinearity:
+
+    G(w) = F(s w) / s^2,   J_G(w) = J_F(s w) / s
+
+A root w* of G corresponds to the root ``s w*`` of F. The quadratic
+terms of F map to quadratic terms of G with unchanged coefficients, the
+linear coefficients shrink by 1/s, and constants by 1/s^2 — so if the
+original values fit in ``[-s, s]``, all of G's signals fit in the unit
+dynamic range. Transcendental nonlinearities have no such scaling,
+which is why the paper excludes them (Section 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analog.noise import NoiseModel
+from repro.nonlinear.systems import NonlinearSystem
+
+__all__ = ["ScaledSystem", "required_scale"]
+
+
+def required_scale(value_bound: float, noise: NoiseModel, safety: float = 1.1) -> float:
+    """Scale factor mapping values in ``[-bound, bound]`` into range.
+
+    The safety margin keeps transient overshoot of the continuous
+    dynamics off the rails.
+    """
+    if value_bound <= 0.0:
+        raise ValueError("value_bound must be positive")
+    if safety < 1.0:
+        raise ValueError("safety must be at least 1")
+    return max(value_bound * safety / noise.full_scale, 1.0)
+
+
+class ScaledSystem(NonlinearSystem):
+    """A nonlinear system conjugated by the dynamic-range scaling."""
+
+    def __init__(self, inner: NonlinearSystem, scale: float):
+        if scale <= 0.0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.inner = inner
+        self.scale = float(scale)
+        self.dimension = inner.dimension
+
+    def residual(self, w: np.ndarray) -> np.ndarray:
+        w = self._validate(w)
+        return self.inner.residual(self.scale * w) / self.scale**2
+
+    def jacobian(self, w: np.ndarray):
+        w = self._validate(w)
+        jac = self.inner.jacobian(self.scale * w)
+        if isinstance(jac, np.ndarray):
+            return jac / self.scale
+        return jac.scaled(1.0 / self.scale)
+
+    def to_physical(self, w: np.ndarray) -> np.ndarray:
+        """Map a scaled solution back to problem units."""
+        return self.scale * np.asarray(w, dtype=float)
+
+    def to_scaled(self, u: np.ndarray) -> np.ndarray:
+        """Map problem-unit values into the analog range."""
+        return np.asarray(u, dtype=float) / self.scale

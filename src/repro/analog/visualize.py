@@ -1,0 +1,79 @@
+"""Terminal visualization of analog transients.
+
+The development workflow the paper describes for the prototype chip —
+"incremental bringup", per-component testing (Section 5.1) — leans on
+looking at waveforms. This module renders the simulator's recorded
+transients (:class:`repro.ode.solution.OdeSolution` from
+``AnalogAccelerator.solve(..., record_trajectory=True)``) as compact
+Unicode sparklines and multi-channel scope panels, so the settling
+dynamics are inspectable in a terminal or log file.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.ode.solution import OdeSolution
+
+__all__ = ["sparkline", "render_scope"]
+
+_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One signal as a fixed-width Unicode sparkline.
+
+    Values are resampled to ``width`` columns and quantized to eight
+    vertical levels over the signal's own range; a constant signal
+    renders as a flat mid-level line.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("values must be nonempty")
+    if width <= 0:
+        raise ValueError("width must be positive")
+    positions = np.linspace(0, values.size - 1, width)
+    resampled = np.interp(positions, np.arange(values.size), values)
+    lo, hi = float(resampled.min()), float(resampled.max())
+    if hi - lo < 1e-15:
+        return _LEVELS[3] * width
+    quantized = np.clip(
+        ((resampled - lo) / (hi - lo) * (len(_LEVELS) - 1)).round().astype(int),
+        0,
+        len(_LEVELS) - 1,
+    )
+    return "".join(_LEVELS[q] for q in quantized)
+
+
+def render_scope(
+    solution: OdeSolution,
+    channels: Optional[Sequence[int]] = None,
+    width: int = 60,
+    labels: Optional[Sequence[str]] = None,
+) -> str:
+    """Multi-channel scope panel of a recorded transient.
+
+    One sparkline row per selected state channel, with the final value
+    annotated — the readout an engineer would take off the settled
+    trace.
+    """
+    ys = solution.ys
+    if channels is None:
+        channels = list(range(min(ys.shape[1], 8)))
+    if labels is not None and len(labels) != len(channels):
+        raise ValueError("one label per channel")
+    lines = []
+    header = (
+        f"t in [{solution.ts[0]:.2f}, {solution.final_time:.2f}]"
+        + ("  (settled)" if solution.settled else "  (NOT settled)")
+    )
+    lines.append(header)
+    for idx, channel in enumerate(channels):
+        if not 0 <= channel < ys.shape[1]:
+            raise ValueError(f"channel {channel} outside state dimension {ys.shape[1]}")
+        name = labels[idx] if labels is not None else f"ch{channel}"
+        trace = sparkline(ys[:, channel], width=width)
+        lines.append(f"{name:>8} |{trace}| {ys[-1, channel]:+.4f}")
+    return "\n".join(lines)

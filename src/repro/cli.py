@@ -1,0 +1,120 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+    python -m repro list
+    python -m repro table4
+    python -m repro figure6 --trials 100
+    python -m repro figure7 --grids 2,4,8 --reynolds 0.1,1.0 --trials 1
+
+Each command runs the corresponding experiment driver and prints the
+same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import (
+    run_figure2,
+    run_figure3,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+__all__ = ["main"]
+
+
+def _parse_floats(text: str) -> tuple:
+    return tuple(float(v) for v in text.split(","))
+
+
+def _parse_ints(text: str) -> tuple:
+    return tuple(int(v) for v in text.split(","))
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables and figures of the MICRO-50 2017 "
+        "hybrid analog-digital PDE paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("table1", help="workload function profiles")
+    sub.add_parser("table2", help="Reynolds number effects")
+    sub.add_parser("table3", help="analog component usage per variable")
+    sub.add_parser("table4", help="scaled accelerator area/power")
+    sub.add_parser("table5", help="related-work matrix")
+
+    fig2 = sub.add_parser("figure2", help="basins for u^3 - 1")
+    fig2.add_argument("--resolution", type=int, default=96)
+
+    fig3 = sub.add_parser("figure3", help="Equation 2 with/without homotopy")
+    fig3.add_argument("--resolution", type=int, default=64)
+
+    fig6 = sub.add_parser("figure6", help="analog error distribution")
+    fig6.add_argument("--trials", type=int, default=100)
+
+    fig7 = sub.add_parser("figure7", help="digital vs analog time to convergence")
+    fig7.add_argument("--grids", type=_parse_ints, default=(2, 4, 8, 16))
+    fig7.add_argument("--reynolds", type=_parse_floats, default=(0.01, 0.1, 1.0))
+    fig7.add_argument("--trials", type=int, default=1)
+
+    fig8 = sub.add_parser("figure8", help="baseline vs seeded across Reynolds")
+    fig8.add_argument("--grid", type=int, default=16)
+    fig8.add_argument("--reynolds", type=_parse_floats, default=(0.25, 2.0))
+    fig8.add_argument("--trials", type=int, default=2)
+
+    fig9 = sub.add_parser("figure9", help="GPU-scale time and energy")
+    fig9.add_argument("--grids", type=_parse_ints, default=(16,))
+    fig9.add_argument("--trials", type=int, default=1)
+    fig9.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    command = args.command
+    if command == "list":
+        print("tables:  table1 table2 table3 table4 table5")
+        print("figures: figure2 figure3 figure6 figure7 figure8 figure9")
+        return 0
+    if command == "table1":
+        result = run_table1()
+    elif command == "table2":
+        result = run_table2()
+    elif command == "table3":
+        result = run_table3()
+    elif command == "table4":
+        result = run_table4()
+    elif command == "table5":
+        result = run_table5()
+    elif command == "figure2":
+        result = run_figure2(resolution=args.resolution)
+    elif command == "figure3":
+        result = run_figure3(resolution=args.resolution)
+    elif command == "figure6":
+        result = run_figure6(trials=args.trials)
+    elif command == "figure7":
+        result = run_figure7(grid_sizes=args.grids, reynolds_values=args.reynolds, trials=args.trials)
+    elif command == "figure8":
+        result = run_figure8(grid_n=args.grid, reynolds_values=args.reynolds, trials=args.trials)
+    elif command == "figure9":
+        result = run_figure9(grid_sizes=args.grids, trials=args.trials, seed=args.seed)
+    else:  # pragma: no cover - argparse guards this
+        raise SystemExit(f"unknown command {command}")
+    print(result.render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""The paper's headline method: analog-seeded digital solving.
+
+* :mod:`repro.core.hybrid` — the hybrid pipeline: an (approximate)
+  analog continuous-Newton solve seeds a high-precision digital Newton
+  solver, which then starts inside the quadratic convergence region and
+  needs no damping (Section 6.2).
+* :mod:`repro.core.gauss_seidel` — red-black *nonlinear* Gauss-Seidel
+  decomposition, the divide-and-conquer scheme that fits problems
+  larger than the accelerator (32x32 grids on a 16x16-capable chip)
+  onto the analog hardware (Section 6.3).
+"""
+
+from repro.core.hybrid import HybridResult, HybridSolver
+from repro.core.gauss_seidel import RedBlackGaussSeidel, GaussSeidelResult
+
+__all__ = [
+    "HybridResult",
+    "HybridSolver",
+    "RedBlackGaussSeidel",
+    "GaussSeidelResult",
+]

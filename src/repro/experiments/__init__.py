@@ -1,0 +1,34 @@
+"""Experiment drivers: one module per paper table and figure.
+
+Each driver exposes a ``run_*`` function returning a structured result
+object with a ``rows()``/``render()`` view matching what the paper
+reports, plus the paper's own numbers for comparison. The benchmark
+harness under ``benchmarks/`` calls these drivers; EXPERIMENTS.md
+records a full-size run.
+"""
+
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure9 import run_figure9
+
+__all__ = [
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_figure2",
+    "run_figure3",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+]

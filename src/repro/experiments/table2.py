@@ -1,0 +1,72 @@
+"""Table 2: effect of Reynolds number on Burgers'/Navier-Stokes.
+
+Reproduces the qualitative classification row-for-row, and augments it
+with a *measured* diagnostic that grounds the claim: the minimum
+diagonal-dominance ratio of the Burgers Jacobian, which collapses as
+the Reynolds number grows (the mechanism the paper invokes in
+Section 6.1 for digital Newton's difficulties).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.pde.burgers import random_burgers_system, reynolds_character
+from repro.reporting import ascii_table
+
+__all__ = ["Table2Result", "run_table2"]
+
+
+@dataclass
+class Table2Result:
+    rows_data: List[dict]
+    dominance_by_reynolds: List[dict]
+
+    def rows(self) -> List[dict]:
+        return self.rows_data
+
+    def render(self) -> str:
+        classification = ascii_table(self.rows_data)
+        dominance = ascii_table(self.dominance_by_reynolds)
+        return f"{classification}\n\nMeasured Jacobian diagonal dominance:\n{dominance}"
+
+
+def run_table2(
+    grid_n: int = 4,
+    reynolds_values: tuple = (0.01, 0.1, 1.0, 10.0),
+    trials: int = 3,
+) -> Table2Result:
+    """Classify both regimes and measure diagonal dominance vs Re."""
+    rows = []
+    for regime_re in (10.0, 0.1):
+        character = reynolds_character(regime_re)
+        rows.append(
+            {
+                "Reynolds number": character.regime,
+                "Mach number": character.mach,
+                "viscosity": character.viscosity,
+                "effect of diffusion": character.diffusion_effect,
+                "dominant PDE character": character.dominant_character,
+                "nonlinearity": character.nonlinearity,
+            }
+        )
+    dominance = []
+    for reynolds in reynolds_values:
+        ratios = []
+        diag_minima = []
+        for trial in range(trials):
+            system, guess = random_burgers_system(grid_n, reynolds, np.random.default_rng(trial))
+            ratios.append(system.diagonal_dominance(guess))
+            jac = system.jacobian(guess)
+            diag_minima.append(float(np.min(np.abs(jac.diagonal()))))
+        dominance.append(
+            {
+                "Reynolds number": reynolds,
+                "min |diag|": float(np.mean(diag_minima)),
+                "min |diag| / sum |offdiag|": float(np.mean(ratios)),
+            }
+        )
+    return Table2Result(rows_data=rows, dominance_by_reynolds=dominance)

@@ -1,0 +1,56 @@
+"""Table 3: analog chip component use per PDE variable.
+
+Compiles a Burgers stencil onto a simulated board and reports the
+compiler's per-variable allocation plan by circuit role, with the
+area/power bottom rows of the paper's table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.analog.area_power import table3_totals
+from repro.analog.compiler import compile_burgers
+from repro.analog.fabric import Fabric
+from repro.pde.burgers import random_burgers_system
+from repro.reporting import ascii_table
+
+__all__ = ["Table3Result", "run_table3"]
+
+# Paper Table 3, per-variable counts by component.
+PAPER_TOTALS = {"integrator": 2, "fanout": 8, "multiplier": 8, "DAC": 4}
+
+
+@dataclass
+class Table3Result:
+    rows_data: List[dict]
+    tiles_allocated: int
+    board_level_connections: int
+
+    def rows(self) -> List[dict]:
+        return self.rows_data
+
+    def render(self) -> str:
+        header = (
+            f"tiles allocated: {self.tiles_allocated} "
+            f"(board-level links: {self.board_level_connections})\n"
+        )
+        return header + ascii_table(self.rows_data)
+
+
+def run_table3(grid_n: int = 2, seed: int = 0) -> Table3Result:
+    """Compile an ``n x n`` Burgers problem and report Table 3."""
+    system, _ = random_burgers_system(grid_n, 1.0, np.random.default_rng(seed))
+    fabric = Fabric.for_variables(system.dimension, seed=seed)
+    compiled = compile_burgers(fabric, system)
+    rows = table3_totals(compiled.resources)
+    result = Table3Result(
+        rows_data=rows,
+        tiles_allocated=len(compiled.tiles),
+        board_level_connections=compiled.board_level_connections,
+    )
+    compiled.release()
+    return result

@@ -1,0 +1,54 @@
+"""Table 4: area and power for scaled-up analog accelerators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analog.area_power import scaled_accelerator_table
+from repro.reporting import ascii_table
+
+__all__ = ["Table4Result", "run_table4", "PAPER_TABLE4"]
+
+# Paper Table 4: solver size -> (chip area mm^2, power mW).
+PAPER_TABLE4: Dict[int, Tuple[float, float]] = {
+    1: (1.38, 1.53),
+    2: (5.50, 6.10),
+    4: (22.02, 24.42),
+    8: (88.06, 97.66),
+    16: (352.36, 390.66),
+}
+
+
+@dataclass
+class Table4Result:
+    rows_data: List[dict]
+
+    def rows(self) -> List[dict]:
+        return self.rows_data
+
+    def render(self) -> str:
+        return ascii_table(self.rows_data)
+
+    def max_relative_deviation(self) -> float:
+        """Largest relative deviation from the paper's numbers."""
+        worst = 0.0
+        for row in self.rows_data:
+            n = int(row["solver size"].split(" ")[0])
+            paper_area, paper_power = PAPER_TABLE4[n]
+            worst = max(
+                worst,
+                abs(row["chip area (mm^2)"] - paper_area) / paper_area,
+                abs(row["power use (mW)"] - paper_power) / paper_power,
+            )
+        return worst
+
+
+def run_table4() -> Table4Result:
+    rows = scaled_accelerator_table()
+    for row in rows:
+        n = int(row["solver size"].split(" ")[0])
+        paper_area, paper_power = PAPER_TABLE4[n]
+        row["paper area (mm^2)"] = paper_area
+        row["paper power (mW)"] = paper_power
+    return Table4Result(rows_data=rows)

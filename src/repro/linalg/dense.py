@@ -1,0 +1,217 @@
+"""Dense direct linear algebra written from first principles.
+
+These kernels back the *golden model* digital solvers in the paper's
+evaluation: the small nonlinear systems produced by 2x2 Burgers stencils
+and the analog accelerator's behavioral checks are solved exactly with
+LU, while Householder QR mirrors the factorization performed by the
+cuSolver GPU baseline of Section 6.3.
+
+Everything operates on plain ``numpy.ndarray`` objects and is written so
+that the operation counts are explicit; the performance models in
+:mod:`repro.perf` charge time and energy per operation reported here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "LuFactorization",
+    "QrFactorization",
+    "lu_factor",
+    "lu_solve",
+    "solve_dense",
+    "qr_factor",
+    "qr_solve",
+    "forward_substitution",
+    "back_substitution",
+    "determinant",
+    "condition_estimate",
+]
+
+
+class SingularMatrixError(ValueError):
+    """Raised when a factorization encounters an (almost) singular pivot."""
+
+
+@dataclass(frozen=True)
+class LuFactorization:
+    """Compact LU factorization ``P A = L U`` with partial pivoting.
+
+    Attributes
+    ----------
+    lu:
+        Square array holding ``L`` (unit lower triangle, implicit ones)
+        and ``U`` (upper triangle) packed together.
+    piv:
+        Row permutation applied to the input, as an index vector.
+    num_swaps:
+        Number of row interchanges, used for the determinant sign.
+    """
+
+    lu: np.ndarray
+    piv: np.ndarray
+    num_swaps: int
+
+    @property
+    def n(self) -> int:
+        return self.lu.shape[0]
+
+
+@dataclass(frozen=True)
+class QrFactorization:
+    """Householder QR factorization ``A = Q R``.
+
+    ``Q`` is kept in factored form: ``vs[k]`` is the Householder vector
+    of step ``k`` (zero-padded to full length), so applying ``Q^T`` is a
+    sequence of rank-one updates.
+    """
+
+    vs: np.ndarray
+    r: np.ndarray
+
+    @property
+    def shape(self) -> tuple:
+        return self.r.shape
+
+
+_PIVOT_TOL = 1e-300
+
+
+def lu_factor(a: np.ndarray) -> LuFactorization:
+    """Factor a square matrix with Gaussian elimination + partial pivoting.
+
+    Raises
+    ------
+    SingularMatrixError
+        If a pivot underflows to (numerical) zero.
+    """
+    a = np.array(a, dtype=float, copy=True)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"lu_factor needs a square matrix, got shape {a.shape}")
+    n = a.shape[0]
+    piv = np.arange(n)
+    swaps = 0
+    for k in range(n - 1):
+        pivot_row = k + int(np.argmax(np.abs(a[k:, k])))
+        if abs(a[pivot_row, k]) < _PIVOT_TOL:
+            raise SingularMatrixError(f"zero pivot at column {k}")
+        if pivot_row != k:
+            a[[k, pivot_row]] = a[[pivot_row, k]]
+            piv[[k, pivot_row]] = piv[[pivot_row, k]]
+            swaps += 1
+        a[k + 1 :, k] /= a[k, k]
+        a[k + 1 :, k + 1 :] -= np.outer(a[k + 1 :, k], a[k, k + 1 :])
+    if abs(a[n - 1, n - 1]) < _PIVOT_TOL:
+        raise SingularMatrixError(f"zero pivot at column {n - 1}")
+    return LuFactorization(lu=a, piv=piv, num_swaps=swaps)
+
+
+def forward_substitution(lower: np.ndarray, b: np.ndarray, unit_diagonal: bool = False) -> np.ndarray:
+    """Solve ``L x = b`` for lower-triangular ``L``."""
+    n = lower.shape[0]
+    x = np.array(b, dtype=float, copy=True)
+    for i in range(n):
+        x[i] -= lower[i, :i] @ x[:i]
+        if not unit_diagonal:
+            x[i] /= lower[i, i]
+    return x
+
+
+def back_substitution(upper: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``U x = b`` for upper-triangular ``U``."""
+    n = upper.shape[0]
+    x = np.array(b, dtype=float, copy=True)
+    for i in range(n - 1, -1, -1):
+        x[i] -= upper[i, i + 1 :] @ x[i + 1 :]
+        x[i] /= upper[i, i]
+    return x
+
+
+def lu_solve(fact: LuFactorization, b: np.ndarray) -> np.ndarray:
+    """Solve ``A x = b`` given the LU factorization of ``A``."""
+    b = np.asarray(b, dtype=float)
+    if b.shape[0] != fact.n:
+        raise ValueError(f"rhs length {b.shape[0]} != matrix size {fact.n}")
+    permuted = b[fact.piv]
+    y = forward_substitution(fact.lu, permuted, unit_diagonal=True)
+    return back_substitution(fact.lu, y)
+
+
+def solve_dense(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """One-shot dense solve ``A x = b`` via partial-pivoted LU."""
+    return lu_solve(lu_factor(a), b)
+
+
+def determinant(a: np.ndarray) -> float:
+    """Determinant via LU; returns 0.0 for singular input."""
+    try:
+        fact = lu_factor(a)
+    except SingularMatrixError:
+        return 0.0
+    sign = -1.0 if fact.num_swaps % 2 else 1.0
+    return sign * float(np.prod(np.diag(fact.lu)))
+
+
+def qr_factor(a: np.ndarray) -> QrFactorization:
+    """Householder QR of an ``m x n`` matrix with ``m >= n``."""
+    r = np.array(a, dtype=float, copy=True)
+    m, n = r.shape
+    if m < n:
+        raise ValueError(f"qr_factor needs m >= n, got shape {r.shape}")
+    vs = np.zeros((n, m))
+    for k in range(n):
+        x = r[k:, k]
+        norm_x = np.linalg.norm(x)
+        if norm_x == 0.0:
+            continue
+        v = x.copy()
+        v[0] += np.copysign(norm_x, x[0])
+        v /= np.linalg.norm(v)
+        r[k:, k:] -= 2.0 * np.outer(v, v @ r[k:, k:])
+        vs[k, k:] = v
+    return QrFactorization(vs=vs, r=r)
+
+
+def _apply_qt(fact: QrFactorization, b: np.ndarray) -> np.ndarray:
+    y = np.array(b, dtype=float, copy=True)
+    n = fact.vs.shape[0]
+    for k in range(n):
+        v = fact.vs[k, k:]
+        y[k:] -= 2.0 * v * (v @ y[k:])
+    return y
+
+
+def qr_solve(fact: QrFactorization, b: np.ndarray) -> np.ndarray:
+    """Least-squares solve ``min ||A x - b||`` from a QR factorization."""
+    m, n = fact.shape
+    if b.shape[0] != m:
+        raise ValueError(f"rhs length {b.shape[0]} != row count {m}")
+    y = _apply_qt(fact, b)
+    return back_substitution(fact.r[:n, :n], y[:n])
+
+
+def condition_estimate(a: np.ndarray, num_probes: int = 4, seed: int = 0) -> float:
+    """Cheap 1-sided condition estimate via random probing.
+
+    Estimates ``||A|| * ||A^-1||`` (2-norm flavoured) using a few
+    matvec/solve probes; adequate for the diagnostics in Table 2 where
+    only the growth trend with Reynolds number matters.
+    """
+    a = np.asarray(a, dtype=float)
+    n = a.shape[0]
+    rng = np.random.default_rng(seed)
+    try:
+        fact = lu_factor(a)
+    except SingularMatrixError:
+        return float("inf")
+    norm_a = 0.0
+    norm_inv = 0.0
+    for _ in range(num_probes):
+        x = rng.standard_normal(n)
+        x /= np.linalg.norm(x)
+        norm_a = max(norm_a, float(np.linalg.norm(a @ x)))
+        norm_inv = max(norm_inv, float(np.linalg.norm(lu_solve(fact, x))))
+    return norm_a * norm_inv

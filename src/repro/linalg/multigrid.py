@@ -1,0 +1,198 @@
+"""Geometric multigrid for the five-point Poisson operator.
+
+Table 5 of the paper summarizes the authors' prior linear-algebra
+accelerator ([22, 23]): its analog-digital partitioning was "digital
+decomposition using multigrid; analog solves recursively on linear
+equation residual". This module supplies that decomposition: a classic
+V-cycle with red-black Gauss-Seidel smoothing, full-weighting
+restriction and bilinear prolongation on square grids.
+
+The coarse-grid *residual equation* solver is pluggable — plugging in
+:class:`repro.analog.engine.AnalogAccelerator` reproduces the prior
+work's scheme, while the default recursion is a pure-digital V-cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+__all__ = ["MultigridPoisson", "MultigridResult"]
+
+CoarseSolver = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class MultigridResult:
+    """Outcome of a multigrid solve."""
+
+    solution: np.ndarray
+    converged: bool
+    cycles: int
+    residual_history: List[float] = field(default_factory=list)
+
+    @property
+    def convergence_factor(self) -> float:
+        """Geometric-mean residual reduction per cycle."""
+        h = self.residual_history
+        if len(h) < 2 or h[0] == 0.0:
+            return 0.0
+        return float((h[-1] / h[0]) ** (1.0 / (len(h) - 1)))
+
+
+class MultigridPoisson:
+    """V-cycle solver for ``-Lap(u) = f`` on an ``n x n`` interior grid.
+
+    ``n`` must be ``2^k - 1`` so the grid hierarchy nests (the standard
+    vertex-centered coarsening). Dirichlet zero boundaries; lift
+    nonzero boundaries into the right-hand side first (see
+    :meth:`repro.pde.poisson.PoissonProblem.rhs`).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        spacing: float = 1.0,
+        pre_smooth: int = 2,
+        post_smooth: int = 2,
+        coarsest: int = 1,
+        coarse_solver: Optional[CoarseSolver] = None,
+    ):
+        if n < 1 or (n + 1) & n != 0:
+            raise ValueError(f"grid size must be 2^k - 1, got {n}")
+        if spacing <= 0.0:
+            raise ValueError("spacing must be positive")
+        if pre_smooth < 0 or post_smooth < 0:
+            raise ValueError("smoothing counts must be nonnegative")
+        if pre_smooth == 0 and post_smooth == 0:
+            raise ValueError("at least one smoothing pass is required")
+        self.n = n
+        self.spacing = float(spacing)
+        self.pre_smooth = pre_smooth
+        self.post_smooth = post_smooth
+        self.coarsest = coarsest
+        self.coarse_solver = coarse_solver
+
+    # -- grid operators -------------------------------------------------
+
+    @staticmethod
+    def apply_operator(u: np.ndarray, h: float) -> np.ndarray:
+        """``-Lap(u)`` with zero Dirichlet ghosts."""
+        padded = np.pad(u, 1)
+        lap = (
+            padded[:-2, 1:-1]
+            + padded[2:, 1:-1]
+            + padded[1:-1, :-2]
+            + padded[1:-1, 2:]
+            - 4.0 * padded[1:-1, 1:-1]
+        ) / h**2
+        return -lap
+
+    @staticmethod
+    def _smooth_red_black(u: np.ndarray, f: np.ndarray, h: float, sweeps: int) -> np.ndarray:
+        """Red-black Gauss-Seidel: vectorized over each color."""
+        n = u.shape[0]
+        ii, jj = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        red = (ii + jj) % 2 == 0
+        black = ~red
+        for _ in range(sweeps):
+            for mask in (red, black):
+                padded = np.pad(u, 1)
+                neighbours = (
+                    padded[:-2, 1:-1] + padded[2:, 1:-1] + padded[1:-1, :-2] + padded[1:-1, 2:]
+                )
+                update = (h**2 * f + neighbours) / 4.0
+                u = np.where(mask, update, u)
+        return u
+
+    @staticmethod
+    def _restrict(residual: np.ndarray) -> np.ndarray:
+        """Full-weighting restriction to the next coarser grid."""
+        n = residual.shape[0]
+        coarse_n = (n - 1) // 2
+        padded = np.pad(residual, 1)
+        # Coarse node (I, J) sits at fine node (2I+1, 2J+1).
+        ci = 2 * np.arange(coarse_n)[:, None] + 1
+        cj = 2 * np.arange(coarse_n)[None, :] + 1
+        pi, pj = ci + 1, cj + 1  # padded coordinates
+        center = padded[pi, pj]
+        edges = padded[pi - 1, pj] + padded[pi + 1, pj] + padded[pi, pj - 1] + padded[pi, pj + 1]
+        corners = (
+            padded[pi - 1, pj - 1]
+            + padded[pi - 1, pj + 1]
+            + padded[pi + 1, pj - 1]
+            + padded[pi + 1, pj + 1]
+        )
+        return (4.0 * center + 2.0 * edges + corners) / 16.0
+
+    @staticmethod
+    def _prolong(coarse: np.ndarray, fine_n: int) -> np.ndarray:
+        """Bilinear interpolation to the next finer grid."""
+        padded = np.pad(coarse, 1)
+        fine = np.zeros((fine_n, fine_n))
+        cn = coarse.shape[0]
+        # Fine nodes coincident with coarse nodes.
+        fi = 2 * np.arange(cn) + 1
+        fine[np.ix_(fi, fi)] = coarse
+        # Horizontal midpoints (average of left/right coarse values).
+        mid = np.arange(cn + 1) * 2
+        fine[np.ix_(fi, mid)] = 0.5 * (padded[1:-1, :-1] + padded[1:-1, 1:])
+        fine[np.ix_(mid, fi)] = 0.5 * (padded[:-1, 1:-1] + padded[1:, 1:-1])
+        # Cell centers (average of four coarse corners).
+        fine[np.ix_(mid, mid)] = 0.25 * (
+            padded[:-1, :-1] + padded[:-1, 1:] + padded[1:, :-1] + padded[1:, 1:]
+        )
+        return fine
+
+    # -- cycles -----------------------------------------------------------
+
+    def _v_cycle(self, u: np.ndarray, f: np.ndarray, h: float) -> np.ndarray:
+        n = u.shape[0]
+        if n <= self.coarsest:
+            if self.coarse_solver is not None:
+                return self.coarse_solver(f).reshape(n, n)
+            # Exact solve on the tiny coarsest grid by dense inversion.
+            size = n * n
+            dense = np.zeros((size, size))
+            for k in range(size):
+                e = np.zeros(size)
+                e[k] = 1.0
+                dense[:, k] = self.apply_operator(e.reshape(n, n), h).ravel()
+            return np.linalg.solve(dense, f.ravel()).reshape(n, n)
+        u = self._smooth_red_black(u, f, h, self.pre_smooth)
+        residual = f - self.apply_operator(u, h)
+        coarse_residual = self._restrict(residual)
+        correction = self._v_cycle(
+            np.zeros_like(coarse_residual), coarse_residual, 2.0 * h
+        )
+        u = u + self._prolong(correction, n)
+        return self._smooth_red_black(u, f, h, self.post_smooth)
+
+    def solve(
+        self,
+        f: np.ndarray,
+        u0: Optional[np.ndarray] = None,
+        tol: float = 1e-10,
+        max_cycles: int = 50,
+    ) -> MultigridResult:
+        """Iterate V-cycles until the residual norm drops by ``tol``."""
+        f = np.asarray(f, dtype=float)
+        if f.shape != (self.n, self.n):
+            raise ValueError(f"rhs must have shape ({self.n}, {self.n})")
+        u = np.zeros_like(f) if u0 is None else np.array(u0, dtype=float, copy=True)
+        h = self.spacing
+        history = [float(np.linalg.norm(f - self.apply_operator(u, h)))]
+        threshold = tol * max(history[0], 1e-30)
+        for cycle in range(1, max_cycles + 1):
+            u = self._v_cycle(u, f, h)
+            norm = float(np.linalg.norm(f - self.apply_operator(u, h)))
+            history.append(norm)
+            if norm <= threshold:
+                return MultigridResult(
+                    solution=u, converged=True, cycles=cycle, residual_history=history
+                )
+        return MultigridResult(
+            solution=u, converged=False, cycles=max_cycles, residual_history=history
+        )

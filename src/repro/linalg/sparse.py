@@ -1,0 +1,278 @@
+"""A compressed-sparse-row matrix built from scratch.
+
+The Jacobians of finite-difference PDE stencils are five-point sparse;
+the paper's digital baselines (Bi-CGstab, PCG, sparse QR on the GPU)
+all consume this structure. We implement our own CSR container rather
+than depending on scipy so every kernel the performance models charge
+for is visible in this repository.
+
+The usual construction path is :class:`CooBuilder` (append triplets
+while walking a stencil) followed by :meth:`CooBuilder.to_csr`, which
+sorts, deduplicates (summing duplicates, the standard FEM assembly
+convention) and packs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+__all__ = ["CooBuilder", "CsrMatrix", "eye", "diags", "csr_from_triplets"]
+
+
+def csr_from_triplets(
+    num_rows: int, num_cols: int, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray
+) -> "CsrMatrix":
+    """Vectorized triplet-to-CSR packing (duplicates summed).
+
+    The fast path for stencil assembly inside solver inner loops, where
+    the per-call overhead of :class:`CooBuilder`'s Python lists would
+    dominate; semantics match ``CooBuilder.to_csr`` exactly.
+    """
+    rows = np.asarray(rows, dtype=np.int64).ravel()
+    cols = np.asarray(cols, dtype=np.int64).ravel()
+    vals = np.asarray(vals, dtype=float).ravel()
+    if not (rows.shape == cols.shape == vals.shape):
+        raise ValueError("rows, cols, and values must have matching lengths")
+    if rows.size:
+        if rows.min() < 0 or rows.max() >= num_rows:
+            raise IndexError("row index outside matrix")
+        if cols.min() < 0 or cols.max() >= num_cols:
+            raise IndexError("column index outside matrix")
+    else:
+        return CsrMatrix(
+            shape=(num_rows, num_cols),
+            indptr=np.zeros(num_rows + 1, dtype=np.int64),
+            indices=np.zeros(0, dtype=np.int64),
+            data=np.zeros(0, dtype=float),
+        )
+    order = np.lexsort((cols, rows))
+    rows, cols, vals = rows[order], cols[order], vals[order]
+    is_new = np.ones(rows.size, dtype=bool)
+    is_new[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+    group = np.cumsum(is_new) - 1
+    merged_vals = np.zeros(int(group[-1]) + 1, dtype=float)
+    np.add.at(merged_vals, group, vals)
+    merged_rows = rows[is_new]
+    merged_cols = cols[is_new]
+    indptr = np.zeros(num_rows + 1, dtype=np.int64)
+    np.add.at(indptr, merged_rows + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return CsrMatrix(
+        shape=(num_rows, num_cols), indptr=indptr, indices=merged_cols, data=merged_vals
+    )
+
+
+@dataclass
+class CooBuilder:
+    """Triplet accumulator for assembling a :class:`CsrMatrix`."""
+
+    num_rows: int
+    num_cols: int
+    _rows: List[int] = field(default_factory=list)
+    _cols: List[int] = field(default_factory=list)
+    _vals: List[float] = field(default_factory=list)
+
+    def add(self, row: int, col: int, value: float) -> None:
+        """Append one entry; duplicates are summed at pack time."""
+        if not (0 <= row < self.num_rows and 0 <= col < self.num_cols):
+            raise IndexError(f"entry ({row}, {col}) outside {self.num_rows}x{self.num_cols}")
+        self._rows.append(row)
+        self._cols.append(col)
+        self._vals.append(float(value))
+
+    def extend(self, entries: Iterable[Tuple[int, int, float]]) -> None:
+        for row, col, value in entries:
+            self.add(row, col, value)
+
+    def add_many(self, rows: np.ndarray, cols: np.ndarray, values: np.ndarray) -> None:
+        """Vectorized bulk append (used by PDE stencil assembly)."""
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        cols = np.asarray(cols, dtype=np.int64).ravel()
+        values = np.asarray(values, dtype=float).ravel()
+        if not (rows.shape == cols.shape == values.shape):
+            raise ValueError("rows, cols, and values must have matching lengths")
+        if rows.size == 0:
+            return
+        if rows.min() < 0 or rows.max() >= self.num_rows:
+            raise IndexError("row index outside matrix")
+        if cols.min() < 0 or cols.max() >= self.num_cols:
+            raise IndexError("column index outside matrix")
+        self._rows.extend(rows.tolist())
+        self._cols.extend(cols.tolist())
+        self._vals.extend(values.tolist())
+
+    def __len__(self) -> int:
+        return len(self._vals)
+
+    def to_csr(self) -> "CsrMatrix":
+        """Sort by (row, col), merge duplicates, and pack into CSR."""
+        rows = np.asarray(self._rows, dtype=np.int64)
+        cols = np.asarray(self._cols, dtype=np.int64)
+        vals = np.asarray(self._vals, dtype=float)
+        if rows.size == 0:
+            indptr = np.zeros(self.num_rows + 1, dtype=np.int64)
+            return CsrMatrix(
+                shape=(self.num_rows, self.num_cols),
+                indptr=indptr,
+                indices=np.zeros(0, dtype=np.int64),
+                data=np.zeros(0, dtype=float),
+            )
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        # Merge consecutive duplicates by summing their values.
+        is_new = np.ones(rows.size, dtype=bool)
+        is_new[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+        group = np.cumsum(is_new) - 1
+        merged_vals = np.zeros(int(group[-1]) + 1, dtype=float)
+        np.add.at(merged_vals, group, vals)
+        merged_rows = rows[is_new]
+        merged_cols = cols[is_new]
+        indptr = np.zeros(self.num_rows + 1, dtype=np.int64)
+        np.add.at(indptr, merged_rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return CsrMatrix(
+            shape=(self.num_rows, self.num_cols),
+            indptr=indptr,
+            indices=merged_cols,
+            data=merged_vals,
+        )
+
+
+@dataclass
+class CsrMatrix:
+    """Compressed sparse row matrix with the kernels the solvers need."""
+
+    shape: Tuple[int, int]
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        num_rows, _ = self.shape
+        if self.indptr.shape[0] != num_rows + 1:
+            raise ValueError("indptr length must be num_rows + 1")
+        if self.indices.shape[0] != self.data.shape[0]:
+            raise ValueError("indices and data must be the same length")
+
+    # -- basic properties ------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def num_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored (structurally nonzero) entries."""
+        return int(self.data.shape[0])
+
+    # -- kernels ----------------------------------------------------------
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Sparse matrix-vector product ``A @ x``."""
+        x = np.asarray(x, dtype=float)
+        if x.shape[0] != self.num_cols:
+            raise ValueError(f"vector length {x.shape[0]} != num_cols {self.num_cols}")
+        products = self.data * x[self.indices]
+        out = np.zeros(self.num_rows)
+        row_ids = self._row_ids()
+        np.add.at(out, row_ids, products)
+        return out
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        """Transposed product ``A.T @ y`` without materializing ``A.T``."""
+        y = np.asarray(y, dtype=float)
+        if y.shape[0] != self.num_rows:
+            raise ValueError(f"vector length {y.shape[0]} != num_rows {self.num_rows}")
+        out = np.zeros(self.num_cols)
+        row_ids = self._row_ids()
+        np.add.at(out, self.indices, self.data * y[row_ids])
+        return out
+
+    def _row_ids(self) -> np.ndarray:
+        return np.repeat(np.arange(self.num_rows), np.diff(self.indptr))
+
+    def diagonal(self) -> np.ndarray:
+        """Main diagonal as a dense vector (zeros where absent)."""
+        diag = np.zeros(min(self.shape))
+        for i in range(min(self.shape)):
+            start, stop = self.indptr[i], self.indptr[i + 1]
+            cols = self.indices[start:stop]
+            hit = np.nonzero(cols == i)[0]
+            if hit.size:
+                diag[i] = self.data[start + hit[0]]
+        return diag
+
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Column indices and values of row ``i`` as views."""
+        start, stop = self.indptr[i], self.indptr[i + 1]
+        return self.indices[start:stop], self.data[start:stop]
+
+    def transpose(self) -> "CsrMatrix":
+        """Explicit transpose, itself in CSR form."""
+        builder = CooBuilder(self.num_cols, self.num_rows)
+        row_ids = self._row_ids()
+        for r, c, v in zip(row_ids, self.indices, self.data):
+            builder.add(int(c), int(r), float(v))
+        return builder.to_csr()
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense array (tests and small solves only)."""
+        out = np.zeros(self.shape)
+        row_ids = self._row_ids()
+        out[row_ids, self.indices] = self.data
+        return out
+
+    def scaled(self, alpha: float) -> "CsrMatrix":
+        """Return ``alpha * A`` sharing structure, copying data."""
+        return CsrMatrix(
+            shape=self.shape,
+            indptr=self.indptr,
+            indices=self.indices,
+            data=self.data * float(alpha),
+        )
+
+    def add(self, other: "CsrMatrix") -> "CsrMatrix":
+        """Structural sum ``A + B`` (shapes must match)."""
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch {self.shape} vs {other.shape}")
+        builder = CooBuilder(*self.shape)
+        for mat in (self, other):
+            row_ids = mat._row_ids()
+            for r, c, v in zip(row_ids, mat.indices, mat.data):
+                builder.add(int(r), int(c), float(v))
+        return builder.to_csr()
+
+    def frobenius_norm(self) -> float:
+        return float(np.sqrt(np.sum(self.data**2)))
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(x)
+
+
+def eye(n: int, scale: float = 1.0) -> CsrMatrix:
+    """Sparse identity (optionally scaled)."""
+    return CsrMatrix(
+        shape=(n, n),
+        indptr=np.arange(n + 1, dtype=np.int64),
+        indices=np.arange(n, dtype=np.int64),
+        data=np.full(n, float(scale)),
+    )
+
+
+def diags(values: np.ndarray) -> CsrMatrix:
+    """Sparse diagonal matrix from a dense vector."""
+    values = np.asarray(values, dtype=float)
+    n = values.shape[0]
+    return CsrMatrix(
+        shape=(n, n),
+        indptr=np.arange(n + 1, dtype=np.int64),
+        indices=np.arange(n, dtype=np.int64),
+        data=values.copy(),
+    )

@@ -1,0 +1,315 @@
+"""Basin-of-attraction maps (Figures 2 and 3 of the paper).
+
+A basin map colors each point of a grid of initial conditions by the
+root the solver converges to from there. The paper's qualitative claim
+is that the *continuous* Newton method's basins are contiguous — small
+changes in the initial condition rarely change the answer — while the
+classical and damped discrete Newton iterations produce fractal,
+intertwined basins. :func:`contiguity_score` turns that claim into a
+measurable number so the Figure 2/3 benches can assert it.
+
+Everything here is vectorized over the whole pixel grid at once: each
+pixel's trajectory is one lane of a numpy array, which is what makes
+the 256x256 maps of the paper (65 536 independent solver runs — "each
+pixel is one run of the chip") tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nonlinear.homotopy import HomotopySchedule, homotopy_solve
+from repro.nonlinear.systems import CoupledQuadraticSystem, SimpleSquareSystem
+
+__all__ = [
+    "BasinMap",
+    "classify_roots",
+    "newton_iteration_basins",
+    "continuous_newton_basins",
+    "coupled_system_basins",
+    "contiguity_score",
+]
+
+
+@dataclass
+class BasinMap:
+    """A labeled grid of initial conditions.
+
+    Attributes
+    ----------
+    labels:
+        Integer array of shape ``(resolution, resolution)``; entry
+        ``labels[i, j]`` is the index into :attr:`roots` of the root
+        reached from that pixel's initial condition, or -1 when the
+        run did not converge to any known root (the paper's pink
+        'wrong result' region in Figure 3).
+    roots:
+        Root coordinates, one row per label.
+    extent:
+        Half-width of the square map: initial conditions span
+        ``[-extent, extent]`` on both axes.
+    """
+
+    labels: np.ndarray
+    roots: np.ndarray
+    extent: float
+
+    @property
+    def resolution(self) -> int:
+        return int(self.labels.shape[0])
+
+    @property
+    def converged_fraction(self) -> float:
+        """Fraction of pixels that reached one of the known roots."""
+        return float(np.mean(self.labels >= 0))
+
+    def root_fractions(self) -> np.ndarray:
+        """Per-root fraction of the map area, ignoring failures."""
+        counts = np.array(
+            [np.sum(self.labels == k) for k in range(self.roots.shape[0])], dtype=float
+        )
+        total = counts.sum()
+        return counts / total if total > 0 else counts
+
+
+def classify_roots(points: np.ndarray, roots: np.ndarray, tolerance: float = 1e-2) -> np.ndarray:
+    """Map each point (rows) to the index of the nearest root within
+    ``tolerance``, or -1 when no root is close enough."""
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    roots = np.atleast_2d(np.asarray(roots, dtype=float))
+    if roots.shape[0] == 0:
+        return np.full(points.shape[0], -1, dtype=int)
+    distances = np.linalg.norm(points[:, None, :] - roots[None, :, :], axis=2)
+    nearest = np.argmin(distances, axis=1)
+    labels = np.where(distances[np.arange(points.shape[0]), nearest] <= tolerance, nearest, -1)
+    return labels.astype(int)
+
+
+def _pixel_grid(resolution: int, extent: float) -> Tuple[np.ndarray, np.ndarray]:
+    if resolution <= 1:
+        raise ValueError("resolution must be at least 2")
+    if extent <= 0.0:
+        raise ValueError("extent must be positive")
+    axis = np.linspace(-extent, extent, resolution)
+    return np.meshgrid(axis, axis, indexing="xy")
+
+
+_CUBE_ROOTS = np.exp(2j * np.pi * np.arange(3) / 3.0)
+
+
+def _cubic_newton_direction(z: np.ndarray, regularization: float = 1e-9) -> np.ndarray:
+    """Newton direction ``f/f'`` for ``f(z) = z^3 - 1`` with the
+    derivative regularized away from zero (the physical circuit
+    saturates rather than dividing by zero)."""
+    df = 3.0 * z**2
+    small = np.abs(df) < regularization
+    df = np.where(small, df + regularization, df)
+    return (z**3 - 1.0) / df
+
+
+def newton_iteration_basins(
+    resolution: int = 256,
+    extent: float = 2.0,
+    damping: float = 1.0,
+    max_iterations: int = 200,
+    tolerance: float = 1e-8,
+) -> BasinMap:
+    """Discrete (classical or damped) Newton basins for ``z^3 - 1``.
+
+    ``damping = 1`` is classical Newton — the fractal Cayley picture;
+    smaller damping grows and smooths the basins at the cost of more
+    iterations, as reviewed in Section 2.1.
+    """
+    if not 0.0 < damping <= 1.0:
+        raise ValueError(f"damping must be in (0, 1], got {damping}")
+    xs, ys = _pixel_grid(resolution, extent)
+    z = (xs + 1j * ys).ravel()
+    active = np.ones(z.shape, dtype=bool)
+    for _ in range(max_iterations):
+        if not np.any(active):
+            break
+        step = _cubic_newton_direction(z[active])
+        z[active] = z[active] - damping * step
+        active[active] = np.abs(z[active] ** 3 - 1.0) > tolerance
+    points = np.column_stack([z.real, z.imag])
+    root_points = np.column_stack([_CUBE_ROOTS.real, _CUBE_ROOTS.imag])
+    labels = classify_roots(points, root_points, tolerance=1e-2)
+    return BasinMap(labels=labels.reshape(resolution, resolution), roots=root_points, extent=extent)
+
+
+def continuous_newton_basins(
+    resolution: int = 256,
+    extent: float = 2.0,
+    horizon: float = 25.0,
+    dt: float = 0.05,
+    noise_level: float = 0.0,
+    seed: int = 0,
+) -> BasinMap:
+    """Continuous Newton flow basins for ``z^3 - 1`` (Figure 2).
+
+    Integrates ``dz/dtau = -f(z)/f'(z)`` for every pixel at once with
+    fixed-step RK4. ``noise_level`` injects per-step Gaussian
+    perturbations, the vectorized stand-in for the analog chip's noise
+    floor — Figure 2 is measured from the physical chip, and a small
+    noise level leaves the basin structure intact, which the Figure 2
+    bench asserts.
+    """
+    if dt <= 0.0 or horizon <= 0.0:
+        raise ValueError("dt and horizon must be positive")
+    xs, ys = _pixel_grid(resolution, extent)
+    z = (xs + 1j * ys).ravel()
+    rng = np.random.default_rng(seed)
+    steps = int(np.ceil(horizon / dt))
+
+    def rhs(state: np.ndarray) -> np.ndarray:
+        return -_cubic_newton_direction(state)
+
+    for _ in range(steps):
+        k1 = rhs(z)
+        k2 = rhs(z + 0.5 * dt * k1)
+        k3 = rhs(z + 0.5 * dt * k2)
+        k4 = rhs(z + dt * k3)
+        z = z + dt / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        if noise_level > 0.0:
+            z = z + noise_level * np.sqrt(dt) * (
+                rng.standard_normal(z.shape) + 1j * rng.standard_normal(z.shape)
+            )
+    points = np.column_stack([z.real, z.imag])
+    root_points = np.column_stack([_CUBE_ROOTS.real, _CUBE_ROOTS.imag])
+    labels = classify_roots(points, root_points, tolerance=5e-2 + 10.0 * noise_level)
+    return BasinMap(labels=labels.reshape(resolution, resolution), roots=root_points, extent=extent)
+
+
+def _coupled_flow(
+    r0: np.ndarray,
+    r1: np.ndarray,
+    system: CoupledQuadraticSystem,
+    horizon: float,
+    dt: float,
+    regularization: float = 1e-6,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized continuous Newton flow on Equation 2's system using
+    the closed-form 2x2 Jacobian inverse per lane."""
+    a, b = system.rhs0, system.rhs1
+    steps = int(np.ceil(horizon / dt))
+
+    def direction(x0: np.ndarray, x1: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        f0 = x0**2 + x0 + x1 - a
+        f1 = x1**2 + x1 - x0 - b
+        j00 = 2.0 * x0 + 1.0
+        j11 = 2.0 * x1 + 1.0
+        det = j00 * j11 + 1.0  # j01 = 1, j10 = -1
+        det = np.where(np.abs(det) < regularization, np.sign(det + 1e-300) * regularization, det)
+        # inverse of [[j00, 1], [-1, j11]] is 1/det [[j11, -1], [1, j00]]
+        d0 = (j11 * f0 - f1) / det
+        d1 = (f0 + j00 * f1) / det
+        return -d0, -d1
+
+    for _ in range(steps):
+        k1 = direction(r0, r1)
+        k2 = direction(r0 + 0.5 * dt * k1[0], r1 + 0.5 * dt * k1[1])
+        k3 = direction(r0 + 0.5 * dt * k2[0], r1 + 0.5 * dt * k2[1])
+        k4 = direction(r0 + dt * k3[0], r1 + dt * k3[1])
+        r0 = r0 + dt / 6.0 * (k1[0] + 2.0 * k2[0] + 2.0 * k3[0] + k4[0])
+        r1 = r1 + dt / 6.0 * (k1[1] + 2.0 * k2[1] + 2.0 * k3[1] + k4[1])
+        # Analog saturation: values are railed to the dynamic range.
+        r0 = np.clip(r0, -10.0, 10.0)
+        r1 = np.clip(r1, -10.0, 10.0)
+    return r0, r1
+
+
+def _simple_flow_labels(r0: np.ndarray, r1: np.ndarray) -> np.ndarray:
+    """Continuous Newton on Equation 3 sends each component to the
+    nearest of +-1 by sign; label as 2-bit index (bit0: r0<0, bit1: r1<0).
+
+    The flow ``dr/dtau = -(r^2 - 1) / (2 r)`` cannot cross zero from
+    either side, so the settled sign equals the initial sign; pixels
+    exactly on an axis are perturbed to positive, matching the chip's
+    behaviour where noise breaks the tie.
+    """
+    s0 = np.where(r0 < 0.0, 1, 0)
+    s1 = np.where(r1 < 0.0, 1, 0)
+    return (s0 + 2 * s1).astype(int)
+
+
+def coupled_system_basins(
+    system: Optional[CoupledQuadraticSystem] = None,
+    resolution: int = 128,
+    extent: float = 2.0,
+    method: str = "newton_flow",
+    horizon: float = 30.0,
+    dt: float = 0.02,
+    schedule: Optional[HomotopySchedule] = None,
+) -> BasinMap:
+    """Basins for the coupled quadratic system of Equation 2 (Figure 3).
+
+    ``method`` selects the panel of Figure 3:
+
+    * ``"newton_flow"`` — continuous Newton directly on the hard
+      system; some initial conditions settle away from any true root
+      (the paper's pink region).
+    * ``"homotopy_start"`` — continuous Newton on the *simple* system
+      of Equation 3; every pixel maps to one of the four known roots
+      (+-1, +-1).
+    * ``"homotopy"`` — the full homotopy process: each pixel first
+      settles on a simple root, then rides the continuation path to a
+      root of the hard system; every initial condition ends on a
+      correct solution.
+    """
+    system = system or CoupledQuadraticSystem(rhs0=1.0, rhs1=1.0)
+    xs, ys = _pixel_grid(resolution, extent)
+    r0 = xs.ravel().astype(float)
+    r1 = ys.ravel().astype(float)
+
+    if method == "newton_flow":
+        f0, f1 = _coupled_flow(r0, r1, system, horizon, dt)
+        roots = system.real_roots()
+        labels = classify_roots(np.column_stack([f0, f1]), roots, tolerance=1e-2)
+        return BasinMap(labels=labels.reshape(resolution, resolution), roots=roots, extent=extent)
+
+    simple = SimpleSquareSystem(dimension=2)
+    simple_roots_by_label = np.array(
+        [[+1.0, +1.0], [-1.0, +1.0], [+1.0, -1.0], [-1.0, -1.0]]
+    )
+    start_labels = _simple_flow_labels(r0, r1)
+
+    if method == "homotopy_start":
+        return BasinMap(
+            labels=start_labels.reshape(resolution, resolution),
+            roots=simple_roots_by_label,
+            extent=extent,
+        )
+
+    if method != "homotopy":
+        raise ValueError(f"unknown method {method!r}")
+
+    # Track each of the four simple roots once; pixels inherit the
+    # tracked endpoint of their start root.
+    hard_roots = system.real_roots()
+    endpoint_label = np.full(4, -1, dtype=int)
+    for idx, start in enumerate(simple_roots_by_label):
+        result = homotopy_solve(simple, system, start, schedule)
+        if result.converged:
+            endpoint_label[idx] = int(classify_roots(result.u[None, :], hard_roots)[0])
+    labels = endpoint_label[start_labels]
+    return BasinMap(labels=labels.reshape(resolution, resolution), roots=hard_roots, extent=extent)
+
+
+def contiguity_score(labels: np.ndarray) -> float:
+    """Fraction of 4-neighbour pixel pairs sharing a label, in [0, 1].
+
+    A perfectly contiguous map (few large basins) scores near 1; a
+    fractal map scores visibly lower. This quantifies the paper's
+    Figure 2 observation that continuous Newton basins "are more
+    contiguous compared to those in classical or damped Newton".
+    """
+    labels = np.asarray(labels)
+    if labels.ndim != 2:
+        raise ValueError("labels must be a 2-D array")
+    horizontal = labels[:, 1:] == labels[:, :-1]
+    vertical = labels[1:, :] == labels[:-1, :]
+    total = horizontal.size + vertical.size
+    return float((horizontal.sum() + vertical.sum()) / total)

@@ -1,0 +1,327 @@
+"""Homotopy continuation (Section 3.2 of the paper).
+
+To solve a hard system ``H(rho) = 0`` without knowing good initial
+conditions, connect it to a simple system ``S(rho) = 0`` with obvious
+roots through the convex homotopy
+
+    G(rho, lambda) = (1 - lambda) S(rho) + lambda H(rho) = 0,
+
+and track each simple root from ``lambda = 0`` to ``lambda = 1``. The
+paper emphasizes that this tracking is "again an ODE in disguise" (the
+Davidenko equation), which is why an analog accelerator executes it
+naturally; digitally, we sweep lambda in small increments with a Newton
+corrector at each value — the classical predictor-corrector scheme —
+and also expose the pure-ODE path for the analog engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nonlinear.newton import NewtonOptions, damped_newton_with_restarts, newton_solve
+from repro.nonlinear.systems import NonlinearSystem
+
+__all__ = [
+    "BlendedSystem",
+    "HomotopySchedule",
+    "HomotopyResult",
+    "homotopy_solve",
+    "homotopy_all_roots",
+    "DavidenkoResult",
+    "davidenko_solve",
+]
+
+
+class BlendedSystem(NonlinearSystem):
+    """The joint system ``(1 - lambda) S + lambda H`` at fixed lambda."""
+
+    def __init__(self, simple: NonlinearSystem, hard: NonlinearSystem, lam: float):
+        if simple.dimension != hard.dimension:
+            raise ValueError(
+                f"dimension mismatch: simple {simple.dimension} vs hard {hard.dimension}"
+            )
+        if not 0.0 <= lam <= 1.0:
+            raise ValueError(f"lambda must be in [0, 1], got {lam}")
+        self.simple = simple
+        self.hard = hard
+        self.lam = float(lam)
+        self.dimension = simple.dimension
+
+    def residual(self, u: np.ndarray) -> np.ndarray:
+        return (1.0 - self.lam) * self.simple.residual(u) + self.lam * self.hard.residual(u)
+
+    def jacobian(self, u: np.ndarray) -> np.ndarray:
+        js = self.simple.jacobian(u)
+        jh = self.hard.jacobian(u)
+        js = js if isinstance(js, np.ndarray) else js.to_dense()
+        jh = jh if isinstance(jh, np.ndarray) else jh.to_dense()
+        return (1.0 - self.lam) * js + self.lam * jh
+
+
+@dataclass
+class HomotopySchedule:
+    """Controls the lambda sweep.
+
+    Attributes
+    ----------
+    steps:
+        Number of lambda increments from 0 to 1.
+    corrector:
+        Newton options used at each lambda value. Loose tolerances are
+        fine mid-path; the final lambda = 1 solve is refined with
+        ``final_corrector``.
+    final_corrector:
+        Newton options for the terminal polish at lambda = 1.
+    """
+
+    steps: int = 50
+    corrector: NewtonOptions = field(
+        default_factory=lambda: NewtonOptions(tolerance=1e-8, max_iterations=30)
+    )
+    final_corrector: NewtonOptions = field(
+        default_factory=lambda: NewtonOptions(tolerance=1e-12, max_iterations=60)
+    )
+
+    def __post_init__(self) -> None:
+        if self.steps <= 0:
+            raise ValueError("steps must be positive")
+
+
+@dataclass
+class HomotopyResult:
+    """One tracked homotopy path."""
+
+    u: np.ndarray
+    converged: bool
+    start_root: np.ndarray
+    path: List[np.ndarray] = field(default_factory=list)
+    lambdas: List[float] = field(default_factory=list)
+    corrector_iterations: int = 0
+    failure_lambda: Optional[float] = None
+    jumps: int = 0
+    """Number of fold points where the tracked root annihilated and the
+    path jumped to a surviving root's basin (the behaviour of the
+    physical continuous dynamics at a turning point)."""
+
+
+def _fold_recovery(blended: BlendedSystem, u: np.ndarray, options: NewtonOptions):
+    """Find a surviving root of the blended system after a fold.
+
+    When the tracked real root annihilates (a turning point of the real
+    path), the physical accelerator's state is no longer at equilibrium
+    and its continuous dynamics carry it to whichever attractor of the
+    blended system it reaches — empirically, Figure 3 shows every
+    initial condition ends on a correct solution. We emulate that
+    global behaviour by restarting damped Newton from a deterministic
+    coarse lattice of starting points, visited nearest-to-``u`` first,
+    and accepting the first root found. The caller counts these events
+    in ``HomotopyResult.jumps``.
+    """
+    recovery_options = NewtonOptions(
+        tolerance=options.tolerance,
+        max_iterations=max(options.max_iterations, 200),
+        divergence_threshold=options.divergence_threshold,
+    )
+    if blended.dimension <= 4:
+        axis = np.linspace(-3.0, 3.0, 7)
+        lattice = np.array(
+            np.meshgrid(*([axis] * blended.dimension), indexing="ij")
+        ).reshape(blended.dimension, -1).T
+    else:
+        # High-dimensional systems: a full lattice is intractable; use
+        # deterministic random perturbations of growing radius instead.
+        rng = np.random.default_rng(12345)
+        lattice = u + np.concatenate(
+            [radius * rng.standard_normal((8, u.shape[0])) for radius in (0.25, 0.5, 1.0, 2.0)]
+        )
+    order = np.argsort(np.linalg.norm(lattice - u, axis=1))
+    last = None
+    for idx in order:
+        result = damped_newton_with_restarts(
+            blended, lattice[idx], recovery_options, min_damping=1.0 / 64.0
+        )
+        last = result
+        if result.converged:
+            return result
+    return last
+
+
+def homotopy_solve(
+    simple: NonlinearSystem,
+    hard: NonlinearSystem,
+    start_root: np.ndarray,
+    schedule: Optional[HomotopySchedule] = None,
+) -> HomotopyResult:
+    """Track one root of the simple system to a root of the hard one.
+
+    The sweep uses secant prediction (extrapolating the last two path
+    points) followed by a Newton corrector on the blended system. A
+    path that loses its corrector (turning point, path divergence) is
+    reported with the lambda at which tracking failed.
+    """
+    schedule = schedule or HomotopySchedule()
+    u = np.array(start_root, dtype=float, copy=True)
+    path = [u.copy()]
+    lambdas = [0.0]
+    total_corrector = 0
+    jumps = 0
+
+    previous = None
+    lam_values = np.linspace(0.0, 1.0, schedule.steps + 1)[1:]
+    for lam in lam_values:
+        # Secant predictor.
+        if previous is not None:
+            prediction = u + (u - previous)
+        else:
+            prediction = u.copy()
+        blended = BlendedSystem(simple, hard, float(lam))
+        options = schedule.final_corrector if lam == lam_values[-1] else schedule.corrector
+        result = newton_solve(blended, prediction, options)
+        if not result.converged:
+            # Retry without the predictor before resorting to a jump.
+            result = newton_solve(blended, u, options)
+        if not result.converged:
+            # Fold point: the tracked real root annihilated. The
+            # continuous dynamics of the physical accelerator do not
+            # stop here — noise kicks the state off the fold and the
+            # Newton flow slides into the basin of a surviving root of
+            # the blended system. We emulate that with damped Newton
+            # restarts from deterministic perturbations of growing
+            # radius around the fold point.
+            result = _fold_recovery(blended, u, options)
+            if result.converged:
+                jumps += 1
+        total_corrector += result.iterations
+        if not result.converged:
+            return HomotopyResult(
+                u=u,
+                converged=False,
+                start_root=np.asarray(start_root, dtype=float),
+                path=path,
+                lambdas=lambdas,
+                corrector_iterations=total_corrector,
+                failure_lambda=float(lam),
+                jumps=jumps,
+            )
+        previous = u
+        u = result.u
+        path.append(u.copy())
+        lambdas.append(float(lam))
+    return HomotopyResult(
+        u=u,
+        converged=True,
+        start_root=np.asarray(start_root, dtype=float),
+        path=path,
+        lambdas=lambdas,
+        corrector_iterations=total_corrector,
+        jumps=jumps,
+    )
+
+
+@dataclass
+class DavidenkoResult:
+    """One homotopy path tracked as a continuous ODE."""
+
+    u: np.ndarray
+    converged: bool
+    start_root: np.ndarray
+    residual_norm: float
+    rhs_evaluations: int
+
+
+def davidenko_solve(
+    simple: NonlinearSystem,
+    hard: NonlinearSystem,
+    start_root: np.ndarray,
+    rtol: float = 1e-8,
+    atol: float = 1e-10,
+    corrector_gain: float = 20.0,
+    residual_tolerance: float = 1e-6,
+    polish: bool = True,
+    max_steps: int = 20_000,
+) -> DavidenkoResult:
+    """Track a homotopy path by integrating the Davidenko ODE.
+
+    The paper stresses that "homotopy continuation is again an ODE in
+    disguise" (Section 3.2) — the form the analog accelerator executes
+    directly. Differentiating ``G(rho(lambda), lambda) = 0`` gives
+
+        d rho / d lambda = -J_G^{-1} (H(rho) - S(rho))
+
+    We integrate it from ``lambda = 0`` to ``1`` with a stabilizing
+    Newton-flow corrector term ``-gain * J_G^{-1} G`` added (Uri
+    Ascher's stabilized continuation; physically this is the continuous
+    Newton feedback loop running concurrently with the lambda ramp,
+    exactly the circuit of Figure 1 with a swept DAC input). An
+    optional terminal digital polish brings the endpoint to full
+    precision — the hybrid pattern again.
+    """
+    from repro.linalg.dense import SingularMatrixError, solve_dense
+    from repro.ode.dormand_prince import integrate_rk45
+
+    u0 = np.asarray(start_root, dtype=float)
+    if u0.shape != (simple.dimension,):
+        raise ValueError(f"start_root must have shape ({simple.dimension},)")
+    if corrector_gain < 0.0:
+        raise ValueError("corrector_gain must be nonnegative")
+    evaluations = 0
+
+    def rhs(lam: float, u: np.ndarray) -> np.ndarray:
+        nonlocal evaluations
+        evaluations += 1
+        lam = min(max(lam, 0.0), 1.0)
+        blended = BlendedSystem(simple, hard, lam)
+        jac = blended.jacobian(u)
+        drive = hard.residual(u) - simple.residual(u)
+        correction = blended.residual(u)
+        try:
+            step = solve_dense(jac, drive + corrector_gain * correction)
+        except SingularMatrixError:
+            # Fold: regularized least-squares direction, as the
+            # saturating physical circuit would produce.
+            gram = jac.T @ jac + 1e-8 * np.eye(jac.shape[1])
+            step = solve_dense(gram, jac.T @ (drive + corrector_gain * correction))
+        return -step
+
+    solution = integrate_rk45(rhs, 0.0, u0, 1.0, rtol=rtol, atol=atol, max_steps=max_steps)
+    u = solution.final_state
+    if polish:
+        result = newton_solve(hard, u, NewtonOptions(tolerance=1e-12, max_iterations=50))
+        if result.converged:
+            u = result.u
+    norm = hard.residual_norm(u)
+    return DavidenkoResult(
+        u=u,
+        converged=norm <= residual_tolerance,
+        start_root=u0,
+        residual_norm=norm,
+        rhs_evaluations=evaluations,
+    )
+
+
+def homotopy_all_roots(
+    simple: NonlinearSystem,
+    hard: NonlinearSystem,
+    start_roots: np.ndarray,
+    schedule: Optional[HomotopySchedule] = None,
+    dedup_tolerance: float = 1e-6,
+) -> np.ndarray:
+    """Track every simple root and return the distinct hard roots found.
+
+    This is the paper's root-exploration workflow: "By exploring the
+    roots of the simple system we explore the roots of the difficult
+    problem." Paths that fail to track are skipped; duplicates (two
+    paths landing on the same hard root, as in Figure 3 where four
+    starts map onto two roots) are merged.
+    """
+    found: List[np.ndarray] = []
+    for start in np.atleast_2d(np.asarray(start_roots, dtype=float)):
+        result = homotopy_solve(simple, hard, start, schedule)
+        if not result.converged:
+            continue
+        if all(np.linalg.norm(result.u - existing) > dedup_tolerance for existing in found):
+            found.append(result.u)
+    return np.array(found) if found else np.zeros((0, simple.dimension))

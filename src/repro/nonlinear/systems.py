@@ -1,0 +1,265 @@
+"""The ``NonlinearSystem`` protocol and the paper's example systems.
+
+Solving nonlinear systems of equations means finding a vector ``u``
+with ``F(u) = 0``; every solver in this library (digital Newton,
+continuous Newton, homotopy, and the analog accelerator compiler)
+consumes the same small interface: a residual, a Jacobian, and a
+dimension. PDE discretizations produce these systems per time step
+(:mod:`repro.pde`), and the tutorial systems of Sections 2-3 of the
+paper are provided here as concrete classes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.linalg.sparse import CsrMatrix
+
+__all__ = [
+    "NonlinearSystem",
+    "CallableSystem",
+    "CubicRootSystem",
+    "CoupledQuadraticSystem",
+    "SimpleSquareSystem",
+    "finite_difference_jacobian",
+    "check_jacobian",
+]
+
+JacobianLike = Union[np.ndarray, CsrMatrix]
+
+
+class NonlinearSystem:
+    """Abstract nonlinear system ``F(u) = 0``.
+
+    Subclasses implement :meth:`residual` and :meth:`jacobian`, and set
+    :attr:`dimension`. Jacobians may be dense arrays or
+    :class:`~repro.linalg.sparse.CsrMatrix`; solvers handle both.
+    """
+
+    dimension: int
+
+    def residual(self, u: np.ndarray) -> np.ndarray:
+        """Evaluate ``F(u)``; returns a vector of length ``dimension``."""
+        raise NotImplementedError
+
+    def jacobian(self, u: np.ndarray) -> JacobianLike:
+        """Evaluate the Jacobian ``J_F(u)``."""
+        raise NotImplementedError
+
+    def residual_norm(self, u: np.ndarray) -> float:
+        """Convenience: 2-norm of the residual at ``u``."""
+        return float(np.linalg.norm(self.residual(u)))
+
+    def _validate(self, u: np.ndarray) -> np.ndarray:
+        u = np.asarray(u, dtype=float)
+        if u.shape != (self.dimension,):
+            raise ValueError(f"state must have shape ({self.dimension},), got {u.shape}")
+        return u
+
+
+class CallableSystem(NonlinearSystem):
+    """Wrap plain callables as a :class:`NonlinearSystem`.
+
+    If no Jacobian callable is given, a central finite-difference
+    Jacobian is used — adequate for tests and small examples, not for
+    production PDE stencils (those carry analytic Jacobians).
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        residual: Callable[[np.ndarray], np.ndarray],
+        jacobian: Optional[Callable[[np.ndarray], JacobianLike]] = None,
+    ):
+        if dimension <= 0:
+            raise ValueError("dimension must be positive")
+        self.dimension = dimension
+        self._residual = residual
+        self._jacobian = jacobian
+
+    def residual(self, u: np.ndarray) -> np.ndarray:
+        u = self._validate(u)
+        out = np.asarray(self._residual(u), dtype=float)
+        if out.shape != (self.dimension,):
+            raise ValueError(f"residual must return shape ({self.dimension},), got {out.shape}")
+        return out
+
+    def jacobian(self, u: np.ndarray) -> JacobianLike:
+        u = self._validate(u)
+        if self._jacobian is not None:
+            return self._jacobian(u)
+        return finite_difference_jacobian(self.residual, u)
+
+
+class CubicRootSystem(NonlinearSystem):
+    """Equation 1 of the paper, ``f(u) = u^3 - 1 = 0``, over the complex
+    plane expressed as a two-real-variable system.
+
+    With ``u = x + i y``, the real and imaginary parts of ``u^3 - 1``
+    give the residual; the Jacobian is the Cauchy-Riemann structured
+    2x2 matrix. The three roots are the cube roots of unity. This is
+    the system behind the Figure 2 basin map.
+    """
+
+    dimension = 2
+
+    def residual(self, u: np.ndarray) -> np.ndarray:
+        u = self._validate(u)
+        z = complex(u[0], u[1])
+        f = z**3 - 1.0
+        return np.array([f.real, f.imag])
+
+    def jacobian(self, u: np.ndarray) -> np.ndarray:
+        u = self._validate(u)
+        z = complex(u[0], u[1])
+        df = 3.0 * z**2
+        # d(Re f)/dx = Re f', d(Re f)/dy = -Im f' (Cauchy-Riemann).
+        return np.array([[df.real, -df.imag], [df.imag, df.real]])
+
+    @staticmethod
+    def roots() -> np.ndarray:
+        """The three cube roots of unity as (x, y) rows."""
+        angles = 2.0 * np.pi * np.arange(3) / 3.0
+        return np.column_stack([np.cos(angles), np.sin(angles)])
+
+
+class CoupledQuadraticSystem(NonlinearSystem):
+    """Equation 2 of the paper: the 'hard' coupled quadratic system.
+
+    ``rho0^2 + rho0 + rho1 = RHS0``
+    ``rho1^2 + rho1 - rho0 = RHS1``
+
+    The paper motivates it as a one-dimensional semilinear PDE
+    (a reaction term squaring the unknown) discretized on two grid
+    points. Depending on the right-hand-side constants it has 0, 1, 2,
+    or 4 real roots.
+    """
+
+    dimension = 2
+
+    def __init__(self, rhs0: float = 1.0, rhs1: float = 1.0):
+        self.rhs0 = float(rhs0)
+        self.rhs1 = float(rhs1)
+
+    def residual(self, u: np.ndarray) -> np.ndarray:
+        u = self._validate(u)
+        rho0, rho1 = u
+        return np.array(
+            [
+                rho0**2 + rho0 + rho1 - self.rhs0,
+                rho1**2 + rho1 - rho0 - self.rhs1,
+            ]
+        )
+
+    def jacobian(self, u: np.ndarray) -> np.ndarray:
+        u = self._validate(u)
+        rho0, rho1 = u
+        return np.array([[2.0 * rho0 + 1.0, 1.0], [-1.0, 2.0 * rho1 + 1.0]])
+
+    def real_roots(self, tol: float = 1e-10) -> np.ndarray:
+        """All real roots, found by eliminating rho1 and solving the
+        resulting quartic in rho0 with numpy's polynomial roots.
+
+        From the first equation, ``rho1 = RHS0 - rho0^2 - rho0``;
+        substituting into the second gives a quartic in ``rho0``.
+        """
+        a, b = self.rhs0, self.rhs1
+        # rho1 = a - rho0^2 - rho0 =: p(rho0)
+        # p^2 + p - rho0 - b = 0
+        # (a - r^2 - r)^2 + (a - r^2 - r) - r - b = 0
+        # Expand (a - r^2 - r)^2 = r^4 + 2 r^3 + (1 - 2a) r^2 - 2a r + a^2.
+        coeffs = [
+            1.0,  # r^4
+            2.0,  # r^3
+            1.0 - 2.0 * a - 1.0,  # r^2: (1 - 2a) from square, -1 from p
+            -2.0 * a - 1.0 - 1.0,  # r: -2a from square, -1 from p, -1 from -r
+            a**2 + a - b,  # const
+        ]
+        roots = np.roots(coeffs)
+        out: List[np.ndarray] = []
+        for r in roots:
+            if abs(r.imag) < tol:
+                rho0 = float(r.real)
+                rho1 = a - rho0**2 - rho0
+                candidate = np.array([rho0, rho1])
+                if self.residual_norm(candidate) < 1e-6:
+                    out.append(candidate)
+        return np.array(out) if out else np.zeros((0, 2))
+
+
+class SimpleSquareSystem(NonlinearSystem):
+    """Equation 3 of the paper: the 'simple' homotopy start system.
+
+    ``rho_i^2 - 1 = 0`` for each component, with the obvious
+    ``2^dimension`` roots at all sign combinations of one.
+    """
+
+    def __init__(self, dimension: int = 2):
+        if dimension <= 0:
+            raise ValueError("dimension must be positive")
+        self.dimension = dimension
+
+    def residual(self, u: np.ndarray) -> np.ndarray:
+        u = self._validate(u)
+        return u**2 - 1.0
+
+    def jacobian(self, u: np.ndarray) -> np.ndarray:
+        u = self._validate(u)
+        return np.diag(2.0 * u)
+
+    def roots(self) -> np.ndarray:
+        """All ``2^d`` sign-combination roots as rows."""
+        d = self.dimension
+        count = 2**d
+        out = np.ones((count, d))
+        for idx in range(count):
+            for bit in range(d):
+                if (idx >> bit) & 1:
+                    out[idx, bit] = -1.0
+        return out
+
+
+def finite_difference_jacobian(
+    residual: Callable[[np.ndarray], np.ndarray],
+    u: np.ndarray,
+    step: float = 1e-7,
+) -> np.ndarray:
+    """Central finite-difference Jacobian of ``residual`` at ``u``."""
+    u = np.asarray(u, dtype=float)
+    n = u.shape[0]
+    f0 = np.asarray(residual(u), dtype=float)
+    jac = np.zeros((f0.shape[0], n))
+    for j in range(n):
+        up = u.copy()
+        um = u.copy()
+        h = step * max(1.0, abs(u[j]))
+        up[j] += h
+        um[j] -= h
+        jac[:, j] = (np.asarray(residual(up)) - np.asarray(residual(um))) / (2.0 * h)
+    return jac
+
+
+def check_jacobian(
+    system: NonlinearSystem,
+    u: np.ndarray,
+    rtol: float = 1e-5,
+    atol: float = 1e-6,
+) -> float:
+    """Compare the analytic Jacobian with finite differences at ``u``.
+
+    Returns the max absolute deviation; raises AssertionError when the
+    deviation exceeds the tolerances. Used by tests of every stencil.
+    """
+    analytic = system.jacobian(u)
+    if isinstance(analytic, CsrMatrix):
+        analytic = analytic.to_dense()
+    numeric = finite_difference_jacobian(system.residual, np.asarray(u, dtype=float))
+    deviation = float(np.max(np.abs(analytic - numeric)))
+    scale = float(np.max(np.abs(numeric))) if numeric.size else 0.0
+    if deviation > atol + rtol * scale:
+        raise AssertionError(
+            f"Jacobian mismatch: max deviation {deviation:.3e} vs scale {scale:.3e}"
+        )
+    return deviation

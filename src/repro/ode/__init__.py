@@ -1,0 +1,30 @@
+"""Ordinary differential equation integration substrate.
+
+The analog accelerator *is* an ODE solver realized in silicon: the
+continuous Newton method, homotopy continuation, and continuous
+gradient descent are all ODEs whose settling dynamics the paper's
+simulated scaled-up accelerator integrates numerically (Section 6.1,
+built there on Odeint). This package is our from-scratch equivalent:
+
+* fixed-step explicit Euler and classical RK4
+  (:mod:`repro.ode.fixed_step`),
+* adaptive Dormand-Prince RK45 with PI step-size control
+  (:mod:`repro.ode.dormand_prince`),
+* settle (steady-state) detection, which is how an analog run "ends":
+  integration stops when the state's rate of change stays below a
+  threshold for a dwell interval (:mod:`repro.ode.events`).
+"""
+
+from repro.ode.solution import OdeSolution
+from repro.ode.fixed_step import integrate_euler, integrate_rk4
+from repro.ode.dormand_prince import integrate_rk45
+from repro.ode.events import SettleDetector, integrate_until_settled
+
+__all__ = [
+    "OdeSolution",
+    "integrate_euler",
+    "integrate_rk4",
+    "integrate_rk45",
+    "SettleDetector",
+    "integrate_until_settled",
+]

@@ -1,0 +1,150 @@
+"""Adaptive Dormand-Prince RK45 integration with PI step control.
+
+This is the workhorse that the analog simulation engine uses to follow
+the accelerator's continuous-time dynamics with controlled accuracy.
+The embedded 4th/5th-order pair gives a per-step error estimate; a
+proportional-integral controller adjusts the step size, and the FSAL
+(first-same-as-last) property keeps the cost at six fresh right-hand
+side evaluations per accepted step.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.ode.solution import OdeSolution
+
+__all__ = ["integrate_rk45"]
+
+Rhs = Callable[[float, np.ndarray], np.ndarray]
+
+# Dormand-Prince 5(4) Butcher tableau.
+_C = np.array([0.0, 1.0 / 5.0, 3.0 / 10.0, 4.0 / 5.0, 8.0 / 9.0, 1.0, 1.0])
+_A = [
+    np.array([]),
+    np.array([1.0 / 5.0]),
+    np.array([3.0 / 40.0, 9.0 / 40.0]),
+    np.array([44.0 / 45.0, -56.0 / 15.0, 32.0 / 9.0]),
+    np.array([19372.0 / 6561.0, -25360.0 / 2187.0, 64448.0 / 6561.0, -212.0 / 729.0]),
+    np.array([9017.0 / 3168.0, -355.0 / 33.0, 46732.0 / 5247.0, 49.0 / 176.0, -5103.0 / 18656.0]),
+    np.array([35.0 / 384.0, 0.0, 500.0 / 1113.0, 125.0 / 192.0, -2187.0 / 6784.0, 11.0 / 84.0]),
+]
+# 5th-order solution weights (last row of A plus a zero k7 weight: FSAL).
+_B5 = np.concatenate([_A[6], [0.0]])
+# 4th-order (embedded) weights.
+_B4 = np.array(
+    [
+        5179.0 / 57600.0,
+        0.0,
+        7571.0 / 16695.0,
+        393.0 / 640.0,
+        -92097.0 / 339200.0,
+        187.0 / 2100.0,
+        1.0 / 40.0,
+    ]
+)
+
+_SAFETY = 0.9
+_MIN_FACTOR = 0.2
+_MAX_FACTOR = 5.0
+_ORDER_EXPONENT = 1.0 / 5.0
+
+
+def integrate_rk45(
+    rhs: Rhs,
+    t0: float,
+    y0: np.ndarray,
+    t_end: float,
+    rtol: float = 1e-6,
+    atol: float = 1e-9,
+    max_steps: int = 1_000_000,
+    first_step: Optional[float] = None,
+    step_callback: Optional[Callable[[float, np.ndarray, np.ndarray], bool]] = None,
+) -> OdeSolution:
+    """Integrate ``dy/dt = rhs(t, y)`` from ``t0`` to ``t_end``.
+
+    Parameters
+    ----------
+    step_callback:
+        Optional hook called after each *accepted* step with
+        ``(t, y, dy_dt)``. Returning True stops the integration early
+        (used by the settle detector). The returned solution's
+        ``settled`` flag records whether the callback fired.
+    """
+    if t_end <= t0:
+        raise ValueError("t_end must be greater than t0")
+    y = np.array(y0, dtype=float, copy=True)
+    t = float(t0)
+    ts = [t]
+    ys = [y.copy()]
+    evals = 0
+    rejected = 0
+
+    k = np.zeros((7, y.shape[0]))
+    k[0] = rhs(t, y)
+    evals += 1
+
+    span = t_end - t0
+    h = first_step if first_step is not None else span / 100.0
+    h = min(h, span)
+    prev_error_norm = 1.0
+    settled = False
+    settle_time = None
+
+    for _ in range(max_steps):
+        if t >= t_end - 1e-14 * max(1.0, abs(t_end)):
+            break
+        h = min(h, t_end - t)
+        # Trial stages may transiently overflow on stiff problems; the
+        # error check below rejects such steps, so silence the interim
+        # floating-point warnings rather than let them reach callers.
+        with np.errstate(over="ignore", invalid="ignore"):
+            for stage in range(1, 7):
+                y_stage = y + h * (_A[stage] @ k[:stage])
+                k[stage] = rhs(t + _C[stage] * h, y_stage)
+                evals += 1
+            y5 = y + h * (_B5 @ k)
+            y4 = y + h * (_B4 @ k)
+            scale = atol + rtol * np.maximum(np.abs(y), np.abs(y5))
+            error_norm = float(np.sqrt(np.mean(((y5 - y4) / scale) ** 2)))
+        if not np.isfinite(error_norm):
+            # Overflowed step; shrink hard and retry.
+            h *= _MIN_FACTOR
+            rejected += 1
+            k[0] = rhs(t, y)
+            evals += 1
+            continue
+        if error_norm <= 1.0:
+            t_new = t + h
+            dy_dt = k[6]  # FSAL: derivative at the new point.
+            y = y5
+            t = t_new
+            ts.append(t)
+            ys.append(y.copy())
+            k[0] = dy_dt
+            if step_callback is not None and step_callback(t, y, dy_dt):
+                settled = True
+                settle_time = t
+                break
+            # PI controller (Gustafsson). Clamp the error away from zero
+            # so an exactly-stationary state cannot divide by zero.
+            safe_error = max(error_norm, 1e-10)
+            factor = _SAFETY * safe_error ** (-0.7 * _ORDER_EXPONENT) * prev_error_norm ** (
+                0.4 * _ORDER_EXPONENT
+            )
+            prev_error_norm = max(error_norm, 1e-10)
+            h *= float(np.clip(factor, _MIN_FACTOR, _MAX_FACTOR))
+        else:
+            rejected += 1
+            h *= float(np.clip(_SAFETY * error_norm**-_ORDER_EXPONENT, _MIN_FACTOR, 1.0))
+
+    return OdeSolution.from_lists(
+        ts,
+        ys,
+        settled=settled,
+        settle_time=settle_time,
+        rhs_evaluations=evals,
+        rejected_steps=rejected,
+    )

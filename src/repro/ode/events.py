@@ -1,0 +1,91 @@
+"""Settle (steady-state) detection for continuous-time runs.
+
+An analog accelerator run "finishes" when the integrator inputs tend to
+zero and the outputs hold steady (Section 2.2 of the paper: "When the
+continuous Newton method converges, the inputs to the integrators tend
+toward zero, so the output of the integrators are steady, and at that
+point we can measure the output using analog-to-digital converters.").
+
+:class:`SettleDetector` encodes that: the state's rate of change must
+stay below a threshold for a dwell interval before the run is declared
+settled. The settle *time* is the quantity Figure 7 of the paper plots
+for the analog solver.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.ode.dormand_prince import integrate_rk45
+from repro.ode.solution import OdeSolution
+
+__all__ = ["SettleDetector", "integrate_until_settled"]
+
+Rhs = Callable[[float, np.ndarray], np.ndarray]
+
+
+class SettleDetector:
+    """Declares steady state after a dwell below a derivative threshold.
+
+    Parameters
+    ----------
+    derivative_tolerance:
+        Settle fires only while ``max(|dy/dt|)`` stays below this.
+    dwell:
+        Continuous time the derivative must remain below tolerance.
+        A dwell guards against declaring convergence at the slow center
+        of a saddle the trajectory is merely passing through.
+    """
+
+    def __init__(self, derivative_tolerance: float = 1e-4, dwell: float = 0.1):
+        if derivative_tolerance <= 0.0:
+            raise ValueError("derivative_tolerance must be positive")
+        if dwell < 0.0:
+            raise ValueError("dwell must be nonnegative")
+        self.derivative_tolerance = derivative_tolerance
+        self.dwell = dwell
+        self._below_since: Optional[float] = None
+
+    def reset(self) -> None:
+        self._below_since = None
+
+    def __call__(self, t: float, y: np.ndarray, dy_dt: np.ndarray) -> bool:
+        rate = float(np.max(np.abs(dy_dt))) if dy_dt.size else 0.0
+        if rate < self.derivative_tolerance:
+            if self._below_since is None:
+                self._below_since = t
+            return (t - self._below_since) >= self.dwell
+        self._below_since = None
+        return False
+
+
+def integrate_until_settled(
+    rhs: Rhs,
+    y0: np.ndarray,
+    time_limit: float,
+    derivative_tolerance: float = 1e-4,
+    dwell: float = 0.1,
+    rtol: float = 1e-6,
+    atol: float = 1e-9,
+    max_steps: int = 1_000_000,
+) -> OdeSolution:
+    """Integrate from t=0 until settled or until ``time_limit``.
+
+    Returns an :class:`~repro.ode.solution.OdeSolution` whose
+    ``settled`` / ``settle_time`` fields say whether and when the
+    detector fired; a run that hits ``time_limit`` without settling is
+    the analog analogue of a diverged Newton iteration.
+    """
+    detector = SettleDetector(derivative_tolerance=derivative_tolerance, dwell=dwell)
+    return integrate_rk45(
+        rhs,
+        0.0,
+        y0,
+        time_limit,
+        rtol=rtol,
+        atol=atol,
+        max_steps=max_steps,
+        step_callback=detector,
+    )

@@ -1,0 +1,80 @@
+"""Common result container for ODE integrations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["OdeSolution"]
+
+
+@dataclass
+class OdeSolution:
+    """Trajectory and bookkeeping of one ODE integration.
+
+    Attributes
+    ----------
+    ts:
+        Sample times, monotonically increasing, starting at ``t0``.
+    ys:
+        State samples, shape ``(len(ts), state_dim)``.
+    settled:
+        True if the integration ended because a settle detector fired
+        (analog convergence) rather than by reaching the time horizon.
+    settle_time:
+        Time at which the settle detector fired, or None.
+    rhs_evaluations:
+        Number of right-hand-side evaluations — for the analog model
+        this is a fidelity diagnostic, not a cost (the physical circuit
+        evaluates its RHS "for free", continuously).
+    rejected_steps:
+        Adaptive integrators count rejected trial steps here.
+    """
+
+    ts: np.ndarray
+    ys: np.ndarray
+    settled: bool = False
+    settle_time: Optional[float] = None
+    rhs_evaluations: int = 0
+    rejected_steps: int = 0
+
+    @property
+    def final_time(self) -> float:
+        return float(self.ts[-1])
+
+    @property
+    def final_state(self) -> np.ndarray:
+        return self.ys[-1]
+
+    def sample(self, t: float) -> np.ndarray:
+        """Linearly interpolated state at time ``t`` (clamped to range)."""
+        ts = self.ts
+        if t <= ts[0]:
+            return self.ys[0]
+        if t >= ts[-1]:
+            return self.ys[-1]
+        idx = int(np.searchsorted(ts, t))
+        t0, t1 = ts[idx - 1], ts[idx]
+        w = (t - t0) / (t1 - t0) if t1 > t0 else 0.0
+        return (1.0 - w) * self.ys[idx - 1] + w * self.ys[idx]
+
+    @classmethod
+    def from_lists(
+        cls,
+        ts: List[float],
+        ys: List[np.ndarray],
+        settled: bool = False,
+        settle_time: Optional[float] = None,
+        rhs_evaluations: int = 0,
+        rejected_steps: int = 0,
+    ) -> "OdeSolution":
+        return cls(
+            ts=np.asarray(ts, dtype=float),
+            ys=np.asarray(ys, dtype=float),
+            settled=settled,
+            settle_time=settle_time,
+            rhs_evaluations=rhs_evaluations,
+            rejected_steps=rejected_steps,
+        )

@@ -1,0 +1,31 @@
+"""Continuous-time linear programming (Section 9's second pointer).
+
+The paper's conclusion lists linear programming among the "continuous
+algorithms [that] point the way to additional analog kernels". This
+package carries that extension end to end, in the same hybrid shape as
+the headline method:
+
+* :mod:`repro.optimize.simplex` — a from-scratch two-phase dense
+  simplex solver: the exact digital baseline;
+* :mod:`repro.optimize.barrier_flow` — the analog-style kernel: the
+  log-barrier *central-path gradient flow*, a smooth ODE whose settled
+  state is a near-optimal interior point;
+* :mod:`repro.optimize.hybrid_lp` — the hybrid pipeline: the flow's
+  interior point identifies the optimal active set, and a single
+  linear solve lands exactly on the optimal vertex — digital simplex
+  only runs as the fallback when the identification check fails.
+"""
+
+from repro.optimize.simplex import LinearProgram, SimplexResult, simplex_solve
+from repro.optimize.barrier_flow import BarrierFlowResult, barrier_flow_solve
+from repro.optimize.hybrid_lp import HybridLpResult, hybrid_lp_solve
+
+__all__ = [
+    "LinearProgram",
+    "SimplexResult",
+    "simplex_solve",
+    "BarrierFlowResult",
+    "barrier_flow_solve",
+    "HybridLpResult",
+    "hybrid_lp_solve",
+]

@@ -1,0 +1,81 @@
+"""Explicit hyperbolic stepping — the out-of-scope boundary, made runnable.
+
+Section 7 of the paper draws a scope line: "time-dependent PDEs also
+include hyperbolic PDEs. Those are often solved using explicit
+time-stepping, where there is no need to solve systems of algebraic
+equations and are therefore outside the scope of this paper."
+
+This module implements that other side of the line — a 1-D linear
+advection solver with first-order upwinding and explicit two-stage
+Runge-Kutta (Heun) stepping — so the library demonstrates *why* such
+solvers gain nothing from the accelerator: each step is a stencil
+sweep, no ``F(u) = 0`` ever forms, and the stability constraint is the
+CFL condition rather than Newton convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["AdvectionSolver1D"]
+
+
+@dataclass
+class AdvectionSolver1D:
+    """Periodic 1-D linear advection ``u_t + a u_x = 0``.
+
+    First-order upwind space discretization, Heun (RK2) time stepping,
+    periodic boundaries. ``cfl = |a| dt / dx`` must not exceed 1.
+    """
+
+    num_nodes: int
+    speed: float
+    dx: float = 1.0
+    dt: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 3:
+            raise ValueError("need at least 3 nodes")
+        if self.dx <= 0.0:
+            raise ValueError("dx must be positive")
+        if self.dt is None:
+            # Default to CFL 0.5 — comfortably stable.
+            self.dt = 0.5 * self.dx / max(abs(self.speed), 1e-12)
+        if self.dt <= 0.0:
+            raise ValueError("dt must be positive")
+        if self.cfl > 1.0:
+            raise ValueError(f"CFL {self.cfl:.3f} > 1: explicit scheme unstable")
+
+    @property
+    def cfl(self) -> float:
+        return abs(self.speed) * self.dt / self.dx
+
+    def _flux_divergence(self, u: np.ndarray) -> np.ndarray:
+        """Upwind ``-a u_x`` with periodic wraparound."""
+        if self.speed >= 0.0:
+            return -self.speed * (u - np.roll(u, 1)) / self.dx
+        return -self.speed * (np.roll(u, -1) - u) / self.dx
+
+    def step(self, u: np.ndarray) -> np.ndarray:
+        """One explicit Heun step — pure stencil arithmetic, no solve."""
+        u = np.asarray(u, dtype=float)
+        if u.shape != (self.num_nodes,):
+            raise ValueError(f"state must have shape ({self.num_nodes},)")
+        k1 = self._flux_divergence(u)
+        k2 = self._flux_divergence(u + self.dt * k1)
+        return u + 0.5 * self.dt * (k1 + k2)
+
+    def evolve(self, u: np.ndarray, num_steps: int) -> np.ndarray:
+        if num_steps <= 0:
+            raise ValueError("num_steps must be positive")
+        for _ in range(num_steps):
+            u = self.step(u)
+        return u
+
+    def algebraic_systems_solved(self) -> int:
+        """Always zero: the structural fact that places explicit
+        hyperbolic solvers outside the accelerator's reach."""
+        return 0

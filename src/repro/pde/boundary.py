@@ -1,0 +1,64 @@
+"""Dirichlet boundary handling via ghost rings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pde.grid import Grid2D
+
+__all__ = ["DirichletBoundary"]
+
+
+@dataclass
+class DirichletBoundary:
+    """Fixed boundary values on the four sides of a :class:`Grid2D`.
+
+    ``west``/``east`` have length ``ny`` (one value per row);
+    ``south``/``north`` have length ``nx`` (one value per column).
+    Corner ghost nodes are never referenced by the five-point stencils
+    used in this library, so they need no values.
+    """
+
+    west: np.ndarray
+    east: np.ndarray
+    south: np.ndarray
+    north: np.ndarray
+
+    @classmethod
+    def constant(cls, grid: Grid2D, value: float = 0.0) -> "DirichletBoundary":
+        return cls(
+            west=np.full(grid.ny, float(value)),
+            east=np.full(grid.ny, float(value)),
+            south=np.full(grid.nx, float(value)),
+            north=np.full(grid.nx, float(value)),
+        )
+
+    @classmethod
+    def random(
+        cls, grid: Grid2D, rng: np.random.Generator, low: float = -1.0, high: float = 1.0
+    ) -> "DirichletBoundary":
+        """Uniformly random boundary values, as in the paper's randomly
+        generated problem instances (Sections 5.4, 6.1)."""
+        return cls(
+            west=rng.uniform(low, high, grid.ny),
+            east=rng.uniform(low, high, grid.ny),
+            south=rng.uniform(low, high, grid.nx),
+            north=rng.uniform(low, high, grid.nx),
+        )
+
+    def validate(self, grid: Grid2D) -> None:
+        if self.west.shape != (grid.ny,) or self.east.shape != (grid.ny,):
+            raise ValueError("west/east boundary arrays must have length ny")
+        if self.south.shape != (grid.nx,) or self.north.shape != (grid.nx,):
+            raise ValueError("south/north boundary arrays must have length nx")
+
+    def scaled(self, factor: float) -> "DirichletBoundary":
+        """Boundary scaled by ``factor`` (dynamic-range mapping)."""
+        return DirichletBoundary(
+            west=self.west * factor,
+            east=self.east * factor,
+            south=self.south * factor,
+            north=self.north * factor,
+        )

@@ -1,0 +1,165 @@
+"""The Bratu problem: a transcendental nonlinearity (Section 7).
+
+Section 7 of the paper: "Occasionally, nonlinear PDEs have
+transcendental nonlinear functions such as e^u and sin(u). These
+transcendental equations would require analog nonlinear function
+generators. Transcendental nonlinear functions cause problems for
+analog accelerators because there is no clear way to scale problem
+variables to fit in the analog accelerator dynamic range."
+
+The canonical example is the Bratu (solid-fuel ignition) problem
+
+    -Lap(u) = lam * exp(u),   u = 0 on the boundary.
+
+It is also a classic *fold* benchmark: for ``lam`` below a critical
+value there are two solutions (a stable lower branch and an unstable
+upper branch), which merge and vanish at the fold — exactly the
+solution-multiplicity behaviour Section 3 motivates homotopy methods
+with. In 1-D on the unit interval the fold sits at ``lam* ~ 3.5138``;
+in 2-D on the unit square at ``lam* ~ 6.808``.
+
+The exponential is pluggable (``exp_function``) so the analog
+function-generator model of
+:mod:`repro.analog.function_generator` can stand in for the exact
+``exp`` — reproducing the lookup-table approach of the related work
+[18, 19] ("digital provides continuous-time lookup for nonlinear
+functions", Table 5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.linalg.sparse import CsrMatrix, csr_from_triplets
+from repro.nonlinear.systems import NonlinearSystem
+from repro.pde.grid import Grid2D
+
+__all__ = ["BratuProblem1D", "BratuProblem2D", "BRATU_1D_CRITICAL", "BRATU_2D_CRITICAL"]
+
+# Critical (fold) parameters of the continuous problems.
+BRATU_1D_CRITICAL = 3.513830719
+BRATU_2D_CRITICAL = 6.808124423
+
+ExpPair = Tuple[Callable[[np.ndarray], np.ndarray], Callable[[np.ndarray], np.ndarray]]
+
+
+def _default_exp_pair() -> ExpPair:
+    return (np.exp, np.exp)
+
+
+class BratuProblem1D(NonlinearSystem):
+    """1-D Bratu problem on the unit interval, ``n`` interior nodes.
+
+    ``exp_pair`` supplies ``(exp, exp_derivative)`` — exact by default;
+    pass a lookup-table pair to model analog function generation.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        lam: float,
+        exp_pair: Optional[ExpPair] = None,
+    ):
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if lam < 0.0:
+            raise ValueError("lambda must be nonnegative")
+        self.dimension = num_nodes
+        self.lam = float(lam)
+        self.spacing = 1.0 / (num_nodes + 1)
+        self._exp, self._dexp = exp_pair or _default_exp_pair()
+
+    def residual(self, u: np.ndarray) -> np.ndarray:
+        u = self._validate(u)
+        padded = np.concatenate([[0.0], u, [0.0]])
+        lap = (padded[:-2] - 2.0 * padded[1:-1] + padded[2:]) / self.spacing**2
+        return -lap - self.lam * self._exp(u)
+
+    def jacobian(self, u: np.ndarray) -> CsrMatrix:
+        u = self._validate(u)
+        n = self.dimension
+        coeff = 1.0 / self.spacing**2
+        idx = np.arange(n)
+        rows = [idx]
+        cols = [idx]
+        vals = [2.0 * coeff - self.lam * self._dexp(u)]
+        if n > 1:
+            rows += [idx[:-1], idx[1:]]
+            cols += [idx[:-1] + 1, idx[1:] - 1]
+            vals += [np.full(n - 1, -coeff), np.full(n - 1, -coeff)]
+        return csr_from_triplets(
+            n, n, np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+        )
+
+    def lower_branch_guess(self) -> np.ndarray:
+        """Zero: always in the lower (stable) solution's basin."""
+        return np.zeros(self.dimension)
+
+    def upper_branch_guess(self, amplitude: float = 5.0) -> np.ndarray:
+        """A tall bump, in the upper (unstable) solution's basin for
+        sub-critical lambda."""
+        xs = (np.arange(self.dimension) + 1) * self.spacing
+        return amplitude * np.sin(np.pi * xs)
+
+
+class BratuProblem2D(NonlinearSystem):
+    """2-D Bratu problem on the unit square with a five-point Laplacian."""
+
+    def __init__(
+        self,
+        grid_n: int,
+        lam: float,
+        exp_pair: Optional[ExpPair] = None,
+    ):
+        if grid_n <= 0:
+            raise ValueError("grid_n must be positive")
+        if lam < 0.0:
+            raise ValueError("lambda must be nonnegative")
+        self.grid = Grid2D.square(grid_n, spacing=1.0 / (grid_n + 1))
+        self.dimension = self.grid.num_nodes
+        self.lam = float(lam)
+        self._exp, self._dexp = exp_pair or _default_exp_pair()
+
+    def residual(self, u: np.ndarray) -> np.ndarray:
+        u = self._validate(u)
+        field = self.grid.field(u)
+        padded = np.pad(field, 1)
+        h2 = self.grid.dx**2
+        lap = (
+            padded[:-2, 1:-1]
+            + padded[2:, 1:-1]
+            + padded[1:-1, :-2]
+            + padded[1:-1, 2:]
+            - 4.0 * padded[1:-1, 1:-1]
+        ) / h2
+        return self.grid.flatten(-lap - self.lam * self._exp(field))
+
+    def jacobian(self, u: np.ndarray) -> CsrMatrix:
+        u = self._validate(u)
+        grid = self.grid
+        n = grid.num_nodes
+        nx, ny = grid.nx, grid.ny
+        coeff = 1.0 / grid.dx**2
+        jj, ii = np.meshgrid(np.arange(ny), np.arange(nx), indexing="ij")
+        k = (jj * nx + ii).ravel()
+        east = (ii < nx - 1).ravel()
+        west = (ii > 0).ravel()
+        north = (jj < ny - 1).ravel()
+        south = (jj > 0).ravel()
+        rows = [k, k[east], k[west], k[north], k[south]]
+        cols = [k, k[east] + 1, k[west] - 1, k[north] + nx, k[south] - nx]
+        vals = [
+            4.0 * coeff - self.lam * self._dexp(u),
+            np.full(int(east.sum()), -coeff),
+            np.full(int(west.sum()), -coeff),
+            np.full(int(north.sum()), -coeff),
+            np.full(int(south.sum()), -coeff),
+        ]
+        return csr_from_triplets(
+            n, n, np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+        )
+
+    def lower_branch_guess(self) -> np.ndarray:
+        return np.zeros(self.dimension)

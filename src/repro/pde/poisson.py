@@ -1,0 +1,100 @@
+"""The linear Poisson equation as an elliptic reference problem.
+
+``-Lap(u) = f`` with Dirichlet boundaries, five-point discretized. This
+is the problem class the authors' *prior* work accelerated ([22, 23],
+linear elliptic PDEs); here it serves as the linear substrate of the
+Table 1 workload mini-apps (pressure solves, Helmholtz shifts) and as a
+sanity reference for the sparse solvers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.linalg.iterative import IterativeResult, conjugate_gradient
+from repro.linalg.preconditioners import Preconditioner
+from repro.linalg.sparse import CooBuilder, CsrMatrix
+from repro.pde.boundary import DirichletBoundary
+from repro.pde.grid import Grid2D
+
+__all__ = ["PoissonProblem"]
+
+
+class PoissonProblem:
+    """Five-point Poisson problem ``-Lap(u) = f`` on a :class:`Grid2D`.
+
+    With a ``helmholtz_shift`` ``s`` the operator becomes
+    ``-Lap(u) + s u``, the Helmholtz form the deal.II workload of
+    Table 1 solves with SOR and CG.
+    """
+
+    def __init__(
+        self,
+        grid: Grid2D,
+        forcing: np.ndarray,
+        boundary: Optional[DirichletBoundary] = None,
+        helmholtz_shift: float = 0.0,
+    ):
+        self.grid = grid
+        self.forcing = np.asarray(forcing, dtype=float)
+        if self.forcing.shape != grid.shape:
+            raise ValueError(f"forcing must have shape {grid.shape}")
+        self.boundary = boundary or DirichletBoundary.constant(grid, 0.0)
+        self.boundary.validate(grid)
+        if helmholtz_shift < 0.0:
+            raise ValueError("helmholtz_shift must be nonnegative (keeps the operator SPD)")
+        self.helmholtz_shift = float(helmholtz_shift)
+
+    def matrix(self) -> CsrMatrix:
+        """Assemble the SPD system matrix."""
+        grid = self.grid
+        nx, ny = grid.nx, grid.ny
+        inv_dx2 = 1.0 / grid.dx**2
+        inv_dy2 = 1.0 / grid.dy**2
+        builder = CooBuilder(grid.num_nodes, grid.num_nodes)
+        jj, ii = np.meshgrid(np.arange(ny), np.arange(nx), indexing="ij")
+        k = (jj * nx + ii).ravel()
+        center = 2.0 * (inv_dx2 + inv_dy2) + self.helmholtz_shift
+        builder.add_many(k, k, np.full(k.shape, center))
+        east = (ii < nx - 1).ravel()
+        west = (ii > 0).ravel()
+        north = (jj < ny - 1).ravel()
+        south = (jj > 0).ravel()
+        builder.add_many(k[east], k[east] + 1, np.full(east.sum(), -inv_dx2))
+        builder.add_many(k[west], k[west] - 1, np.full(west.sum(), -inv_dx2))
+        builder.add_many(k[north], k[north] + nx, np.full(north.sum(), -inv_dy2))
+        builder.add_many(k[south], k[south] - nx, np.full(south.sum(), -inv_dy2))
+        return builder.to_csr()
+
+    def rhs(self) -> np.ndarray:
+        """Forcing plus the boundary contributions moved to the RHS."""
+        grid = self.grid
+        rhs = self.forcing.copy()
+        inv_dx2 = 1.0 / grid.dx**2
+        inv_dy2 = 1.0 / grid.dy**2
+        rhs[:, 0] += self.boundary.west * inv_dx2
+        rhs[:, -1] += self.boundary.east * inv_dx2
+        rhs[0, :] += self.boundary.south * inv_dy2
+        rhs[-1, :] += self.boundary.north * inv_dy2
+        return grid.flatten(rhs)
+
+    def solve(
+        self,
+        preconditioner: Optional[Preconditioner] = None,
+        tol: float = 1e-10,
+        max_iterations: int = 10_000,
+    ) -> IterativeResult:
+        """Solve with (preconditioned) conjugate gradients."""
+        return conjugate_gradient(
+            self.matrix(),
+            self.rhs(),
+            preconditioner=preconditioner,
+            tol=tol,
+            max_iterations=max_iterations,
+        )
+
+    def solution_field(self, result: IterativeResult) -> np.ndarray:
+        """Reshape a solve result into a ``(ny, nx)`` field."""
+        return self.grid.field(result.x)

@@ -1,0 +1,60 @@
+"""Second-order central finite-difference stencils (Section 4.2).
+
+All operators work on a *padded* field: the interior ``(ny, nx)`` array
+surrounded by its Dirichlet ghost ring, produced by
+:func:`pad_with_boundary`. Operating on padded arrays keeps the
+stencils branch-free and fully vectorized, and makes the boundary
+contribution to residuals and Jacobians explicit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pde.boundary import DirichletBoundary
+from repro.pde.grid import Grid2D
+
+__all__ = ["pad_with_boundary", "central_x", "central_y", "laplacian_5pt"]
+
+
+def pad_with_boundary(
+    interior: np.ndarray, boundary: DirichletBoundary, grid: Grid2D
+) -> np.ndarray:
+    """Surround a ``(ny, nx)`` interior field with its ghost ring.
+
+    Returns a ``(ny + 2, nx + 2)`` array. Corner ghosts are zero; no
+    five-point stencil reads them.
+    """
+    interior = np.asarray(interior, dtype=float)
+    if interior.shape != grid.shape:
+        raise ValueError(f"expected interior shape {grid.shape}, got {interior.shape}")
+    boundary.validate(grid)
+    padded = np.zeros((grid.ny + 2, grid.nx + 2))
+    padded[1:-1, 1:-1] = interior
+    padded[1:-1, 0] = boundary.west
+    padded[1:-1, -1] = boundary.east
+    padded[0, 1:-1] = boundary.south
+    padded[-1, 1:-1] = boundary.north
+    return padded
+
+
+def central_x(padded: np.ndarray, dx: float = 1.0) -> np.ndarray:
+    """Second-order central difference d/dx on the interior nodes.
+
+    ``(f[i+1, j] - f[i-1, j]) / (2 dx)`` with x as the second (column)
+    axis; returns a ``(ny, nx)`` array.
+    """
+    return (padded[1:-1, 2:] - padded[1:-1, :-2]) / (2.0 * dx)
+
+
+def central_y(padded: np.ndarray, dy: float = 1.0) -> np.ndarray:
+    """Second-order central difference d/dy on the interior nodes."""
+    return (padded[2:, 1:-1] - padded[:-2, 1:-1]) / (2.0 * dy)
+
+
+def laplacian_5pt(padded: np.ndarray, dx: float = 1.0, dy: float = 1.0) -> np.ndarray:
+    """Five-point Laplacian on the interior nodes."""
+    center = padded[1:-1, 1:-1]
+    d2x = (padded[1:-1, 2:] - 2.0 * center + padded[1:-1, :-2]) / (dx * dx)
+    d2y = (padded[2:, 1:-1] - 2.0 * center + padded[:-2, 1:-1]) / (dy * dy)
+    return d2x + d2y

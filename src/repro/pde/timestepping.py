@@ -1,0 +1,157 @@
+"""Implicit time-stepping schemes (Section 4.3 of the paper).
+
+The paper deliberately lets the *digital host* do time stepping (rather
+than solving the method-of-lines ODEs directly in analog, as historical
+hybrid computers did), so the analog accelerator slots into modern PDE
+solvers as the per-step nonlinear-system kernel. The schemes here wrap
+a generic :class:`SpatialOperator` and produce, for each step, a
+:class:`~repro.nonlinear.systems.NonlinearSystem` whose root is the
+next time level:
+
+* **Crank-Nicolson** (trapezoidal, second-order): the paper's choice
+  for the parabolic viscous Burgers' equation;
+* **implicit Euler** (first-order) as the robust comparison scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+import numpy as np
+
+from repro.linalg.sparse import CsrMatrix, eye
+from repro.nonlinear.systems import NonlinearSystem
+
+__all__ = ["SpatialOperator", "CrankNicolsonSystem", "ImplicitEulerSystem", "Bdf2System"]
+
+JacobianLike = Union[np.ndarray, CsrMatrix]
+
+
+class SpatialOperator:
+    """A spatially discretized operator ``N(y)`` with its Jacobian.
+
+    Wraps the right-hand side of the method-of-lines ODE system
+    ``dy/dt = -N(y)`` (diffusive/advective terms on the left, as in the
+    paper's Equation 5 convention).
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        apply: Callable[[np.ndarray], np.ndarray],
+        jacobian: Callable[[np.ndarray], JacobianLike],
+    ):
+        if dimension <= 0:
+            raise ValueError("dimension must be positive")
+        self.dimension = dimension
+        self._apply = apply
+        self._jacobian = jacobian
+
+    def apply(self, y: np.ndarray) -> np.ndarray:
+        return np.asarray(self._apply(y), dtype=float)
+
+    def jacobian(self, y: np.ndarray) -> JacobianLike:
+        return self._jacobian(y)
+
+
+class _ThetaSystem(NonlinearSystem):
+    """Theta-scheme step system: ``y + theta dt N(y) - rhs = 0``."""
+
+    def __init__(self, operator: SpatialOperator, y_prev: np.ndarray, dt: float, theta: float):
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+        if not 0.0 < theta <= 1.0:
+            raise ValueError("theta must be in (0, 1]")
+        y_prev = np.asarray(y_prev, dtype=float)
+        if y_prev.shape != (operator.dimension,):
+            raise ValueError(
+                f"previous state must have shape ({operator.dimension},), got {y_prev.shape}"
+            )
+        self.operator = operator
+        self.dt = float(dt)
+        self.theta = float(theta)
+        self.dimension = operator.dimension
+        self.rhs = y_prev - (1.0 - theta) * dt * operator.apply(y_prev)
+
+    def residual(self, y: np.ndarray) -> np.ndarray:
+        y = self._validate(y)
+        return y + self.theta * self.dt * self.operator.apply(y) - self.rhs
+
+    def jacobian(self, y: np.ndarray) -> JacobianLike:
+        y = self._validate(y)
+        inner = self.operator.jacobian(y)
+        scale = self.theta * self.dt
+        if isinstance(inner, CsrMatrix):
+            return eye(self.dimension).add(inner.scaled(scale))
+        return np.eye(self.dimension) + scale * np.asarray(inner, dtype=float)
+
+
+class CrankNicolsonSystem(_ThetaSystem):
+    """One Crank-Nicolson step as a nonlinear system (theta = 1/2).
+
+    ``(y_next - y_prev)/dt + (N(y_next) + N(y_prev))/2 = 0`` —
+    second-order accurate, A-stable, the paper's scheme of choice.
+    """
+
+    def __init__(self, operator: SpatialOperator, y_prev: np.ndarray, dt: float):
+        super().__init__(operator, y_prev, dt, theta=0.5)
+
+
+class ImplicitEulerSystem(_ThetaSystem):
+    """One implicit (backward) Euler step (theta = 1).
+
+    First-order but L-stable; used by the ablation benches to show the
+    accuracy/cost trade against Crank-Nicolson.
+    """
+
+    def __init__(self, operator: SpatialOperator, y_prev: np.ndarray, dt: float):
+        super().__init__(operator, y_prev, dt, theta=1.0)
+
+
+class Bdf2System(NonlinearSystem):
+    """One BDF2 step as a nonlinear system.
+
+    Section 7: "Higher-order time stepping methods allow larger step
+    sizes to be taken, at the cost of putting more unknown variables at
+    play in the systems of equations, thereby requiring a larger
+    accelerator." BDF2's extra history level is that cost in its
+    mildest form:
+
+        (3 y_{n+1} - 4 y_n + y_{n-1}) / (2 dt) + N(y_{n+1}) = 0
+
+    i.e. ``y + (2 dt / 3) N(y) = (4 y_n - y_{n-1}) / 3``. Second-order,
+    L-stable, and — unlike Crank-Nicolson — free of the trapezoid's
+    marginal oscillation modes. Start-up (no ``y_{n-1}`` yet) is
+    conventionally one Crank-Nicolson step.
+    """
+
+    def __init__(
+        self,
+        operator: SpatialOperator,
+        y_prev: np.ndarray,
+        y_prev2: np.ndarray,
+        dt: float,
+    ):
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+        y_prev = np.asarray(y_prev, dtype=float)
+        y_prev2 = np.asarray(y_prev2, dtype=float)
+        expected = (operator.dimension,)
+        if y_prev.shape != expected or y_prev2.shape != expected:
+            raise ValueError(f"history states must have shape {expected}")
+        self.operator = operator
+        self.dt = float(dt)
+        self.dimension = operator.dimension
+        self.rhs = (4.0 * y_prev - y_prev2) / 3.0
+        self._coeff = 2.0 * self.dt / 3.0
+
+    def residual(self, y: np.ndarray) -> np.ndarray:
+        y = self._validate(y)
+        return y + self._coeff * self.operator.apply(y) - self.rhs
+
+    def jacobian(self, y: np.ndarray) -> JacobianLike:
+        y = self._validate(y)
+        inner = self.operator.jacobian(y)
+        if isinstance(inner, CsrMatrix):
+            return eye(self.dimension).add(inner.scaled(self._coeff))
+        return np.eye(self.dimension) + self._coeff * np.asarray(inner, dtype=float)

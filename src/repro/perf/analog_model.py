@@ -1,0 +1,62 @@
+"""Converting analog settle times to seconds and joules.
+
+"The time it takes for the continuous Newton ODE to reach a stable
+value corresponds to the reaction time of the analog circuit, which is
+in turn the solution time for the analog accelerator. The predicted
+solution time of the 2x2 analog accelerator is normalized to match the
+measured solution time of the physical analog accelerator."
+(Section 6.1)
+
+We follow the same normalization: one unit of continuous-Newton flow
+time equals :attr:`AnalogTimingModel.time_constant_seconds` of wall
+clock. The default is set so a typical 2x2 Burgers run (settle in
+roughly 12 flow units) takes ~1e-4 s, the order of the measured analog
+solution times in Figure 7; the constant is the circuit's
+characteristic analog bandwidth, which is independent of problem size
+— that invariance is exactly the analog advantage Figure 7 shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analog.area_power import AreaPowerModel
+
+__all__ = ["AnalogTimingModel"]
+
+
+@dataclass(frozen=True)
+class AnalogTimingModel:
+    """Settle-time normalization and energy integration.
+
+    Attributes
+    ----------
+    time_constant_seconds:
+        Wall-clock seconds per unit of continuous-Newton flow time.
+    activity_factor:
+        Time-averaged fraction of peak power during a run ("as the
+        continuous Newton method approaches convergence the circuit
+        activity and power consumption decreases", Table 4 caption).
+    """
+
+    time_constant_seconds: float = 8.0e-6
+    activity_factor: float = 0.6
+    area_power: AreaPowerModel = AreaPowerModel()
+
+    def __post_init__(self) -> None:
+        if self.time_constant_seconds <= 0.0:
+            raise ValueError("time_constant_seconds must be positive")
+        if not 0.0 < self.activity_factor <= 1.0:
+            raise ValueError("activity_factor must be in (0, 1]")
+
+    def seconds(self, settle_time_units: float) -> float:
+        """Wall-clock seconds of one accelerator run."""
+        if settle_time_units < 0.0:
+            raise ValueError("settle_time_units must be nonnegative")
+        return settle_time_units * self.time_constant_seconds
+
+    def energy_joules(self, grid_n: int, settle_time_units: float) -> float:
+        """Energy of one run of an ``n x n`` Burgers solve."""
+        return self.area_power.run_energy_joules(
+            grid_n, self.seconds(settle_time_units), self.activity_factor
+        )

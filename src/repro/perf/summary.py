@@ -1,0 +1,99 @@
+"""Cross-substrate cost summary for one nonlinear solve.
+
+Bundles the three cost models behind a single call: given a problem
+and its measured solver outcomes, produce the CPU / GPU / hybrid
+comparison rows that the paper's evaluation (and this library's
+examples) report. Keeps the accounting conventions in one place:
+
+* baseline digital runs charge the honest restart-inclusive totals,
+* the hybrid run charges analog settle time plus the polish,
+* energies are power x modeled time per substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.hybrid import HybridResult
+from repro.linalg.sparse import CsrMatrix
+from repro.nonlinear.newton import NewtonResult
+from repro.perf.analog_model import AnalogTimingModel
+from repro.perf.cpu_model import CpuModel
+from repro.perf.gpu_model import GpuModel
+
+__all__ = ["SubstrateCost", "solve_cost_summary"]
+
+
+@dataclass(frozen=True)
+class SubstrateCost:
+    """Modeled cost of one solve on one substrate."""
+
+    substrate: str
+    seconds: float
+    joules: float
+    detail: str
+
+    def as_row(self) -> dict:
+        return {
+            "substrate": self.substrate,
+            "time (s)": self.seconds,
+            "energy (J)": self.joules,
+            "detail": self.detail,
+        }
+
+
+def solve_cost_summary(
+    baseline: NewtonResult,
+    hybrid: HybridResult,
+    num_unknowns: int,
+    jacobian: CsrMatrix,
+    grid_n: Optional[int] = None,
+    cpu_model: Optional[CpuModel] = None,
+    gpu_model: Optional[GpuModel] = None,
+    analog_model: Optional[AnalogTimingModel] = None,
+) -> List[SubstrateCost]:
+    """Rows comparing CPU baseline, GPU baseline, and hybrid costs.
+
+    ``grid_n`` sizes the analog energy model (defaults to the square
+    root of half the unknowns — the Burgers two-field convention).
+    """
+    cpu_model = cpu_model or CpuModel()
+    gpu_model = gpu_model or GpuModel()
+    analog_model = analog_model or AnalogTimingModel()
+    if grid_n is None:
+        grid_n = max(1, int(round(np.sqrt(num_unknowns / 2.0))))
+
+    cpu_seconds = cpu_model.solve_seconds(baseline, num_unknowns, jacobian.nnz, count_restarts=True)
+    gpu_seconds = gpu_model.solve_seconds(baseline, jacobian, count_restarts=True)
+    polish_seconds = cpu_model.solve_seconds(hybrid.digital, num_unknowns, jacobian.nnz)
+    seed_seconds = analog_model.seconds(hybrid.analog.settle_time_units)
+
+    return [
+        SubstrateCost(
+            substrate="CPU damped Newton",
+            seconds=cpu_seconds,
+            joules=cpu_model.energy_joules(cpu_seconds),
+            detail=f"{baseline.total_iterations_including_restarts} iterations incl. restarts",
+        ),
+        SubstrateCost(
+            substrate="GPU QR-offload Newton",
+            seconds=gpu_seconds,
+            joules=gpu_model.energy_joules(gpu_seconds),
+            detail=f"{baseline.total_iterations_including_restarts} QR solves",
+        ),
+        SubstrateCost(
+            substrate="hybrid analog + CPU polish",
+            seconds=seed_seconds + polish_seconds,
+            joules=(
+                analog_model.energy_joules(grid_n, hybrid.analog.settle_time_units)
+                + cpu_model.energy_joules(polish_seconds)
+            ),
+            detail=(
+                f"analog settle {hybrid.analog.settle_time_units:.1f} tu + "
+                f"{hybrid.digital_iterations} polish iterations"
+            ),
+        ),
+    ]

@@ -1,0 +1,67 @@
+"""Rendering experiment results as the paper's tables and series.
+
+Every experiment driver in :mod:`repro.experiments` returns structured
+rows; :func:`ascii_table` prints them in the same layout as the paper's
+tables, and :class:`Comparison` records paper-vs-measured pairs for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ascii_table", "Comparison", "render_comparisons"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def ascii_table(rows: Sequence[Dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Render dict rows as a fixed-width ASCII table."""
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_format_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(row[idx]) for row in cells)) for idx, col in enumerate(columns)
+    ]
+    header = " | ".join(str(col).ljust(width) for col, width in zip(columns, widths))
+    rule = "-+-".join("-" * width for width in widths)
+    body = [" | ".join(cell.ljust(width) for cell, width in zip(row, widths)) for row in cells]
+    return "\n".join([header, rule, *body])
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-measured data point for EXPERIMENTS.md."""
+
+    experiment: str
+    quantity: str
+    paper_value: str
+    measured_value: str
+    holds: bool
+    note: str = ""
+
+
+def render_comparisons(comparisons: Sequence[Comparison]) -> str:
+    rows = [
+        {
+            "experiment": c.experiment,
+            "quantity": c.quantity,
+            "paper": c.paper_value,
+            "measured": c.measured_value,
+            "shape holds": "yes" if c.holds else "NO",
+            "note": c.note,
+        }
+        for c in comparisons
+    ]
+    return ascii_table(rows)

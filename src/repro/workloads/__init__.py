@@ -1,0 +1,38 @@
+"""Instrumented PDE-solver mini-apps behind Table 1.
+
+Table 1 of the paper profiles four engineering solvers — SPEC
+410.bwaves, two OpenFOAM cases, and a deal.II case — and finds that
+linear/nonlinear equation solving is the dominant kernel in all of
+them, with a *higher* fraction on structured-grid (finite difference)
+codes than on finite-volume/finite-element codes whose irregular mesh
+handling competes for time.
+
+We cannot run the proprietary originals, so each mini-app here is a
+small solver with the same structure: the same discretization family,
+the same dominant kernel, and honest instrumentation via
+:class:`repro.perf.profiles.KernelProfiler`. The claim Table 1 makes is
+structural, and it is that structure the mini-apps reproduce.
+
+* :mod:`repro.workloads.transonic` — implicit finite-difference flow
+  stepping with a Bi-CGstab kernel (410.bwaves analogue);
+* :mod:`repro.workloads.hartmann` — 2-D MHD Hartmann problem, coupled
+  fields, preconditioned-CG kernel (OpenFOAM mhdFoam analogue);
+* :mod:`repro.workloads.cavity` — lid-driven cavity with a face-based
+  finite-volume flux loop and a pressure-projection PCG kernel
+  (OpenFOAM icoFoam analogue);
+* :mod:`repro.workloads.membrane` — Cook's-membrane-style mechanics
+  with elementwise assembly and an SSOR-preconditioned CG Helmholtz
+  kernel (deal.II analogue).
+"""
+
+from repro.workloads.transonic import TransonicFlowWorkload
+from repro.workloads.hartmann import HartmannWorkload
+from repro.workloads.cavity import LidDrivenCavityWorkload
+from repro.workloads.membrane import CooksMembraneWorkload
+
+__all__ = [
+    "TransonicFlowWorkload",
+    "HartmannWorkload",
+    "LidDrivenCavityWorkload",
+    "CooksMembraneWorkload",
+]

@@ -1,0 +1,142 @@
+"""Lid-driven cavity mini-app: the OpenFOAM finite-volume analogue.
+
+Table 1's third row: lid-driven cavity flow by finite-volume
+discretization of the incompressible viscous Navier-Stokes equations;
+preconditioned CG is still the dominant kernel but only at 13.1 % —
+"irregular memory accesses shift computation time away from equation
+solving for less structured grids such as finite volume".
+
+The analogue is a projection-method cavity solver whose momentum fluxes
+are computed *the finite-volume way*: a gather/scatter loop over an
+explicit face list (owner/neighbour connectivity, per-face upwinding),
+exactly the irregular traversal that dominates FV codes. The pressure
+Poisson solve each step uses preconditioned CG. The measured kernel
+fraction lands far below the structured-grid workloads'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.linalg.iterative import conjugate_gradient
+from repro.linalg.preconditioners import JacobiPreconditioner
+from repro.pde.boundary import DirichletBoundary
+from repro.pde.grid import Grid2D
+from repro.pde.poisson import PoissonProblem
+from repro.perf.profiles import KernelProfiler, ProfileReport
+
+__all__ = ["LidDrivenCavityWorkload"]
+
+
+@dataclass
+class LidDrivenCavityWorkload:
+    """Projection-method cavity flow with face-based FV fluxes."""
+
+    grid_n: int = 24
+    lid_velocity: float = 1.0
+    viscosity: float = 0.1
+    dt: float = 0.02
+    num_steps: int = 5
+
+    KERNEL_NAME = "preconditioned CG"
+    PAPER_FRACTION = 0.131
+
+    def _face_list(self, grid: Grid2D) -> List[Tuple[int, int, int]]:
+        """Internal faces as (owner, neighbour, axis) triples — the
+        unstructured-style connectivity a finite-volume code stores."""
+        faces = []
+        for j in range(grid.ny):
+            for i in range(grid.nx):
+                k = grid.flat_index(i, j)
+                if i + 1 < grid.nx:
+                    faces.append((k, grid.flat_index(i + 1, j), 0))
+                if j + 1 < grid.ny:
+                    faces.append((k, grid.flat_index(i, j + 1), 1))
+        return faces
+
+    def run(self) -> ProfileReport:
+        profiler = KernelProfiler()
+        grid = Grid2D.square(self.grid_n, spacing=1.0 / self.grid_n)
+        faces = self._face_list(grid)
+        n = grid.num_nodes
+        u = np.zeros(n)
+        v = np.zeros(n)
+        face_area = grid.dx
+        volume = grid.dx * grid.dy
+
+        with profiler.run():
+            # Pressure-Poisson operator and preconditioner are built
+            # once — the mesh does not change between steps.
+            with profiler.region("matrix setup"):
+                pressure_problem = PoissonProblem(
+                    grid,
+                    np.zeros(grid.shape),
+                    boundary=DirichletBoundary.constant(grid, 0.0),
+                )
+                pressure_matrix = pressure_problem.matrix()
+                precond = JacobiPreconditioner(pressure_matrix)
+            for _ in range(self.num_steps):
+                # FV momentum step: per-face upwinded convective fluxes
+                # plus diffusive fluxes, gathered into cell balances.
+                with profiler.region("FV flux assembly"):
+                    flux_u = np.zeros(n)
+                    flux_v = np.zeros(n)
+                    for owner, neighbour, axis in faces:
+                        normal_vel = 0.5 * (
+                            (u[owner] + u[neighbour]) if axis == 0 else (v[owner] + v[neighbour])
+                        )
+                        upwind = owner if normal_vel >= 0.0 else neighbour
+                        conv_u = normal_vel * u[upwind] * face_area
+                        conv_v = normal_vel * v[upwind] * face_area
+                        diff_u = self.viscosity * (u[neighbour] - u[owner]) / grid.dx * face_area
+                        diff_v = self.viscosity * (v[neighbour] - v[owner]) / grid.dx * face_area
+                        flux_u[owner] += -conv_u + diff_u
+                        flux_u[neighbour] += conv_u - diff_u
+                        flux_v[owner] += -conv_v + diff_v
+                        flux_v[neighbour] += conv_v - diff_v
+                    # Lid boundary: shear from the moving top wall.
+                    top = [grid.flat_index(i, grid.ny - 1) for i in range(grid.nx)]
+                    for k in top:
+                        flux_u[k] += (
+                            self.viscosity * (self.lid_velocity - u[k]) / (grid.dy / 2.0) * face_area
+                        )
+                    u_star = u + self.dt / volume * flux_u
+                    v_star = v + self.dt / volume * flux_v
+
+                # Face-based divergence: more FV gather/scatter work.
+                with profiler.region("FV flux assembly"):
+                    div = np.zeros(n)
+                    for owner, neighbour, axis in faces:
+                        vel = 0.5 * (
+                            (u_star[owner] + u_star[neighbour])
+                            if axis == 0
+                            else (v_star[owner] + v_star[neighbour])
+                        )
+                        div[owner] += vel * face_area
+                        div[neighbour] -= vel * face_area
+
+                # Pressure projection: the PCG kernel of Table 1.
+                with profiler.region(self.KERNEL_NAME):
+                    pressure = conjugate_gradient(
+                        pressure_matrix, div / self.dt, preconditioner=precond, tol=1e-4
+                    ).x
+
+                with profiler.region("velocity correction"):
+                    grad_px = np.zeros(n)
+                    grad_py = np.zeros(n)
+                    for owner, neighbour, axis in faces:
+                        dp = (pressure[neighbour] - pressure[owner]) / grid.dx
+                        if axis == 0:
+                            grad_px[owner] += 0.5 * dp
+                            grad_px[neighbour] += 0.5 * dp
+                        else:
+                            grad_py[owner] += 0.5 * dp
+                            grad_py[neighbour] += 0.5 * dp
+                    u = u_star - self.dt * grad_px
+                    v = v_star - self.dt * grad_py
+        self._final_u = u
+        self._final_v = v
+        return profiler.report()

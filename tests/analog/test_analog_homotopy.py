@@ -1,0 +1,54 @@
+"""Tests for homotopy continuation executed on the analog model."""
+
+import numpy as np
+import pytest
+
+from repro.analog.engine import AnalogAccelerator
+from repro.analog.noise import NoiseModel
+from repro.nonlinear.systems import CoupledQuadraticSystem, SimpleSquareSystem
+
+
+class TestAnalogHomotopy:
+    def test_tracks_to_approximate_hard_root(self):
+        accelerator = AnalogAccelerator(seed=0)
+        simple = SimpleSquareSystem(2)
+        hard = CoupledQuadraticSystem(1.0, 1.0)
+        result = accelerator.solve_with_homotopy(simple, hard, np.array([1.0, 1.0]))
+        assert result.converged
+        roots = hard.real_roots()
+        distance = min(np.linalg.norm(result.solution - r) for r in roots)
+        # Analog-grade accuracy: percent-level of the scaled range.
+        assert distance < 0.5
+
+    def test_all_four_starts_land_near_true_roots(self):
+        # The Section 3.2 chip result: every simple root tracks to a
+        # correct solution (possibly after a fold hop).
+        accelerator = AnalogAccelerator(seed=1)
+        simple = SimpleSquareSystem(2)
+        hard = CoupledQuadraticSystem(1.0, 1.0)
+        roots = hard.real_roots()
+        landed = 0
+        for start in simple.roots():
+            result = accelerator.solve_with_homotopy(simple, hard, start)
+            if result.converged:
+                distance = min(np.linalg.norm(result.solution - r) for r in roots)
+                if distance < 0.6:
+                    landed += 1
+        assert landed >= 2
+
+    def test_ideal_hardware_is_accurate(self):
+        accelerator = AnalogAccelerator(noise=NoiseModel.ideal(), seed=2)
+        simple = SimpleSquareSystem(2)
+        hard = CoupledQuadraticSystem(1.0, 1.0)
+        result = accelerator.solve_with_homotopy(simple, hard, np.array([1.0, 1.0]))
+        assert result.converged
+        roots = hard.real_roots()
+        distance = min(np.linalg.norm(result.solution - r) for r in roots)
+        assert distance < 1e-2
+
+    def test_dimension_mismatch_rejected(self):
+        accelerator = AnalogAccelerator(seed=3)
+        with pytest.raises(ValueError):
+            accelerator.solve_with_homotopy(
+                SimpleSquareSystem(3), CoupledQuadraticSystem(1.0, 1.0), np.ones(3)
+            )

@@ -1,0 +1,157 @@
+"""Tests for the equation compiler, scaling, and area/power models."""
+
+import numpy as np
+import pytest
+
+from repro.analog.area_power import (
+    AreaPowerModel,
+    TABLE3_AREA_MM2,
+    TABLE3_POWER_UW,
+    scaled_accelerator_table,
+    table3_totals,
+)
+from repro.analog.compiler import ResourceCount, compile_burgers, compile_system
+from repro.analog.fabric import Fabric, FabricCapacityError
+from repro.analog.noise import NoiseModel
+from repro.analog.scaling import ScaledSystem, required_scale
+from repro.nonlinear.newton import newton_solve
+from repro.nonlinear.systems import CoupledQuadraticSystem
+from repro.pde.burgers import random_burgers_system
+
+
+class TestCompiler:
+    def test_generic_system_allocates_one_tile_per_variable(self):
+        fabric = Fabric(num_chips=1)
+        compiled = compile_system(fabric, CoupledQuadraticSystem(1.0, 1.0))
+        assert len(compiled.tiles) == 2
+        assert compiled.equation_gain_errors().shape == (2,)
+
+    def test_burgers_2x2_fills_prototype_board(self):
+        fabric = Fabric(num_chips=2)
+        system, _ = random_burgers_system(2, 1.0, np.random.default_rng(0))
+        compiled = compile_burgers(fabric, system)
+        assert len(compiled.tiles) == 8
+        assert not fabric.free_tiles()
+        # Cross-field coupling is board-level: 2 per node.
+        assert compiled.board_level_connections == 8
+
+    def test_capacity_error_when_too_big(self):
+        fabric = Fabric(num_chips=2)
+        system, _ = random_burgers_system(3, 1.0, np.random.default_rng(0))  # 18 vars
+        with pytest.raises(FabricCapacityError):
+            compile_burgers(fabric, system)
+
+    def test_release_frees_tiles(self):
+        fabric = Fabric(num_chips=1)
+        compiled = compile_system(fabric, CoupledQuadraticSystem(1.0, 1.0))
+        compiled.release()
+        assert len(fabric.free_tiles()) == 4
+
+
+class TestResourceCount:
+    def test_table3_component_totals(self):
+        # The per-variable totals of Table 3 of the paper.
+        resources = ResourceCount()
+        assert resources.per_variable_total("integrator") == 2
+        assert resources.per_variable_total("fanout") == 8
+        assert resources.per_variable_total("multiplier") == 8
+        assert resources.per_variable_total("DAC") == 4
+
+    def test_table3_role_split(self):
+        resources = ResourceCount()
+        assert resources.role_counts("multiplier") == (4, 3, 1, 0)
+        assert resources.role_counts("integrator") == (0, 0, 1, 1)
+
+    def test_usage_fits_tile_inventory(self):
+        # A tile must physically hold one variable's allocation.
+        resources = ResourceCount()
+        assert resources.per_variable_total("integrator") <= 4
+        assert resources.per_variable_total("multiplier") <= 8
+        assert resources.per_variable_total("fanout") <= 8
+        assert resources.per_variable_total("DAC") <= 4
+
+
+class TestScaling:
+    def test_scaled_root_maps_back(self):
+        system = CoupledQuadraticSystem(1.0, 1.0)
+        scaled = ScaledSystem(system, scale=3.0)
+        result = newton_solve(scaled, np.array([0.3, 0.3]))
+        assert result.converged
+        physical = scaled.to_physical(result.u)
+        assert system.residual_norm(physical) < 1e-8
+
+    def test_scaled_values_stay_in_unit_range(self):
+        # Random Burgers with +-3 constants: scaled residual at a
+        # scaled-range state stays within ~1.
+        system, guess = random_burgers_system(2, 1.0, np.random.default_rng(1))
+        scale = required_scale(3.0, NoiseModel())
+        scaled = ScaledSystem(system, scale)
+        w = scaled.to_scaled(guess)
+        assert np.max(np.abs(w)) <= 1.0
+        assert np.max(np.abs(scaled.residual(w))) <= 1.5
+
+    def test_jacobian_scaling_consistent_with_fd(self):
+        from repro.nonlinear.systems import check_jacobian
+
+        system = CoupledQuadraticSystem(0.5, -0.5)
+        scaled = ScaledSystem(system, scale=2.5)
+        check_jacobian(scaled, np.array([0.2, -0.3]), rtol=1e-4, atol=1e-5)
+
+    def test_required_scale_floor_is_one(self):
+        assert required_scale(0.1, NoiseModel()) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_scale(-1.0, NoiseModel())
+        with pytest.raises(ValueError):
+            required_scale(1.0, NoiseModel(), safety=0.5)
+        with pytest.raises(ValueError):
+            ScaledSystem(CoupledQuadraticSystem(), scale=0.0)
+
+
+class TestAreaPower:
+    def test_table4_values_reproduced(self):
+        # Paper Table 4 rows, within 1%.
+        expected = {
+            1: (1.38, 1.53),
+            2: (5.50, 6.10),
+            4: (22.02, 24.42),
+            8: (88.06, 97.66),
+            16: (352.36, 390.66),
+        }
+        model = AreaPowerModel()
+        for n, (area, power) in expected.items():
+            assert model.chip_area_mm2(n) == pytest.approx(area, rel=0.01)
+            assert model.peak_power_mw(n) == pytest.approx(power, rel=0.01)
+
+    def test_table_rows(self):
+        rows = scaled_accelerator_table()
+        assert len(rows) == 5
+        assert rows[0]["solver size"] == "1 x 1"
+        assert rows[-1]["chip area (mm^2)"] == pytest.approx(352.36, rel=0.01)
+
+    def test_power_density_far_below_cpu(self):
+        # CPUs run ~50-100 W/cm^2; the paper claims ~400x lower.
+        model = AreaPowerModel()
+        assert model.power_density_w_per_cm2(16) < 1.0
+
+    def test_run_energy(self):
+        model = AreaPowerModel()
+        energy = model.run_energy_joules(16, settle_seconds=1e-4)
+        assert 0.0 < energy < 1e-3
+
+    def test_table3_rows_contain_area_and_power(self):
+        rows = table3_totals(ResourceCount())
+        area_row = [r for r in rows if r["component"] == "total area (mm^2)"][0]
+        assert area_row["total"] == pytest.approx(sum(TABLE3_AREA_MM2.values()), rel=1e-6)
+        power_row = [r for r in rows if r["component"] == "total power (uW)"][0]
+        assert power_row["total"] == pytest.approx(sum(TABLE3_POWER_UW.values()), rel=1e-6)
+
+    def test_validation(self):
+        model = AreaPowerModel()
+        with pytest.raises(ValueError):
+            model.chip_area_mm2(0)
+        with pytest.raises(ValueError):
+            model.run_energy_joules(2, settle_seconds=-1.0)
+        with pytest.raises(ValueError):
+            model.run_energy_joules(2, settle_seconds=1.0, activity_factor=0.0)

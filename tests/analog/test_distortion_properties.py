@@ -1,0 +1,76 @@
+"""Property-based tests for the hardware distortion model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analog.engine import DistortedSystem
+from repro.nonlinear.newton import newton_solve
+from repro.nonlinear.systems import CoupledQuadraticSystem
+
+small = st.floats(min_value=-0.05, max_value=0.05, allow_nan=False)
+coords = st.floats(min_value=-2.0, max_value=2.0, allow_nan=False)
+
+
+@settings(max_examples=30)
+@given(small, small, small, small, coords, coords)
+def test_property_residual_formula(g0, g1, h0, h1, x, y):
+    """D(w) = diag(1+g) F(diag(1+h) w) + c, verified pointwise."""
+    system = CoupledQuadraticSystem(1.0, 1.0)
+    offsets = np.array([0.01, -0.02])
+    distorted = DistortedSystem(
+        system,
+        equation_gains=np.array([g0, g1]),
+        state_gains=np.array([h0, h1]),
+        offsets=offsets,
+    )
+    w = np.array([x, y])
+    expected = (1.0 + np.array([g0, g1])) * system.residual(
+        (1.0 + np.array([h0, h1])) * w
+    ) + offsets
+    np.testing.assert_allclose(distorted.residual(w), expected, atol=1e-12)
+
+
+@settings(max_examples=20)
+@given(small, small)
+def test_property_root_shift_first_order(g, h):
+    """For pure state-gain distortion the root shift is exactly the
+    inverse gain; equation gains alone leave the root fixed."""
+    system = CoupledQuadraticSystem(1.0, 1.0)
+    true_root = system.real_roots()[0]
+
+    gain_only = DistortedSystem(
+        system,
+        equation_gains=np.full(2, g),
+        state_gains=np.zeros(2),
+        offsets=np.zeros(2),
+    )
+    result = newton_solve(gain_only, true_root + 0.01)
+    if result.converged:
+        np.testing.assert_allclose(result.u, true_root, atol=1e-7)
+
+    state_only = DistortedSystem(
+        system,
+        equation_gains=np.zeros(2),
+        state_gains=np.full(2, h),
+        offsets=np.zeros(2),
+    )
+    result = newton_solve(state_only, true_root)
+    if result.converged:
+        np.testing.assert_allclose(result.u, true_root / (1.0 + h), atol=1e-7)
+
+
+@settings(max_examples=20)
+@given(small, small, coords, coords)
+def test_property_jacobian_matches_finite_difference(g, h, x, y):
+    from repro.nonlinear.systems import check_jacobian
+
+    system = CoupledQuadraticSystem(0.7, -0.4)
+    distorted = DistortedSystem(
+        system,
+        equation_gains=np.array([g, -g]),
+        state_gains=np.array([h, h / 2.0]),
+        offsets=np.array([0.005, -0.005]),
+    )
+    check_jacobian(distorted, np.array([x, y]), rtol=1e-3, atol=1e-3)

@@ -1,0 +1,75 @@
+"""Failure-injection tests: what breaks when the hardware degrades."""
+
+import numpy as np
+import pytest
+
+from repro.analog.calibration import CalibrationConfig
+from repro.analog.engine import AnalogAccelerator, solution_error
+from repro.analog.noise import NoiseModel
+from repro.nonlinear.newton import NewtonOptions, damped_newton_with_restarts
+from repro.pde.burgers import random_burgers_system
+
+
+def measure_rms(accelerator_factory, trials=6):
+    errors = []
+    for trial in range(trials):
+        system, guess = random_burgers_system(2, 1.0, np.random.default_rng(trial))
+        golden = damped_newton_with_restarts(
+            system, guess, NewtonOptions(tolerance=1e-12, max_iterations=150)
+        )
+        if not golden.converged:
+            continue
+        accelerator = accelerator_factory(trial)
+        result = accelerator.solve(system, initial_guess=guess)
+        errors.append(solution_error(result.scaled_solution, golden.u / result.scale))
+    assert errors
+    return float(np.sqrt(np.mean(np.array(errors) ** 2)))
+
+
+class TestCalibrationIsLoadBearing:
+    def test_uncalibrated_die_is_much_worse(self):
+        calibrated = measure_rms(lambda t: AnalogAccelerator(seed=t))
+        raw = measure_rms(
+            lambda t: AnalogAccelerator(seed=t, calibration=CalibrationConfig(enabled=False))
+        )
+        # Raw process variation (5% sigma per component, summed along
+        # datapaths) must visibly exceed the calibrated error floor.
+        assert raw > 1.5 * calibrated
+
+
+class TestConverterResolution:
+    def test_coarse_adc_floors_the_error(self):
+        fine = measure_rms(lambda t: AnalogAccelerator(seed=t), trials=4)
+        coarse = measure_rms(
+            lambda t: AnalogAccelerator(seed=t, noise=NoiseModel(adc_bits=3)), trials=4
+        )
+        assert coarse > fine
+
+    def test_coarse_dac_corrupts_programming(self):
+        fine = measure_rms(lambda t: AnalogAccelerator(seed=t), trials=4)
+        coarse = measure_rms(
+            lambda t: AnalogAccelerator(seed=t, noise=NoiseModel(dac_bits=3)), trials=4
+        )
+        assert coarse > 0.5 * fine  # degradation or at least no free lunch
+
+
+class TestThermalNoise:
+    def test_heavy_noise_degrades_readout(self):
+        quiet = measure_rms(lambda t: AnalogAccelerator(seed=t), trials=4)
+        loud = measure_rms(
+            lambda t: AnalogAccelerator(
+                seed=t, noise=NoiseModel(thermal_noise_sigma=0.05), adc_repeats=1
+            ),
+            trials=4,
+        )
+        assert loud > quiet
+
+    def test_averaging_recovers_accuracy(self):
+        noisy_model = NoiseModel(thermal_noise_sigma=0.05)
+        single = measure_rms(
+            lambda t: AnalogAccelerator(seed=t, noise=noisy_model, adc_repeats=1), trials=4
+        )
+        averaged = measure_rms(
+            lambda t: AnalogAccelerator(seed=t, noise=noisy_model, adc_repeats=64), trials=4
+        )
+        assert averaged < single

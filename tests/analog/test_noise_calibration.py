@@ -1,0 +1,100 @@
+"""Tests for noise processes and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.analog.calibration import CalibrationConfig, ProcessVariation
+from repro.analog.noise import NoiseModel, quantize_midrise
+
+
+class TestQuantization:
+    def test_quantization_error_bounded_by_step(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(-1.0, 1.0, 1000)
+        out = quantize_midrise(values, bits=8, full_scale=1.0)
+        step = 2.0 / 256
+        assert np.max(np.abs(out - values)) <= step / 2 + 1e-12
+
+    def test_clipping_at_rails(self):
+        out = quantize_midrise(np.array([5.0, -5.0]), bits=8, full_scale=1.0)
+        assert out[0] <= 1.0
+        assert out[1] >= -1.0
+
+    def test_more_bits_lower_error(self):
+        values = np.linspace(-0.9, 0.9, 101)
+        err8 = np.abs(quantize_midrise(values, 8, 1.0) - values).max()
+        err12 = np.abs(quantize_midrise(values, 12, 1.0) - values).max()
+        assert err12 < err8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantize_midrise(np.zeros(1), bits=0, full_scale=1.0)
+        with pytest.raises(ValueError):
+            quantize_midrise(np.zeros(1), bits=8, full_scale=0.0)
+
+
+class TestNoiseModel:
+    def test_defaults_valid(self):
+        noise = NoiseModel()
+        assert noise.adc_bits == 8
+        assert noise.full_scale == 1.0
+
+    def test_ideal_has_no_error(self):
+        noise = NoiseModel.ideal()
+        values = np.linspace(-0.5, 0.5, 11)
+        np.testing.assert_allclose(noise.adc_read(values), values, atol=1e-8)
+        assert noise.residual_mismatch_sigma == 0.0
+
+    def test_saturate(self):
+        noise = NoiseModel()
+        np.testing.assert_array_equal(
+            noise.saturate(np.array([2.0, -2.0, 0.5])), [1.0, -1.0, 0.5]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(adc_bits=0)
+        with pytest.raises(ValueError):
+            NoiseModel(process_sigma=-0.1)
+        with pytest.raises(ValueError):
+            NoiseModel(full_scale=-1.0)
+
+
+class TestProcessVariation:
+    def test_deterministic_per_seed(self):
+        noise = NoiseModel()
+        a = ProcessVariation(noise, seed=3).draw_gain_errors(10)
+        b = ProcessVariation(noise, seed=3).draw_gain_errors(10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_dies_differ(self):
+        noise = NoiseModel()
+        a = ProcessVariation(noise, seed=1).draw_gain_errors(10)
+        b = ProcessVariation(noise, seed=2).draw_gain_errors(10)
+        assert not np.allclose(a, b)
+
+    def test_calibration_shrinks_errors(self):
+        noise = NoiseModel(process_sigma=0.05, residual_mismatch_sigma=0.005)
+        variation = ProcessVariation(noise, seed=0)
+        raw = variation.draw_gain_errors(2000)
+        calibrated = variation.calibrate(raw, CalibrationConfig())
+        assert np.std(calibrated) < np.std(raw)
+
+    def test_disabled_calibration_is_identity(self):
+        noise = NoiseModel()
+        variation = ProcessVariation(noise, seed=0)
+        raw = variation.draw_gain_errors(100)
+        out = variation.calibrate(raw, CalibrationConfig(enabled=False))
+        np.testing.assert_array_equal(out, raw)
+
+    def test_residual_floor_respected(self):
+        # Even with huge averaging, residual mismatch does not vanish.
+        noise = NoiseModel(residual_mismatch_sigma=0.01)
+        variation = ProcessVariation(noise, seed=0)
+        raw = variation.draw_gain_errors(2000)
+        out = variation.calibrate(raw, CalibrationConfig(measurement_repeats=10_000))
+        assert np.std(out) > 0.005
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CalibrationConfig(measurement_repeats=0)

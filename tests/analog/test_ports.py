@@ -1,0 +1,63 @@
+"""Tests for the tile crossbar port budget."""
+
+import numpy as np
+import pytest
+
+from repro.analog.compiler import ResourceCount, compile_burgers
+from repro.analog.fabric import (
+    Fabric,
+    FabricCapacityError,
+    TILE_INPUT_PORTS,
+    TILE_OUTPUT_PORTS,
+    Tile,
+)
+from repro.analog.noise import NoiseModel
+from repro.pde.burgers import random_burgers_system
+
+
+class TestPortBudget:
+    def test_claim_within_budget(self):
+        tile = Tile("t", NoiseModel())
+        tile.claim_ports(8, 11)
+        assert tile.input_ports_used == 8
+        assert tile.output_ports_used == 11
+
+    def test_input_overflow_rejected(self):
+        tile = Tile("t", NoiseModel())
+        tile.claim_ports(10, 0)
+        with pytest.raises(FabricCapacityError):
+            tile.claim_ports(TILE_INPUT_PORTS - 10 + 1, 0)
+
+    def test_output_overflow_rejected(self):
+        tile = Tile("t", NoiseModel())
+        with pytest.raises(FabricCapacityError):
+            tile.claim_ports(0, TILE_OUTPUT_PORTS + 1)
+
+    def test_negative_rejected(self):
+        tile = Tile("t", NoiseModel())
+        with pytest.raises(ValueError):
+            tile.claim_ports(-1, 0)
+
+    def test_release_frees_ports(self):
+        tile = Tile("t", NoiseModel())
+        tile.claim_ports(8, 11)
+        tile.release()
+        assert tile.input_ports_used == 0
+        tile.claim_ports(16, 16)  # whole budget available again
+
+    def test_table3_usage_fits_crossbar(self):
+        # The paper's per-variable port usage must fit Figure 5's
+        # crossbar — the consistency check between Tables 3 and 5.
+        resources = ResourceCount()
+        assert resources.per_variable_total("tile input") <= TILE_INPUT_PORTS
+        assert resources.per_variable_total("tile output") <= TILE_OUTPUT_PORTS
+
+    def test_compiled_burgers_claims_ports(self):
+        fabric = Fabric(num_chips=2)
+        system, _ = random_burgers_system(2, 1.0, np.random.default_rng(0))
+        compiled = compile_burgers(fabric, system)
+        for tile in compiled.tiles:
+            assert tile.input_ports_used == 8
+            assert tile.output_ports_used == 11
+        compiled.release()
+        assert all(t.input_ports_used == 0 for t in compiled.tiles)

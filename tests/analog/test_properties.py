@@ -1,0 +1,104 @@
+"""Property-based tests for the analog layer's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analog.function_generator import LookupTableFunction
+from repro.analog.noise import NoiseModel, quantize_midrise
+from repro.analog.scaling import ScaledSystem, required_scale
+from repro.nonlinear.systems import CoupledQuadraticSystem
+
+finite = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False)
+
+
+class TestQuantizationProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=-2.0, max_value=2.0), min_size=1, max_size=20),
+        st.integers(min_value=2, max_value=14),
+    )
+    def test_idempotent(self, values, bits):
+        """Quantizing twice equals quantizing once."""
+        arr = np.asarray(values)
+        once = quantize_midrise(arr, bits, 1.0)
+        twice = quantize_midrise(once, bits, 1.0)
+        np.testing.assert_array_equal(once, twice)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=-0.99, max_value=0.98), min_size=2, max_size=20),
+        st.integers(min_value=4, max_value=12),
+    )
+    def test_monotone(self, values, bits):
+        """Quantization preserves order (monotone nondecreasing)."""
+        arr = np.sort(np.asarray(values))
+        out = quantize_midrise(arr, bits, 1.0)
+        assert np.all(np.diff(out) >= 0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=-0.99, max_value=0.99), st.integers(min_value=2, max_value=14))
+    def test_error_within_half_step(self, value, bits):
+        step = 2.0 / 2**bits
+        out = float(quantize_midrise(np.array([value]), bits, 1.0)[0])
+        assert abs(out - value) <= step / 2 + 1e-12
+
+
+class TestScalingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(finite, finite, st.floats(min_value=0.5, max_value=10.0), finite, finite)
+    def test_residual_conjugation_identity(self, a, b, scale, x, y):
+        """G(w) = F(s w) / s^2 exactly, for any state and scale."""
+        system = CoupledQuadraticSystem(a, b)
+        scaled = ScaledSystem(system, scale)
+        w = np.array([x, y]) / scale
+        np.testing.assert_allclose(
+            scaled.residual(w), system.residual(np.array([x, y])) / scale**2, atol=1e-10
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(finite, finite, st.floats(min_value=0.5, max_value=10.0))
+    def test_roots_map_exactly(self, a, b, scale):
+        """w* is a root of G iff s w* is a root of F."""
+        system = CoupledQuadraticSystem(a, b)
+        roots = system.real_roots()
+        scaled = ScaledSystem(system, scale)
+        for root in roots:
+            assert np.linalg.norm(scaled.residual(root / scale)) < 1e-8
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=0.01, max_value=100.0))
+    def test_required_scale_is_sufficient(self, bound):
+        """Values within the bound, divided by the scale, fit in range."""
+        noise = NoiseModel()
+        scale = required_scale(bound, noise)
+        assert bound / scale <= noise.full_scale * 1.0 + 1e-12
+
+    def test_to_physical_roundtrip(self):
+        system = CoupledQuadraticSystem(1.0, 1.0)
+        scaled = ScaledSystem(system, 3.0)
+        u = np.array([1.5, -2.0])
+        np.testing.assert_allclose(scaled.to_physical(scaled.to_scaled(u)), u)
+
+
+class TestLookupProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=-0.9, max_value=0.9),
+        st.integers(min_value=6, max_value=12),
+    )
+    def test_interpolated_lookup_within_curvature_bound(self, x, bits):
+        """Piecewise-linear interpolation error <= max|f''| h^2 / 8."""
+        lut = LookupTableFunction(np.exp, (-1.0, 1.0), table_bits=bits)
+        h = 2.0 / (2**bits - 1)
+        bound = np.e * h**2 / 8.0 + 1e-12
+        assert abs(lut(np.array([x]))[0] - np.exp(x)) <= bound
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=-0.9, max_value=0.9), min_size=2, max_size=10))
+    def test_monotone_function_stays_monotone(self, values):
+        lut = LookupTableFunction(np.exp, (-1.0, 1.0), table_bits=8)
+        arr = np.sort(np.asarray(values))
+        out = lut(arr)
+        assert np.all(np.diff(out) >= -1e-12)

@@ -1,0 +1,55 @@
+"""Scaling behaviour on sparse (Burgers) systems."""
+
+import numpy as np
+import pytest
+
+from repro.analog.scaling import ScaledSystem
+from repro.linalg.sparse import CsrMatrix
+from repro.nonlinear.systems import check_jacobian
+from repro.pde.burgers import random_burgers_system
+
+
+class TestScaledBurgers:
+    def test_jacobian_stays_sparse(self):
+        system, guess = random_burgers_system(3, 1.0, np.random.default_rng(0))
+        scaled = ScaledSystem(system, 3.0)
+        jac = scaled.jacobian(guess / 3.0)
+        assert isinstance(jac, CsrMatrix)
+        assert jac.nnz == system.jacobian(guess).nnz
+
+    def test_jacobian_values_scale_correctly(self):
+        system, guess = random_burgers_system(2, 1.0, np.random.default_rng(1))
+        scale = 2.5
+        scaled = ScaledSystem(system, scale)
+        w = guess / scale
+        np.testing.assert_allclose(
+            scaled.jacobian(w).to_dense(),
+            system.jacobian(guess).to_dense() / scale,
+            atol=1e-12,
+        )
+
+    def test_scaled_jacobian_consistent_with_residual(self):
+        system, guess = random_burgers_system(2, 2.0, np.random.default_rng(2))
+        scaled = ScaledSystem(system, 3.3)
+        check_jacobian(scaled, guess / 3.3, rtol=1e-4, atol=1e-5)
+
+    def test_quadratic_invariance_of_nonlinear_terms(self):
+        # Section 5.3's proportionality rule: scaling preserves the
+        # *relative* size of the quadratic terms. Doubling the scale
+        # must not change G at matched scaled coordinates beyond the
+        # linear/constant-term shrinkage — i.e. the quadratic part of
+        # G is scale-invariant. We verify via the second difference.
+        system, guess = random_burgers_system(2, 1.0, np.random.default_rng(3))
+
+        def quadratic_part(scaled_system, w, h=1e-3):
+            e = np.zeros_like(w)
+            e[0] = h
+            plus = scaled_system.residual(w + e)
+            minus = scaled_system.residual(w - e)
+            center = scaled_system.residual(w)
+            return (plus - 2.0 * center + minus) / h**2
+
+        w = guess / 4.0
+        q_small = quadratic_part(ScaledSystem(system, 2.0), w)
+        q_large = quadratic_part(ScaledSystem(system, 8.0), w)
+        np.testing.assert_allclose(q_small, q_large, atol=1e-4)

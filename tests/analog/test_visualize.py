@@ -1,0 +1,70 @@
+"""Tests for the transient visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analog.visualize import render_scope, sparkline
+from repro.ode.solution import OdeSolution
+
+
+class TestSparkline:
+    def test_fixed_width(self):
+        line = sparkline(np.sin(np.linspace(0, 6, 200)), width=40)
+        assert len(line) == 40
+
+    def test_monotone_ramp_is_monotone(self):
+        line = sparkline(np.linspace(0.0, 1.0, 100), width=20)
+        levels = [ord(c) for c in line]
+        assert all(b >= a for a, b in zip(levels, levels[1:]))
+
+    def test_constant_signal_is_flat(self):
+        line = sparkline(np.full(50, 2.5), width=10)
+        assert len(set(line)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sparkline([], width=10)
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+
+
+class TestRenderScope:
+    def make_solution(self):
+        ts = np.linspace(0.0, 5.0, 30)
+        ys = np.column_stack([np.exp(-ts), np.sin(ts)])
+        return OdeSolution(ts=ts, ys=ys, settled=True, settle_time=5.0)
+
+    def test_renders_all_default_channels(self):
+        panel = render_scope(self.make_solution(), width=30)
+        lines = panel.splitlines()
+        assert len(lines) == 3  # header + 2 channels
+        assert "settled" in lines[0]
+        assert "ch0" in lines[1]
+
+    def test_custom_labels_and_channels(self):
+        panel = render_scope(self.make_solution(), channels=[1], labels=["v(t)"], width=20)
+        assert "v(t)" in panel
+        assert "ch0" not in panel
+
+    def test_final_value_annotated(self):
+        panel = render_scope(self.make_solution(), width=20)
+        assert f"{np.exp(-5.0):+.4f}" in panel
+
+    def test_validation(self):
+        solution = self.make_solution()
+        with pytest.raises(ValueError):
+            render_scope(solution, channels=[5])
+        with pytest.raises(ValueError):
+            render_scope(solution, channels=[0, 1], labels=["only-one"])
+
+    def test_integrates_with_recorded_accelerator_run(self):
+        from repro.analog.engine import AnalogAccelerator
+        from repro.nonlinear.systems import CoupledQuadraticSystem
+
+        result = AnalogAccelerator(seed=0).solve(
+            CoupledQuadraticSystem(1.0, 1.0),
+            initial_guess=np.array([1.0, 1.0]),
+            record_trajectory=True,
+        )
+        panel = render_scope(result.trajectory, labels=["rho0", "rho1"], channels=[0, 1])
+        assert "rho0" in panel and "rho1" in panel

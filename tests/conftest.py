@@ -1,0 +1,16 @@
+"""Suite-wide test configuration.
+
+Hypothesis deadlines are disabled globally: the property tests exercise
+numerical kernels whose wall-clock varies wildly with machine load
+(this suite is routinely run alongside the paper-scale experiment
+sweep), and a deadline flake tells us nothing about correctness.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,126 @@
+"""Tests for red-black nonlinear Gauss-Seidel decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core.gauss_seidel import RedBlackGaussSeidel
+from repro.nonlinear.newton import NewtonOptions, damped_newton_with_restarts
+from repro.pde.burgers import random_burgers_system
+
+
+def make_system(n, reynolds=1.0, seed=0):
+    return random_burgers_system(n, reynolds, np.random.default_rng(seed))
+
+
+class TestBlocking:
+    def test_blocks_tile_grid_exactly(self):
+        system, _ = make_system(8)
+        decomposition = RedBlackGaussSeidel(system, block_size=4)
+        assert len(decomposition.blocks) == 4
+        covered = np.zeros((8, 8), dtype=int)
+        for block in decomposition.blocks:
+            covered[block.j0 : block.j1, block.i0 : block.i1] += 1
+        np.testing.assert_array_equal(covered, 1)
+
+    def test_checkerboard_coloring(self):
+        system, _ = make_system(8)
+        decomposition = RedBlackGaussSeidel(system, block_size=4)
+        by_pos = {(b.i0, b.j0): b.color for b in decomposition.blocks}
+        assert by_pos[(0, 0)] != by_pos[(4, 0)]
+        assert by_pos[(0, 0)] != by_pos[(0, 4)]
+        assert by_pos[(0, 0)] == by_pos[(4, 4)]
+
+    def test_uneven_blocks(self):
+        system, _ = make_system(6)
+        decomposition = RedBlackGaussSeidel(system, block_size=4)
+        sizes = sorted({(b.nx, b.ny) for b in decomposition.blocks})
+        assert (4, 4) in sizes
+        assert (2, 2) in sizes
+
+    def test_single_block_when_fits(self):
+        system, _ = make_system(4)
+        decomposition = RedBlackGaussSeidel(system, block_size=16)
+        assert len(decomposition.blocks) == 1
+
+    def test_validation(self):
+        system, _ = make_system(4)
+        with pytest.raises(ValueError):
+            RedBlackGaussSeidel(system, block_size=0)
+
+
+class TestBlockSystem:
+    def test_block_residual_matches_global_at_solution(self):
+        # If the global state solves the global system, each block
+        # subproblem (with frozen surroundings) is also solved.
+        system, guess = make_system(4, seed=2)
+        result = damped_newton_with_restarts(
+            system, guess, NewtonOptions(tolerance=1e-11, max_iterations=100)
+        )
+        assert result.converged
+        u, v = system.split(result.u)
+        decomposition = RedBlackGaussSeidel(system, block_size=2)
+        for block in decomposition.blocks:
+            sub = decomposition.block_system(block, u, v)
+            sub_state = sub.pack(
+                u[block.j0 : block.j1, block.i0 : block.i1],
+                v[block.j0 : block.j1, block.i0 : block.i1],
+            )
+            assert sub.residual_norm(sub_state) < 1e-9
+
+
+class TestSolve:
+    def test_converges_to_seeding_tolerance(self):
+        system, guess = make_system(6, reynolds=0.5, seed=3)
+        decomposition = RedBlackGaussSeidel(system, block_size=3)
+        result = decomposition.solve(initial_guess=guess, tolerance=1e-4)
+        assert result.converged
+        assert result.residual_history[-1] < 1e-3 * result.residual_history[0] * 10
+
+    def test_result_seeds_full_newton(self):
+        # The decomposed solution lands in the quadratic basin of the
+        # full-system Newton solve.
+        system, guess = make_system(6, reynolds=1.0, seed=4)
+        decomposition = RedBlackGaussSeidel(system, block_size=3)
+        seed_result = decomposition.solve(initial_guess=guess, tolerance=1e-4)
+        assert seed_result.converged
+        from repro.nonlinear.newton import newton_solve
+
+        polished = newton_solve(
+            system, seed_result.u, NewtonOptions(tolerance=1e-11, max_iterations=30)
+        )
+        assert polished.converged
+        assert polished.iterations <= 8
+
+    def test_residual_decreases_monotonically_enough(self):
+        system, guess = make_system(4, seed=5)
+        decomposition = RedBlackGaussSeidel(system, block_size=2)
+        result = decomposition.solve(initial_guess=guess, tolerance=1e-5)
+        history = result.residual_history
+        assert history[-1] < history[0]
+
+    def test_subdomain_solve_count(self):
+        system, guess = make_system(4, seed=6)
+        decomposition = RedBlackGaussSeidel(system, block_size=2)
+        result = decomposition.solve(initial_guess=guess, tolerance=1e-4)
+        assert result.subdomain_solves == result.sweeps * len(decomposition.blocks)
+
+    def test_custom_subdomain_solver_used(self):
+        calls = []
+
+        def counting_solver(sub, sub_guess):
+            calls.append(sub.dimension)
+            from repro.core.gauss_seidel import _default_subdomain_solver
+
+            return _default_subdomain_solver(sub, sub_guess)
+
+        system, guess = make_system(4, seed=7)
+        decomposition = RedBlackGaussSeidel(system, block_size=2, subdomain_solver=counting_solver)
+        decomposition.solve(initial_guess=guess, max_sweeps=2, tolerance=1e-6)
+        assert calls
+        assert all(dim == 8 for dim in calls)  # 2x2 blocks -> 8 unknowns
+
+    def test_max_sweeps_validation(self):
+        system, guess = make_system(4)
+        decomposition = RedBlackGaussSeidel(system, block_size=2)
+        with pytest.raises(ValueError):
+            decomposition.solve(max_sweeps=0)

@@ -1,0 +1,87 @@
+"""Additional hybrid-solver and decomposition coverage."""
+
+import numpy as np
+import pytest
+
+from repro.analog.engine import AnalogAccelerator
+from repro.analog.noise import NoiseModel
+from repro.core.gauss_seidel import RedBlackGaussSeidel
+from repro.core.hybrid import HybridSolver
+from repro.pde.boundary import DirichletBoundary
+from repro.pde.burgers import BurgersStencilSystem, random_burgers_system
+from repro.pde.grid import Grid2D
+
+
+class TestHybridSolverConfigurations:
+    def test_ideal_accelerator_gives_one_step_polish(self):
+        solver = HybridSolver(AnalogAccelerator(noise=NoiseModel.ideal(), seed=0))
+        system, guess = random_burgers_system(2, 1.0, np.random.default_rng(0))
+        result = solver.solve(system, initial_guess=guess)
+        assert result.converged
+        # An exact seed needs at most a couple of cleanup iterations.
+        assert result.digital_iterations <= 3
+
+    def test_degraded_accelerator_still_converges(self):
+        noisy = NoiseModel(residual_mismatch_sigma=0.08, residual_offset_sigma=0.08)
+        solver = HybridSolver(AnalogAccelerator(noise=noisy, seed=1))
+        system, guess = random_burgers_system(2, 1.0, np.random.default_rng(1))
+        result = solver.solve(system, initial_guess=guess)
+        assert result.converged
+        assert result.residual_norm < 1e-9
+
+    def test_default_guess_is_zero_vector(self):
+        solver = HybridSolver(AnalogAccelerator(seed=2))
+        system, _ = random_burgers_system(2, 0.5, np.random.default_rng(2))
+        result = solver.solve(system)
+        assert result.converged
+
+    def test_baseline_default_guess(self):
+        solver = HybridSolver(AnalogAccelerator(seed=3))
+        system, _ = random_burgers_system(2, 0.5, np.random.default_rng(3))
+        baseline = solver.solve_baseline(system)
+        assert baseline.converged
+
+
+class TestGaussSeidelRectangular:
+    def test_non_square_grid_blocks(self):
+        grid = Grid2D(nx=6, ny=4)
+        rng = np.random.default_rng(0)
+        system = BurgersStencilSystem(
+            grid=grid,
+            reynolds=1.0,
+            rhs_u=rng.uniform(-1, 1, grid.shape),
+            rhs_v=rng.uniform(-1, 1, grid.shape),
+            boundary_u=DirichletBoundary.random(grid, rng),
+            boundary_v=DirichletBoundary.random(grid, rng),
+        )
+        decomposition = RedBlackGaussSeidel(system, block_size=3)
+        covered = np.zeros(grid.shape, dtype=int)
+        for block in decomposition.blocks:
+            covered[block.j0 : block.j1, block.i0 : block.i1] += 1
+        np.testing.assert_array_equal(covered, 1)
+        result = decomposition.solve(tolerance=1e-3, max_sweeps=30)
+        assert result.converged
+
+    def test_boundary_values_flow_into_edge_blocks(self):
+        # A block on the global west edge must see the global west
+        # boundary, not frozen interior values.
+        grid = Grid2D.square(4)
+        rng = np.random.default_rng(1)
+        west = np.array([9.0, 9.0, 9.0, 9.0])
+        boundary_u = DirichletBoundary(
+            west=west, east=np.zeros(4), south=np.zeros(4), north=np.zeros(4)
+        )
+        system = BurgersStencilSystem(
+            grid=grid,
+            reynolds=1.0,
+            rhs_u=np.zeros(grid.shape),
+            rhs_v=np.zeros(grid.shape),
+            boundary_u=boundary_u,
+            boundary_v=DirichletBoundary.constant(grid, 0.0),
+        )
+        decomposition = RedBlackGaussSeidel(system, block_size=2)
+        west_block = next(b for b in decomposition.blocks if b.i0 == 0)
+        sub = decomposition.block_system(
+            west_block, np.zeros(grid.shape), np.zeros(grid.shape)
+        )
+        np.testing.assert_array_equal(sub.boundary_u.west, west[west_block.j0 : west_block.j1])

@@ -1,0 +1,132 @@
+"""Tests for the figure experiment drivers (small-scale runs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import ANALOG_ERROR_TARGET, equal_accuracy_damped_newton
+from repro.experiments.figure2 import render_basin_ascii, run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.nonlinear.newton import NewtonOptions, damped_newton_with_restarts
+from repro.pde.burgers import random_burgers_system
+
+
+class TestEqualAccuracyProtocol:
+    def test_stops_at_target_not_at_machine_precision(self):
+        system, guess = random_burgers_system(3, 1.0, np.random.default_rng(0))
+        golden = damped_newton_with_restarts(
+            system, guess, NewtonOptions(tolerance=1e-12, max_iterations=100)
+        )
+        assert golden.converged
+        result = equal_accuracy_damped_newton(system, guess, golden.u, scale=3.3)
+        assert result.reached_target
+        full = damped_newton_with_restarts(
+            system, guess, NewtonOptions(tolerance=1e-12, max_iterations=100)
+        )
+        assert result.iterations <= full.iterations
+
+    def test_error_actually_below_target(self):
+        from repro.analog.engine import solution_error
+
+        system, guess = random_burgers_system(2, 0.5, np.random.default_rng(1))
+        golden = damped_newton_with_restarts(
+            system, guess, NewtonOptions(tolerance=1e-12, max_iterations=100)
+        )
+        result = equal_accuracy_damped_newton(system, guess, golden.u, scale=3.3)
+        assert result.reached_target
+        assert solution_error(result.u / 3.3, golden.u / 3.3) <= ANALOG_ERROR_TARGET
+
+    def test_zero_iterations_when_guess_already_accurate(self):
+        system, guess = random_burgers_system(2, 0.5, np.random.default_rng(2))
+        golden = damped_newton_with_restarts(
+            system, guess, NewtonOptions(tolerance=1e-12, max_iterations=100)
+        )
+        result = equal_accuracy_damped_newton(system, golden.u, golden.u, scale=3.3)
+        assert result.reached_target
+        assert result.iterations == 0
+
+
+class TestFigure2Driver:
+    def test_continuous_more_contiguous(self):
+        result = run_figure2(resolution=40)
+        assert (
+            result.scores["continuous Newton (analog)"]
+            > result.scores["classical Newton (digital)"]
+        )
+
+    def test_ascii_rendering(self):
+        result = run_figure2(resolution=32)
+        art = render_basin_ascii(result.maps["continuous Newton (analog)"], max_size=16)
+        assert len(art.splitlines()) >= 8
+        assert set(art) <= set("#o+.?\n")
+
+    def test_rows_have_three_methods(self):
+        result = run_figure2(resolution=24)
+        assert len(result.rows()) == 3
+
+
+class TestFigure3Driver:
+    def test_homotopy_panel_fully_correct(self):
+        result = run_figure3(resolution=24)
+        rows = {row["panel"]: row for row in result.rows()}
+        assert rows["homotopy end"]["correct-solution fraction"] == 1.0
+        assert rows["homotopy beginning (Equation 3 roots)"]["distinct outcomes"] == 4
+
+    def test_direct_flow_has_wrong_region(self):
+        result = run_figure3(resolution=24)
+        rows = {row["panel"]: row for row in result.rows()}
+        assert rows["continuous Newton, no homotopy"]["wrong-result fraction"] > 0.0
+
+    def test_render_lists_roots(self):
+        assert "real roots" in run_figure3(resolution=16).render()
+
+
+class TestFigure6Driver:
+    def test_small_run_in_paper_band(self):
+        result = run_figure6(trials=25)
+        assert 0.02 < result.total_rms < 0.10
+        assert result.errors.size + result.failed_trials == 25
+
+    def test_histogram_covers_all_trials(self):
+        result = run_figure6(trials=20)
+        assert sum(row["trials"] for row in result.histogram()) == result.errors.size
+
+    def test_render_mentions_paper_value(self):
+        assert "5.38%" in run_figure6(trials=10).render()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_figure6(trials=0)
+
+
+class TestFigure7Driver:
+    def test_small_sweep_shape(self):
+        result = run_figure7(grid_sizes=(2, 8), reynolds_values=(1.0,), trials=1)
+        small = result.cell(2, 1.0)
+        large = result.cell(8, 1.0)
+        assert small is not None and large is not None
+        # Digital grows with problem size; analog stays roughly flat.
+        assert large["digital time (s)"] > 2.0 * small["digital time (s)"]
+        assert large["analog time (s)"] < 3.0 * small["analog time (s)"]
+
+
+class TestEqualAccuracyFailurePath:
+    def test_unreachable_target_reported(self):
+        # A golden point deliberately far from any root: no damping can
+        # reach 0% error against it, so the protocol reports failure
+        # with the honest restart accounting.
+        system, guess = random_burgers_system(2, 1.0, np.random.default_rng(9))
+        fake_golden = np.full(system.dimension, 50.0)
+        result = equal_accuracy_damped_newton(
+            system,
+            guess,
+            fake_golden,
+            scale=3.3,
+            target_error=1e-6,
+            max_iterations=10,
+            min_damping=1.0 / 4.0,
+        )
+        assert not result.reached_target
+        assert result.restarts >= 2
+        assert result.total_iterations_including_restarts >= result.iterations

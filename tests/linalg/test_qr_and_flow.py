@@ -1,0 +1,130 @@
+"""Tests for sparse QR and the continuous gradient-flow solver."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.gradient_flow import gradient_flow_rhs, gradient_flow_solve
+from repro.linalg.qr import SparseQr, qr_operation_count
+from repro.linalg.sparse import CooBuilder, eye
+
+
+def tridiag(n):
+    builder = CooBuilder(n, n)
+    for i in range(n):
+        builder.add(i, i, 4.0)
+        if i > 0:
+            builder.add(i, i - 1, -1.0)
+        if i < n - 1:
+            builder.add(i, i + 1, 1.5)
+    return builder.to_csr()
+
+
+class TestSparseQr:
+    def test_solves_exactly(self):
+        mat = tridiag(10)
+        x_true = np.random.default_rng(0).standard_normal(10)
+        qr = SparseQr.factor(mat)
+        np.testing.assert_allclose(qr.solve(mat.matvec(x_true)), x_true, rtol=1e-9, atol=1e-10)
+
+    def test_requires_square(self):
+        builder = CooBuilder(2, 3)
+        builder.add(0, 0, 1.0)
+        with pytest.raises(ValueError):
+            SparseQr.factor(builder.to_csr())
+
+    def test_operation_count_grows_with_bandwidth(self):
+        # Same size, wider bandwidth must cost more.
+        narrow = tridiag(32)
+        builder = CooBuilder(32, 32)
+        for i in range(32):
+            builder.add(i, i, 4.0)
+            if i >= 8:
+                builder.add(i, i - 8, -1.0)
+            if i < 24:
+                builder.add(i, i + 8, -1.0)
+        wide = builder.to_csr()
+        assert qr_operation_count(wide) > qr_operation_count(narrow)
+
+    def test_operation_count_superlinear_in_grid(self):
+        # Doubling a square-grid problem should more than double QR cost
+        # (bandwidth grows with grid width) -- the effect behind the
+        # GPU time jump from 16x16 to 32x32 in Figure 9.
+        def grid_matrix(n):
+            size = n * n
+            builder = CooBuilder(size, size)
+            for j in range(n):
+                for i in range(n):
+                    k = j * n + i
+                    builder.add(k, k, 4.0)
+                    if i > 0:
+                        builder.add(k, k - 1, -1.0)
+                    if j > 0:
+                        builder.add(k, k - n, -1.0)
+            return builder.to_csr()
+
+        small = qr_operation_count(grid_matrix(8))
+        large = qr_operation_count(grid_matrix(16))
+        assert large > 6.0 * small
+
+    def test_empty_matrix_count(self):
+        assert qr_operation_count(CooBuilder(0, 0).to_csr()) == 0.0
+
+
+class TestGradientFlow:
+    def test_solves_spd_system(self):
+        a = np.array([[3.0, 1.0], [1.0, 2.0]])
+        b = np.array([5.0, 5.0])
+        result = gradient_flow_solve(a, b, time_limit=200.0)
+        assert result.settled
+        np.testing.assert_allclose(a @ result.delta, b, atol=1e-5)
+
+    def test_solves_nonsymmetric_system(self):
+        a = np.array([[2.0, -1.0], [0.5, 1.0]])
+        x_true = np.array([1.0, -1.0])
+        result = gradient_flow_solve(a, a @ x_true, time_limit=500.0)
+        assert result.settled
+        np.testing.assert_allclose(result.delta, x_true, atol=1e-5)
+
+    def test_sparse_input(self):
+        mat = tridiag(6)
+        x_true = np.ones(6)
+        result = gradient_flow_solve(mat, mat.matvec(x_true), time_limit=500.0)
+        assert result.settled
+        np.testing.assert_allclose(result.delta, x_true, atol=1e-4)
+
+    def test_singular_system_settles_at_least_squares(self):
+        # Rank-1 matrix: flow settles at a least-squares point where the
+        # normal-equation residual A^T (A x - b) vanishes.
+        a = np.array([[1.0, 1.0], [1.0, 1.0]])
+        b = np.array([1.0, 3.0])  # inconsistent
+        result = gradient_flow_solve(a, b, time_limit=500.0)
+        assert result.settled
+        normal_residual = a.T @ (a @ result.delta - b)
+        np.testing.assert_allclose(normal_residual, 0.0, atol=1e-5)
+
+    def test_gain_speeds_settling(self):
+        a = np.array([[2.0, 0.0], [0.0, 1.0]])
+        b = np.array([2.0, 1.0])
+        slow = gradient_flow_solve(a, b, gain=1.0, time_limit=500.0)
+        fast = gradient_flow_solve(a, b, gain=10.0, time_limit=500.0)
+        assert fast.settled and slow.settled
+        assert fast.settle_time < slow.settle_time
+
+    def test_rhs_factory_shape(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        rhs = gradient_flow_rhs(a, np.array([1.0, 1.0]))
+        out = rhs(0.0, np.zeros(2))
+        assert out.shape == (2,)
+        # At delta = solution, the flow is stationary.
+        x = np.linalg.solve(a, np.array([1.0, 1.0]))
+        np.testing.assert_allclose(rhs(0.0, x), 0.0, atol=1e-10)
+
+    def test_initial_guess_used(self):
+        a = np.eye(2)
+        b = np.array([1.0, 1.0])
+        result = gradient_flow_solve(a, b, delta0=b.copy(), time_limit=50.0)
+        assert result.settled
+        # Starting at the exact solution, only the dwell interval and the
+        # integrator's first few steps elapse before settling.
+        assert result.settle_time < 10.0
+        np.testing.assert_allclose(result.delta, b, atol=1e-10)

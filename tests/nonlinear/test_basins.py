@@ -1,0 +1,145 @@
+"""Tests for the basin-of-attraction machinery behind Figures 2 and 3."""
+
+import numpy as np
+import pytest
+
+from repro.nonlinear.basins import (
+    BasinMap,
+    classify_roots,
+    contiguity_score,
+    continuous_newton_basins,
+    coupled_system_basins,
+    newton_iteration_basins,
+)
+from repro.nonlinear.systems import CoupledQuadraticSystem
+
+
+class TestClassifyRoots:
+    def test_exact_points(self):
+        roots = np.array([[0.0, 0.0], [1.0, 1.0]])
+        labels = classify_roots(np.array([[0.0, 0.0], [1.0, 1.0]]), roots)
+        np.testing.assert_array_equal(labels, [0, 1])
+
+    def test_far_point_unclassified(self):
+        roots = np.array([[0.0, 0.0]])
+        labels = classify_roots(np.array([[5.0, 5.0]]), roots, tolerance=1e-2)
+        assert labels[0] == -1
+
+    def test_no_roots(self):
+        labels = classify_roots(np.array([[1.0, 2.0]]), np.zeros((0, 2)))
+        assert labels[0] == -1
+
+
+class TestContiguityScore:
+    def test_uniform_map_scores_one(self):
+        assert contiguity_score(np.zeros((8, 8), dtype=int)) == 1.0
+
+    def test_checkerboard_scores_zero(self):
+        board = np.indices((8, 8)).sum(axis=0) % 2
+        assert contiguity_score(board) == 0.0
+
+    def test_half_split(self):
+        labels = np.zeros((8, 8), dtype=int)
+        labels[:, 4:] = 1
+        score = contiguity_score(labels)
+        assert 0.9 < score < 1.0
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            contiguity_score(np.zeros(5, dtype=int))
+
+
+class TestNewtonIterationBasins:
+    def test_all_three_roots_appear(self):
+        basins = newton_iteration_basins(resolution=48, max_iterations=100)
+        present = set(np.unique(basins.labels)) - {-1}
+        assert present == {0, 1, 2}
+
+    def test_symmetric_fractions(self):
+        # The three cube-root basins have equal area by symmetry.
+        basins = newton_iteration_basins(resolution=64)
+        fractions = basins.root_fractions()
+        np.testing.assert_allclose(fractions, 1.0 / 3.0, atol=0.06)
+
+    def test_real_axis_right_half_goes_to_real_root(self):
+        basins = newton_iteration_basins(resolution=65, extent=2.0)
+        # Pixel at (x > 0.5, y ~ 0): converges to root index of (1, 0).
+        mid = 32  # y = 0 row
+        right = 56  # x = 1.5 column
+        label = basins.labels[mid, right]
+        np.testing.assert_allclose(basins.roots[label], [1.0, 0.0], atol=1e-8)
+
+    def test_damping_validation(self):
+        with pytest.raises(ValueError):
+            newton_iteration_basins(resolution=16, damping=0.0)
+
+    def test_resolution_validation(self):
+        with pytest.raises(ValueError):
+            newton_iteration_basins(resolution=1)
+
+
+class TestContinuousNewtonBasins:
+    def test_more_contiguous_than_classical(self):
+        # The paper's Figure 2 claim, quantified.
+        classical = newton_iteration_basins(resolution=64, damping=1.0)
+        continuous = continuous_newton_basins(resolution=64, horizon=20.0, dt=0.05)
+        assert contiguity_score(continuous.labels) > contiguity_score(classical.labels)
+
+    def test_converges_almost_everywhere(self):
+        basins = continuous_newton_basins(resolution=48, horizon=25.0)
+        assert basins.converged_fraction > 0.95
+
+    def test_noise_keeps_basin_structure(self):
+        clean = continuous_newton_basins(resolution=32, horizon=20.0)
+        noisy = continuous_newton_basins(resolution=32, horizon=20.0, noise_level=1e-3, seed=7)
+        both = (clean.labels >= 0) & (noisy.labels >= 0)
+        agreement = float(np.mean(clean.labels[both] == noisy.labels[both]))
+        assert agreement > 0.9
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            continuous_newton_basins(resolution=16, dt=0.0)
+
+
+class TestCoupledSystemBasins:
+    def test_newton_flow_finds_roots_and_pink_region(self):
+        system = CoupledQuadraticSystem(1.0, 1.0)
+        basins = coupled_system_basins(system, resolution=48, method="newton_flow")
+        present = set(np.unique(basins.labels))
+        # At least one true root basin appears.
+        assert any(k >= 0 for k in present)
+
+    def test_homotopy_start_covers_whole_plane(self):
+        basins = coupled_system_basins(resolution=32, method="homotopy_start")
+        assert basins.converged_fraction == 1.0
+        assert set(np.unique(basins.labels)) == {0, 1, 2, 3}
+
+    def test_homotopy_every_pixel_lands_on_true_root(self):
+        # The Figure 3 far-right claim: all initial conditions lead to
+        # one correct solution or another.
+        system = CoupledQuadraticSystem(1.0, 1.0)
+        basins = coupled_system_basins(system, resolution=32, method="homotopy")
+        assert basins.converged_fraction == 1.0
+        for label in np.unique(basins.labels):
+            assert label >= 0
+            assert system.residual_norm(basins.roots[label]) < 1e-6
+
+    def test_homotopy_more_reliable_than_newton_flow(self):
+        system = CoupledQuadraticSystem(1.0, 1.0)
+        flow = coupled_system_basins(system, resolution=32, method="newton_flow")
+        homotopy = coupled_system_basins(system, resolution=32, method="homotopy")
+        assert homotopy.converged_fraction >= flow.converged_fraction
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            coupled_system_basins(resolution=16, method="nope")
+
+
+class TestBasinMapProperties:
+    def test_root_fractions_sum_to_one(self):
+        basins = newton_iteration_basins(resolution=32)
+        assert basins.root_fractions().sum() == pytest.approx(1.0)
+
+    def test_resolution_property(self):
+        basins = BasinMap(labels=np.zeros((5, 5), dtype=int), roots=np.zeros((1, 2)), extent=1.0)
+        assert basins.resolution == 5

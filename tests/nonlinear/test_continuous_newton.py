@@ -1,0 +1,112 @@
+"""Tests for the continuous Newton flow."""
+
+import numpy as np
+import pytest
+
+from repro.nonlinear.continuous_newton import (
+    continuous_newton_solve,
+    newton_flow_rhs,
+)
+from repro.nonlinear.systems import (
+    CallableSystem,
+    CoupledQuadraticSystem,
+    CubicRootSystem,
+    SimpleSquareSystem,
+)
+
+
+class TestNewtonFlowRhs:
+    def test_direction_is_minus_newton_step(self):
+        system = SimpleSquareSystem(2)
+        rhs = newton_flow_rhs(system)
+        u = np.array([2.0, 0.5])
+        # Newton step: J^-1 F = (u^2-1)/(2u) per component.
+        expected = -(u**2 - 1.0) / (2.0 * u)
+        np.testing.assert_allclose(rhs(0.0, u), expected, atol=1e-10)
+
+    def test_stationary_at_root(self):
+        rhs = newton_flow_rhs(CubicRootSystem())
+        np.testing.assert_allclose(rhs(0.0, np.array([1.0, 0.0])), 0.0, atol=1e-12)
+
+    def test_singular_jacobian_regularized(self):
+        system = CallableSystem(
+            1,
+            residual=lambda u: np.array([u[0] ** 2]),
+            jacobian=lambda u: np.array([[2.0 * u[0]]]),
+        )
+        out = newton_flow_rhs(system)(0.0, np.array([0.0]))
+        assert np.all(np.isfinite(out))
+
+
+class TestContinuousNewtonSolve:
+    def test_behavioral_converges_to_real_root(self):
+        result = continuous_newton_solve(CubicRootSystem(), np.array([1.5, 0.05]))
+        assert result.converged
+        np.testing.assert_allclose(result.u, [1.0, 0.0], atol=1e-4)
+
+    def test_residual_decays_exponentially_along_flow(self):
+        # Exact property of the flow: F(u(t)) = F(u(0)) exp(-t).
+        system = CubicRootSystem()
+        u0 = np.array([1.6, 0.4])
+        result = continuous_newton_solve(system, u0, derivative_tolerance=1e-9)
+        sol = result.solution
+        f0 = np.linalg.norm(system.residual(u0))
+        for t_probe in (0.5, 1.0, 2.0):
+            if t_probe < sol.final_time:
+                u_t = sol.sample(t_probe)[:2]
+                norm_t = np.linalg.norm(system.residual(u_t))
+                assert norm_t == pytest.approx(f0 * np.exp(-t_probe), rel=0.05)
+
+    def test_converges_from_wide_basin(self):
+        # Points that break classical Newton still flow to a root.
+        result = continuous_newton_solve(CubicRootSystem(), np.array([0.31, 0.27]))
+        assert result.converged
+        roots = CubicRootSystem.roots()
+        distances = np.linalg.norm(roots - result.u, axis=1)
+        assert distances.min() < 1e-3
+
+    def test_circuit_fidelity_matches_behavioral(self):
+        system = CoupledQuadraticSystem(1.0, 1.0)
+        u0 = np.array([1.0, 1.0])
+        behavioral = continuous_newton_solve(system, u0, fidelity="behavioral")
+        circuit = continuous_newton_solve(
+            system, u0, fidelity="circuit", gain=50.0, time_limit=120.0
+        )
+        assert behavioral.converged
+        assert circuit.converged
+        np.testing.assert_allclose(circuit.u, behavioral.u, atol=1e-2)
+
+    def test_circuit_low_gain_lags(self):
+        # With insufficient loop gain the quotient block cannot track
+        # the outer Newton dynamics: at a fixed horizon the residual is
+        # orders of magnitude worse than with adequate gain.
+        system = CoupledQuadraticSystem(1.0, 1.0)
+        u0 = np.array([1.0, 1.0])
+        good = continuous_newton_solve(system, u0, fidelity="circuit", gain=50.0, time_limit=10.0)
+        starved = continuous_newton_solve(
+            system, u0, fidelity="circuit", gain=0.05, time_limit=10.0
+        )
+        assert good.residual_norm < 1e-3
+        assert starved.residual_norm > 100.0 * good.residual_norm
+
+    def test_settle_far_from_root_reported_as_failure(self):
+        # exp(u) has no root; the flow drifts forever; must not report
+        # convergence.
+        system = CallableSystem(
+            1,
+            residual=lambda u: np.array([np.exp(u[0]) + 1.0]),
+            jacobian=lambda u: np.array([[np.exp(u[0])]]),
+        )
+        result = continuous_newton_solve(system, np.array([0.0]), time_limit=5.0)
+        assert not result.converged
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            continuous_newton_solve(CubicRootSystem(), np.zeros(3))
+        with pytest.raises(ValueError):
+            continuous_newton_solve(CubicRootSystem(), np.zeros(2), fidelity="magic")
+
+    def test_settle_time_reported(self):
+        result = continuous_newton_solve(CubicRootSystem(), np.array([1.4, 0.0]))
+        assert result.converged
+        assert 0.0 < result.settle_time < 60.0

@@ -1,0 +1,106 @@
+"""Tests for the Davidenko-ODE homotopy tracker."""
+
+import numpy as np
+import pytest
+
+from repro.nonlinear.homotopy import davidenko_solve, homotopy_solve
+from repro.nonlinear.systems import (
+    CallableSystem,
+    CoupledQuadraticSystem,
+    SimpleSquareSystem,
+)
+
+
+class TestDavidenkoSolve:
+    def test_tracks_to_hard_root(self):
+        simple = SimpleSquareSystem(2)
+        hard = CoupledQuadraticSystem(1.0, 1.0)
+        result = davidenko_solve(simple, hard, np.array([1.0, 1.0]))
+        assert result.converged
+        assert hard.residual_norm(result.u) < 1e-10
+
+    def test_agrees_with_discrete_tracker(self):
+        simple = SimpleSquareSystem(2)
+        hard = CoupledQuadraticSystem(0.5, 1.5)
+        for start in ([1.0, 1.0], [1.0, -1.0]):
+            ode = davidenko_solve(simple, hard, np.array(start))
+            discrete = homotopy_solve(simple, hard, np.array(start))
+            if ode.converged and discrete.converged and discrete.jumps == 0:
+                np.testing.assert_allclose(ode.u, discrete.u, atol=1e-6)
+
+    def test_unpolished_endpoint_is_approximate(self):
+        # Without the digital polish the ODE endpoint carries the
+        # integrator's tolerance — the analog regime.
+        simple = SimpleSquareSystem(2)
+        hard = CoupledQuadraticSystem(1.0, 1.0)
+        raw = davidenko_solve(
+            simple, hard, np.array([1.0, 1.0]), polish=False, rtol=1e-5, atol=1e-7,
+            residual_tolerance=1e-2,
+        )
+        polished = davidenko_solve(simple, hard, np.array([1.0, 1.0]), polish=True)
+        assert raw.converged
+        assert polished.residual_norm <= raw.residual_norm
+
+    def test_corrector_gain_attracts_to_root_manifold(self):
+        # The pure Davidenko ODE CONSERVES the homotopy residual: a
+        # start off the root manifold stays off by the same amount. The
+        # corrector makes the manifold attracting, so the same bad
+        # start decays onto it — the property that makes the analog
+        # implementation robust to imperfect initial conditions.
+        simple = SimpleSquareSystem(2)
+        hard = CoupledQuadraticSystem(1.0, 1.0)
+        off_manifold_start = np.array([1.3, 0.8])
+        conserving = davidenko_solve(
+            simple,
+            hard,
+            off_manifold_start,
+            corrector_gain=0.0,
+            polish=False,
+            residual_tolerance=np.inf,
+        )
+        corrected = davidenko_solve(
+            simple,
+            hard,
+            off_manifold_start,
+            corrector_gain=20.0,
+            polish=False,
+            residual_tolerance=np.inf,
+        )
+        assert conserving.residual_norm > 0.1
+        assert corrected.residual_norm < 1e-6
+
+    def test_scalar_shifted_root(self):
+        simple = SimpleSquareSystem(1)
+        hard = CallableSystem(
+            1,
+            residual=lambda u: np.array([u[0] ** 2 - 2.0 * u[0] - 3.0]),
+            jacobian=lambda u: np.array([[2.0 * u[0] - 2.0]]),
+        )
+        plus = davidenko_solve(simple, hard, np.array([1.0]))
+        minus = davidenko_solve(simple, hard, np.array([-1.0]))
+        assert plus.converged and minus.converged
+        assert plus.u[0] == pytest.approx(3.0, abs=1e-8)
+        assert minus.u[0] == pytest.approx(-1.0, abs=1e-8)
+
+    def test_fold_path_survives_via_regularization(self):
+        # Starts whose real path folds: the regularized flow plus
+        # corrector must still land on one of the surviving roots.
+        simple = SimpleSquareSystem(2)
+        hard = CoupledQuadraticSystem(1.0, 1.0)
+        result = davidenko_solve(simple, hard, np.array([-1.0, 1.0]))
+        if result.converged:
+            assert hard.residual_norm(result.u) < 1e-6
+
+    def test_validation(self):
+        simple = SimpleSquareSystem(2)
+        hard = CoupledQuadraticSystem(1.0, 1.0)
+        with pytest.raises(ValueError):
+            davidenko_solve(simple, hard, np.zeros(3))
+        with pytest.raises(ValueError):
+            davidenko_solve(simple, hard, np.ones(2), corrector_gain=-1.0)
+
+    def test_rhs_evaluation_count_reported(self):
+        simple = SimpleSquareSystem(2)
+        hard = CoupledQuadraticSystem(1.0, 1.0)
+        result = davidenko_solve(simple, hard, np.array([1.0, 1.0]))
+        assert result.rhs_evaluations > 0

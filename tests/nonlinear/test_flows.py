@@ -1,0 +1,94 @@
+"""Tests for the continuous eigenanalysis flows."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nonlinear.flows import dominant_eigenpairs, oja_flow, rayleigh_quotient
+
+
+def random_symmetric(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    return (a + a.T) / 2.0
+
+
+class TestRayleighQuotient:
+    def test_eigenvector_gives_eigenvalue(self):
+        a = np.diag([3.0, 1.0])
+        assert rayleigh_quotient(a, np.array([1.0, 0.0])) == pytest.approx(3.0)
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            rayleigh_quotient(np.eye(2), np.zeros(2))
+
+
+class TestOjaFlow:
+    def test_finds_dominant_eigenpair_diagonal(self):
+        a = np.diag([5.0, 2.0, -1.0])
+        result = oja_flow(a, seed=0)
+        assert result.settled
+        assert result.eigenvalue == pytest.approx(5.0, abs=1e-4)
+        assert abs(result.eigenvector[0]) == pytest.approx(1.0, abs=1e-3)
+
+    def test_all_negative_spectrum_handled_by_shift(self):
+        a = np.diag([-1.0, -4.0, -9.0])
+        result = oja_flow(a, seed=1)
+        assert result.settled
+        assert result.eigenvalue == pytest.approx(-1.0, abs=1e-4)
+
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_matches_numpy_eigh(self, n):
+        a = random_symmetric(n, seed=n)
+        expected = float(np.max(np.linalg.eigvalsh(a)))
+        result = oja_flow(a, seed=7)
+        assert result.eigenvalue == pytest.approx(expected, abs=1e-4)
+        assert result.residual_norm < 1e-3
+
+    def test_unit_norm_output(self):
+        result = oja_flow(random_symmetric(5, 0), seed=3)
+        assert np.linalg.norm(result.eigenvector) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            oja_flow(np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            oja_flow(np.array([[0.0, 1.0], [0.0, 0.0]]))  # nonsymmetric
+        with pytest.raises(ValueError):
+            oja_flow(np.eye(2), w0=np.zeros(2))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_property_dominant_value_recovered(self, seed):
+        a = random_symmetric(4, seed)
+        expected = float(np.max(np.linalg.eigvalsh(a)))
+        result = oja_flow(a, seed=seed + 1)
+        assert result.eigenvalue == pytest.approx(expected, abs=1e-3)
+
+
+class TestDeflation:
+    def test_top_three_of_diagonal(self):
+        a = np.diag([7.0, 4.0, 2.0, -3.0])
+        pairs = dominant_eigenpairs(a, count=3, seed=0)
+        values = [p.eigenvalue for p in pairs]
+        np.testing.assert_allclose(values, [7.0, 4.0, 2.0], atol=1e-3)
+
+    def test_matches_numpy_on_random_matrix(self):
+        a = random_symmetric(5, seed=11)
+        expected = np.sort(np.linalg.eigvalsh(a))[::-1][:3]
+        pairs = dominant_eigenpairs(a, count=3, seed=5)
+        values = [p.eigenvalue for p in pairs]
+        np.testing.assert_allclose(values, expected, atol=1e-3)
+
+    def test_eigenvectors_orthogonal(self):
+        a = random_symmetric(5, seed=12)
+        pairs = dominant_eigenpairs(a, count=2, seed=2)
+        dot = abs(float(pairs[0].eigenvector @ pairs[1].eigenvector))
+        assert dot < 1e-3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dominant_eigenpairs(np.eye(3), count=0)
+        with pytest.raises(ValueError):
+            dominant_eigenpairs(np.eye(3), count=4)

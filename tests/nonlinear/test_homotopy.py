@@ -1,0 +1,124 @@
+"""Tests for homotopy continuation."""
+
+import numpy as np
+import pytest
+
+from repro.nonlinear.homotopy import (
+    BlendedSystem,
+    HomotopySchedule,
+    homotopy_all_roots,
+    homotopy_solve,
+)
+from repro.nonlinear.systems import (
+    CallableSystem,
+    CoupledQuadraticSystem,
+    SimpleSquareSystem,
+)
+
+
+class TestBlendedSystem:
+    def test_lambda_zero_is_simple(self):
+        simple = SimpleSquareSystem(2)
+        hard = CoupledQuadraticSystem(1.0, 1.0)
+        blended = BlendedSystem(simple, hard, 0.0)
+        u = np.array([0.3, -0.8])
+        np.testing.assert_allclose(blended.residual(u), simple.residual(u))
+
+    def test_lambda_one_is_hard(self):
+        simple = SimpleSquareSystem(2)
+        hard = CoupledQuadraticSystem(1.0, 1.0)
+        blended = BlendedSystem(simple, hard, 1.0)
+        u = np.array([0.3, -0.8])
+        np.testing.assert_allclose(blended.residual(u), hard.residual(u))
+
+    def test_jacobian_blends(self):
+        simple = SimpleSquareSystem(2)
+        hard = CoupledQuadraticSystem(1.0, 1.0)
+        u = np.array([0.5, 0.5])
+        mid = BlendedSystem(simple, hard, 0.5)
+        expected = 0.5 * simple.jacobian(u) + 0.5 * hard.jacobian(u)
+        np.testing.assert_allclose(mid.jacobian(u), expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlendedSystem(SimpleSquareSystem(2), SimpleSquareSystem(3), 0.5)
+        with pytest.raises(ValueError):
+            BlendedSystem(SimpleSquareSystem(2), SimpleSquareSystem(2), 1.5)
+
+
+class TestHomotopySolve:
+    def test_tracks_to_hard_root(self):
+        simple = SimpleSquareSystem(2)
+        hard = CoupledQuadraticSystem(1.0, 1.0)
+        result = homotopy_solve(simple, hard, np.array([1.0, 1.0]))
+        assert result.converged
+        assert hard.residual_norm(result.u) < 1e-10
+
+    def test_path_recorded_monotone_lambda(self):
+        simple = SimpleSquareSystem(2)
+        hard = CoupledQuadraticSystem(1.0, 1.0)
+        result = homotopy_solve(simple, hard, np.array([1.0, 1.0]))
+        lams = np.array(result.lambdas)
+        assert lams[0] == 0.0
+        assert lams[-1] == 1.0
+        assert np.all(np.diff(lams) > 0)
+        assert len(result.path) == len(result.lambdas)
+
+    def test_all_four_starts_land_on_true_roots(self):
+        simple = SimpleSquareSystem(2)
+        hard = CoupledQuadraticSystem(1.0, 1.0)
+        for start in simple.roots():
+            result = homotopy_solve(simple, hard, start)
+            if result.converged:
+                assert hard.residual_norm(result.u) < 1e-8
+
+    def test_failure_reports_lambda(self):
+        # Hard system with NO real roots: paths must fail en route.
+        simple = SimpleSquareSystem(2)
+        hard = CoupledQuadraticSystem(rhs0=-100.0, rhs1=0.0)
+        schedule = HomotopySchedule(steps=20)
+        result = homotopy_solve(simple, hard, np.array([1.0, 1.0]), schedule)
+        assert not result.converged
+        assert result.failure_lambda is not None
+        assert 0.0 < result.failure_lambda <= 1.0
+
+    def test_schedule_validation(self):
+        with pytest.raises(ValueError):
+            HomotopySchedule(steps=0)
+
+
+class TestHomotopyAllRoots:
+    def test_finds_multiple_roots_and_dedups(self):
+        simple = SimpleSquareSystem(2)
+        hard = CoupledQuadraticSystem(1.0, 1.0)
+        roots = homotopy_all_roots(simple, hard, simple.roots())
+        true_roots = hard.real_roots()
+        # Every found root is a true root.
+        for root in roots:
+            assert hard.residual_norm(root) < 1e-8
+        # No duplicates.
+        for i in range(roots.shape[0]):
+            for j in range(i + 1, roots.shape[0]):
+                assert np.linalg.norm(roots[i] - roots[j]) > 1e-6
+        # Figure 3: the four starts find the system's real roots.
+        assert roots.shape[0] >= min(2, true_roots.shape[0])
+
+    def test_empty_when_no_paths_converge(self):
+        simple = SimpleSquareSystem(2)
+        hard = CoupledQuadraticSystem(rhs0=-100.0, rhs1=0.0)
+        roots = homotopy_all_roots(
+            simple, hard, simple.roots(), HomotopySchedule(steps=15)
+        )
+        assert roots.shape == (0, 2)
+
+    def test_scalar_homotopy_to_shifted_root(self):
+        # 1-D: track x^2 - 1 = 0 into (x - 3)(x + 1) = x^2 - 2x - 3 = 0.
+        simple = SimpleSquareSystem(1)
+        hard = CallableSystem(
+            1,
+            residual=lambda u: np.array([u[0] ** 2 - 2.0 * u[0] - 3.0]),
+            jacobian=lambda u: np.array([[2.0 * u[0] - 2.0]]),
+        )
+        roots = homotopy_all_roots(simple, hard, np.array([[1.0], [-1.0]]))
+        found = sorted(float(r[0]) for r in roots)
+        assert found == pytest.approx([-1.0, 3.0], abs=1e-8)

@@ -1,0 +1,139 @@
+"""Tests for the NonlinearSystem protocol and example systems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nonlinear.systems import (
+    CallableSystem,
+    CoupledQuadraticSystem,
+    CubicRootSystem,
+    SimpleSquareSystem,
+    check_jacobian,
+    finite_difference_jacobian,
+)
+
+finite_floats = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False)
+
+
+class TestCubicRootSystem:
+    def test_real_root_is_zero_residual(self):
+        system = CubicRootSystem()
+        np.testing.assert_allclose(system.residual(np.array([1.0, 0.0])), 0.0, atol=1e-14)
+
+    def test_all_three_roots(self):
+        system = CubicRootSystem()
+        for root in CubicRootSystem.roots():
+            assert system.residual_norm(root) < 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(finite_floats, finite_floats)
+    def test_property_jacobian_matches_finite_differences(self, x, y):
+        check_jacobian(CubicRootSystem(), np.array([x, y]), rtol=1e-4, atol=1e-4)
+
+    def test_residual_matches_complex_arithmetic(self):
+        system = CubicRootSystem()
+        z = complex(0.3, -0.7)
+        f = z**3 - 1.0
+        np.testing.assert_allclose(
+            system.residual(np.array([z.real, z.imag])), [f.real, f.imag], atol=1e-14
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            CubicRootSystem().residual(np.zeros(3))
+
+
+class TestCoupledQuadraticSystem:
+    def test_residual_formula(self):
+        system = CoupledQuadraticSystem(rhs0=2.0, rhs1=-1.0)
+        u = np.array([1.0, 2.0])
+        expected = np.array([1.0 + 1.0 + 2.0 - 2.0, 4.0 + 2.0 - 1.0 + 1.0])
+        np.testing.assert_allclose(system.residual(u), expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(finite_floats, finite_floats, finite_floats, finite_floats)
+    def test_property_jacobian_matches_fd(self, a, b, x, y):
+        check_jacobian(CoupledQuadraticSystem(a, b), np.array([x, y]), rtol=1e-4, atol=1e-4)
+
+    def test_real_roots_satisfy_system(self):
+        system = CoupledQuadraticSystem(rhs0=1.0, rhs1=1.0)
+        roots = system.real_roots()
+        assert roots.shape[0] >= 1
+        for root in roots:
+            assert system.residual_norm(root) < 1e-8
+
+    def test_root_count_depends_on_rhs(self):
+        # Large negative RHS pushes the paraboloids apart: no real roots.
+        none = CoupledQuadraticSystem(rhs0=-100.0, rhs1=0.0).real_roots()
+        some = CoupledQuadraticSystem(rhs0=1.0, rhs1=1.0).real_roots()
+        assert none.shape[0] == 0
+        assert some.shape[0] >= 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(finite_floats, finite_floats)
+    def test_property_all_reported_roots_are_roots(self, a, b):
+        system = CoupledQuadraticSystem(a, b)
+        for root in system.real_roots():
+            assert system.residual_norm(root) < 1e-6
+
+
+class TestSimpleSquareSystem:
+    def test_roots_enumeration(self):
+        system = SimpleSquareSystem(dimension=3)
+        roots = system.roots()
+        assert roots.shape == (8, 3)
+        for root in roots:
+            assert system.residual_norm(root) < 1e-14
+        # All sign combinations distinct.
+        assert len({tuple(r) for r in roots.tolist()}) == 8
+
+    def test_jacobian_is_diagonal(self):
+        system = SimpleSquareSystem(dimension=2)
+        jac = system.jacobian(np.array([2.0, -3.0]))
+        np.testing.assert_allclose(jac, np.diag([4.0, -6.0]))
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            SimpleSquareSystem(dimension=0)
+
+
+class TestCallableSystem:
+    def test_wraps_residual_and_jacobian(self):
+        system = CallableSystem(
+            2,
+            residual=lambda u: np.array([u[0] ** 2 - 1.0, u[1] - 2.0]),
+            jacobian=lambda u: np.array([[2.0 * u[0], 0.0], [0.0, 1.0]]),
+        )
+        check_jacobian(system, np.array([1.5, 0.5]))
+
+    def test_fd_jacobian_fallback(self):
+        system = CallableSystem(1, residual=lambda u: np.array([np.sin(u[0])]))
+        jac = system.jacobian(np.array([0.3]))
+        assert jac[0, 0] == pytest.approx(np.cos(0.3), rel=1e-5)
+
+    def test_bad_residual_shape_rejected(self):
+        system = CallableSystem(2, residual=lambda u: np.array([1.0]))
+        with pytest.raises(ValueError):
+            system.residual(np.zeros(2))
+
+    def test_dimension_validated(self):
+        with pytest.raises(ValueError):
+            CallableSystem(0, residual=lambda u: u)
+
+
+class TestFiniteDifferenceJacobian:
+    def test_linear_function_exact(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        jac = finite_difference_jacobian(lambda u: a @ u, np.array([0.5, -0.5]))
+        np.testing.assert_allclose(jac, a, rtol=1e-6)
+
+    def test_check_jacobian_raises_on_wrong_jacobian(self):
+        system = CallableSystem(
+            1,
+            residual=lambda u: np.array([u[0] ** 2]),
+            jacobian=lambda u: np.array([[1.0]]),  # wrong: should be 2u
+        )
+        with pytest.raises(AssertionError):
+            check_jacobian(system, np.array([3.0]))

@@ -1,0 +1,170 @@
+"""Tests for the ODE integration substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ode import (
+    SettleDetector,
+    integrate_euler,
+    integrate_rk4,
+    integrate_rk45,
+    integrate_until_settled,
+)
+
+
+def exponential_decay(_t, y):
+    return -y
+
+
+def harmonic(_t, y):
+    return np.array([y[1], -y[0]])
+
+
+class TestFixedStep:
+    def test_euler_decay_first_order(self):
+        y0 = np.array([1.0])
+        coarse = integrate_euler(exponential_decay, 0.0, y0, 1.0, dt=0.1)
+        fine = integrate_euler(exponential_decay, 0.0, y0, 1.0, dt=0.01)
+        exact = np.exp(-1.0)
+        err_coarse = abs(coarse.final_state[0] - exact)
+        err_fine = abs(fine.final_state[0] - exact)
+        # First-order: 10x smaller step ~ 10x smaller error.
+        assert 5.0 < err_coarse / err_fine < 20.0
+
+    def test_rk4_decay_fourth_order(self):
+        y0 = np.array([1.0])
+        coarse = integrate_rk4(exponential_decay, 0.0, y0, 1.0, dt=0.2)
+        fine = integrate_rk4(exponential_decay, 0.0, y0, 1.0, dt=0.1)
+        exact = np.exp(-1.0)
+        ratio = abs(coarse.final_state[0] - exact) / abs(fine.final_state[0] - exact)
+        assert 10.0 < ratio < 25.0  # ~2^4
+
+    def test_final_time_hit_exactly(self):
+        sol = integrate_rk4(exponential_decay, 0.0, np.array([1.0]), 0.35, dt=0.1)
+        assert sol.final_time == pytest.approx(0.35)
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(ValueError):
+            integrate_euler(exponential_decay, 0.0, np.array([1.0]), 1.0, dt=0.0)
+
+    def test_invalid_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            integrate_rk4(exponential_decay, 1.0, np.array([1.0]), 1.0, dt=0.1)
+
+    def test_record_every_thins_history(self):
+        dense = integrate_euler(exponential_decay, 0.0, np.array([1.0]), 1.0, dt=0.01)
+        thin = integrate_euler(exponential_decay, 0.0, np.array([1.0]), 1.0, dt=0.01, record_every=10)
+        assert len(thin.ts) < len(dense.ts)
+        np.testing.assert_allclose(thin.final_state, dense.final_state)
+
+    def test_rhs_evaluation_count(self):
+        sol = integrate_rk4(exponential_decay, 0.0, np.array([1.0]), 1.0, dt=0.1)
+        assert sol.rhs_evaluations == 40  # 10 steps x 4 stages
+
+
+class TestRk45:
+    def test_decay_accuracy(self):
+        sol = integrate_rk45(exponential_decay, 0.0, np.array([1.0]), 5.0, rtol=1e-9, atol=1e-12)
+        assert sol.final_state[0] == pytest.approx(np.exp(-5.0), rel=1e-7)
+
+    def test_harmonic_energy_preserved_tightly(self):
+        sol = integrate_rk45(harmonic, 0.0, np.array([1.0, 0.0]), 10.0, rtol=1e-10, atol=1e-12)
+        energy = sol.final_state[0] ** 2 + sol.final_state[1] ** 2
+        assert energy == pytest.approx(1.0, rel=1e-6)
+
+    def test_adapts_step_count_to_tolerance(self):
+        loose = integrate_rk45(harmonic, 0.0, np.array([1.0, 0.0]), 10.0, rtol=1e-4, atol=1e-6)
+        tight = integrate_rk45(harmonic, 0.0, np.array([1.0, 0.0]), 10.0, rtol=1e-10, atol=1e-12)
+        assert tight.rhs_evaluations > loose.rhs_evaluations
+
+    def test_stiff_transient_handled_by_rejections(self):
+        def stiff(_t, y):
+            return np.array([-200.0 * (y[0] - np.cos(_t))])
+
+        sol = integrate_rk45(stiff, 0.0, np.array([0.0]), 1.0, rtol=1e-6, atol=1e-9)
+        # Slow manifold: y ~ cos(t) for t >> 1/200.
+        assert sol.final_state[0] == pytest.approx(np.cos(1.0), abs=1e-2)
+
+    def test_callback_early_stop(self):
+        def cb(t, _y, _dy):
+            return t > 1.0
+
+        sol = integrate_rk45(exponential_decay, 0.0, np.array([1.0]), 100.0, step_callback=cb)
+        assert sol.settled
+        assert sol.final_time < 5.0
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            integrate_rk45(exponential_decay, 0.0, np.array([1.0]), 0.0)
+
+    def test_sample_interpolates(self):
+        sol = integrate_rk45(exponential_decay, 0.0, np.array([1.0]), 2.0, rtol=1e-8, atol=1e-10)
+        mid = sol.sample(1.0)
+        assert mid[0] == pytest.approx(np.exp(-1.0), rel=1e-3)
+
+    def test_sample_clamps_out_of_range(self):
+        sol = integrate_rk45(exponential_decay, 0.0, np.array([1.0]), 1.0)
+        np.testing.assert_allclose(sol.sample(-5.0), sol.ys[0])
+        np.testing.assert_allclose(sol.sample(99.0), sol.ys[-1])
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.2, max_value=3.0), st.floats(min_value=-2.0, max_value=2.0))
+    def test_property_linear_ode_matches_closed_form(self, horizon, rate):
+        def rhs(_t, y):
+            return rate * y
+
+        sol = integrate_rk45(rhs, 0.0, np.array([1.0]), horizon, rtol=1e-9, atol=1e-12)
+        assert sol.final_state[0] == pytest.approx(np.exp(rate * horizon), rel=1e-5)
+
+
+class TestSettleDetection:
+    def test_decay_settles(self):
+        sol = integrate_until_settled(
+            exponential_decay, np.array([1.0]), time_limit=100.0, derivative_tolerance=1e-6
+        )
+        assert sol.settled
+        assert sol.settle_time is not None
+        assert sol.settle_time < 30.0
+        assert abs(sol.final_state[0]) < 1e-5
+
+    def test_oscillator_never_settles(self):
+        sol = integrate_until_settled(
+            harmonic, np.array([1.0, 0.0]), time_limit=20.0, derivative_tolerance=1e-3
+        )
+        assert not sol.settled
+
+    def test_dwell_prevents_premature_settle(self):
+        # Trajectory passes slowly through zero derivative then speeds up:
+        # dy/dt = (t - 1)^2 has derivative ~ 0 near t=1 but resumes.
+        def rhs(t, _y):
+            return np.array([(t - 1.0) ** 2])
+
+        detector = SettleDetector(derivative_tolerance=1e-3, dwell=1.0)
+        fired_early = detector(1.0, np.array([0.0]), np.array([1e-5]))
+        assert not fired_early  # needs dwell time even though rate is low
+
+    def test_detector_resets_after_excursion(self):
+        detector = SettleDetector(derivative_tolerance=1e-3, dwell=0.5)
+        assert not detector(0.0, np.zeros(1), np.array([1e-5]))
+        # Excursion above tolerance resets the dwell clock.
+        assert not detector(0.4, np.zeros(1), np.array([1.0]))
+        assert not detector(0.5, np.zeros(1), np.array([1e-5]))
+        assert not detector(0.9, np.zeros(1), np.array([1e-5]))
+        assert detector(1.1, np.zeros(1), np.array([1e-5]))
+
+    def test_detector_validation(self):
+        with pytest.raises(ValueError):
+            SettleDetector(derivative_tolerance=0.0)
+        with pytest.raises(ValueError):
+            SettleDetector(dwell=-1.0)
+
+    def test_settle_time_shrinks_for_faster_dynamics(self):
+        def fast(_t, y):
+            return -10.0 * y
+
+        slow_sol = integrate_until_settled(exponential_decay, np.array([1.0]), 200.0)
+        fast_sol = integrate_until_settled(fast, np.array([1.0]), 200.0)
+        assert fast_sol.settled and slow_sol.settled
+        assert fast_sol.settle_time < slow_sol.settle_time

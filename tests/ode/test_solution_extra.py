@@ -1,0 +1,49 @@
+"""Additional tests for OdeSolution bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.ode.solution import OdeSolution
+
+
+def make_solution():
+    ts = [0.0, 1.0, 2.0]
+    ys = [np.array([0.0]), np.array([1.0]), np.array([4.0])]
+    return OdeSolution.from_lists(ts, ys, settled=True, settle_time=2.0, rhs_evaluations=12)
+
+
+class TestOdeSolution:
+    def test_from_lists_roundtrip(self):
+        solution = make_solution()
+        assert solution.final_time == 2.0
+        assert solution.final_state[0] == 4.0
+        assert solution.settled
+        assert solution.settle_time == 2.0
+        assert solution.rhs_evaluations == 12
+
+    def test_sample_midpoint_interpolates(self):
+        solution = make_solution()
+        assert solution.sample(0.5)[0] == pytest.approx(0.5)
+        assert solution.sample(1.5)[0] == pytest.approx(2.5)
+
+    def test_sample_at_nodes_exact(self):
+        solution = make_solution()
+        assert solution.sample(1.0)[0] == pytest.approx(1.0)
+
+    def test_sample_clamps(self):
+        solution = make_solution()
+        assert solution.sample(-1.0)[0] == 0.0
+        assert solution.sample(10.0)[0] == 4.0
+
+    def test_degenerate_equal_times(self):
+        solution = OdeSolution.from_lists(
+            [0.0, 0.0], [np.array([1.0]), np.array([2.0])]
+        )
+        # Zero-width interval: weight collapses to the earlier sample.
+        assert np.isfinite(solution.sample(0.0)[0])
+
+    def test_defaults(self):
+        solution = OdeSolution.from_lists([0.0], [np.array([3.0])])
+        assert not solution.settled
+        assert solution.settle_time is None
+        assert solution.rejected_steps == 0

@@ -1,0 +1,60 @@
+"""Tests for the explicit advection solver (the out-of-scope boundary)."""
+
+import numpy as np
+import pytest
+
+from repro.pde.advection import AdvectionSolver1D
+
+
+def gaussian(n):
+    xs = np.arange(n)
+    return np.exp(-((xs - n / 2.0) ** 2) / (n / 10.0) ** 2)
+
+
+class TestAdvection:
+    def test_transports_profile(self):
+        n = 100
+        solver = AdvectionSolver1D(num_nodes=n, speed=1.0, dx=1.0, dt=0.5)
+        u0 = gaussian(n)
+        steps = 40  # distance = speed * dt * steps = 20 cells
+        u = solver.evolve(u0.copy(), steps)
+        # The peak moved ~20 cells to the right (upwind diffuses a bit).
+        assert abs(int(np.argmax(u)) - (int(np.argmax(u0)) + 20)) <= 2
+
+    def test_negative_speed_transports_left(self):
+        n = 100
+        solver = AdvectionSolver1D(num_nodes=n, speed=-1.0, dx=1.0, dt=0.5)
+        u = solver.evolve(gaussian(n), 40)
+        assert int(np.argmax(u)) < n / 2
+
+    def test_mass_conserved(self):
+        n = 64
+        solver = AdvectionSolver1D(num_nodes=n, speed=1.0)
+        u0 = gaussian(n)
+        u = solver.evolve(u0.copy(), 50)
+        assert np.sum(u) == pytest.approx(np.sum(u0), rel=1e-10)
+
+    def test_stable_at_default_cfl(self):
+        solver = AdvectionSolver1D(num_nodes=50, speed=2.0)
+        u = solver.evolve(gaussian(50), 200)
+        assert np.max(np.abs(u)) <= 1.01
+
+    def test_cfl_violation_rejected(self):
+        with pytest.raises(ValueError):
+            AdvectionSolver1D(num_nodes=50, speed=1.0, dx=1.0, dt=1.5)
+
+    def test_no_algebraic_systems(self):
+        # The structural point of Section 7's scope line.
+        solver = AdvectionSolver1D(num_nodes=10, speed=1.0)
+        assert solver.algebraic_systems_solved() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdvectionSolver1D(num_nodes=2, speed=1.0)
+        with pytest.raises(ValueError):
+            AdvectionSolver1D(num_nodes=10, speed=1.0, dx=-1.0)
+        solver = AdvectionSolver1D(num_nodes=10, speed=1.0)
+        with pytest.raises(ValueError):
+            solver.step(np.zeros(5))
+        with pytest.raises(ValueError):
+            solver.evolve(np.zeros(10), 0)

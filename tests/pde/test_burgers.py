@@ -1,0 +1,314 @@
+"""Tests for the 2-D viscous Burgers' stencil system and time stepper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nonlinear.newton import NewtonOptions, damped_newton_with_restarts
+from repro.nonlinear.systems import check_jacobian
+from repro.pde.boundary import DirichletBoundary
+from repro.pde.burgers import (
+    BurgersStencilSystem,
+    BurgersTimeStepper,
+    random_burgers_system,
+    reynolds_character,
+)
+from repro.pde.grid import Grid2D
+
+
+def make_system(n=3, reynolds=1.0, seed=0, weight=1.0):
+    system, guess = random_burgers_system(n, reynolds, np.random.default_rng(seed))
+    if weight != 1.0:
+        system = BurgersStencilSystem(
+            grid=system.grid,
+            reynolds=system.reynolds,
+            rhs_u=system.rhs_u,
+            rhs_v=system.rhs_v,
+            boundary_u=system.boundary_u,
+            boundary_v=system.boundary_v,
+            weight=weight,
+        )
+    return system, guess
+
+
+class TestBurgersResidual:
+    def test_dimension_is_two_fields(self):
+        system, _ = make_system(n=4)
+        assert system.dimension == 32
+
+    def test_pack_split_roundtrip(self):
+        system, _ = make_system(n=3)
+        rng = np.random.default_rng(1)
+        u = rng.standard_normal((3, 3))
+        v = rng.standard_normal((3, 3))
+        u2, v2 = system.split(system.pack(u, v))
+        np.testing.assert_array_equal(u, u2)
+        np.testing.assert_array_equal(v, v2)
+
+    def test_residual_single_node_by_hand(self):
+        # 1x1 grid: the stencil reduces to a closed-form expression.
+        grid = Grid2D.square(1)
+        bu = DirichletBoundary(
+            west=np.array([1.0]), east=np.array([2.0]), south=np.array([3.0]), north=np.array([4.0])
+        )
+        bv = DirichletBoundary.constant(grid, 0.5)
+        re = 2.0
+        system = BurgersStencilSystem(
+            grid,
+            re,
+            rhs_u=np.array([[0.7]]),
+            rhs_v=np.array([[0.1]]),
+            boundary_u=bu,
+            boundary_v=bv,
+        )
+        u, v = 0.3, -0.2
+        ux = (2.0 - 1.0) / 2.0
+        uy = (4.0 - 3.0) / 2.0
+        lap_u = 1.0 + 2.0 + 3.0 + 4.0 - 4.0 * u
+        expected_fu = u + u * ux + v * uy - lap_u / re - 0.7
+        vx = (0.5 - 0.5) / 2.0
+        vy = (0.5 - 0.5) / 2.0
+        lap_v = 4.0 * 0.5 - 4.0 * v
+        expected_fv = v + u * vx + v * vy - lap_v / re - 0.1
+        residual = system.residual(np.array([u, v]))
+        np.testing.assert_allclose(residual, [expected_fu, expected_fv], atol=1e-14)
+
+    def test_rhs_shift_moves_residual(self):
+        system, guess = make_system(n=2)
+        base = system.residual(guess)
+        shifted = BurgersStencilSystem(
+            grid=system.grid,
+            reynolds=system.reynolds,
+            rhs_u=system.rhs_u + 1.0,
+            rhs_v=system.rhs_v,
+            boundary_u=system.boundary_u,
+            boundary_v=system.boundary_v,
+        )
+        delta = shifted.residual(guess) - base
+        np.testing.assert_allclose(delta[:4], -1.0, atol=1e-14)
+        np.testing.assert_allclose(delta[4:], 0.0, atol=1e-14)
+
+    def test_validation(self):
+        grid = Grid2D.square(2)
+        bc = DirichletBoundary.constant(grid)
+        with pytest.raises(ValueError):
+            BurgersStencilSystem(grid, -1.0, np.zeros((2, 2)), np.zeros((2, 2)), bc, bc)
+        with pytest.raises(ValueError):
+            BurgersStencilSystem(grid, 1.0, np.zeros((3, 3)), np.zeros((2, 2)), bc, bc)
+        with pytest.raises(ValueError):
+            BurgersStencilSystem(grid, 1.0, np.zeros((2, 2)), np.zeros((2, 2)), bc, bc, weight=0.0)
+
+
+class TestBurgersJacobian:
+    @pytest.mark.parametrize("n,reynolds", [(1, 1.0), (2, 0.5), (3, 2.0), (4, 5.0)])
+    def test_jacobian_matches_finite_differences(self, n, reynolds):
+        system, guess = make_system(n=n, reynolds=reynolds, seed=n)
+        check_jacobian(system, guess, rtol=1e-4, atol=1e-5)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_property_jacobian_random_states(self, seed):
+        system, _ = make_system(n=2, reynolds=1.0, seed=0)
+        rng = np.random.default_rng(seed)
+        state = rng.uniform(-2.0, 2.0, system.dimension)
+        check_jacobian(system, state, rtol=1e-4, atol=1e-5)
+
+    def test_jacobian_sparsity_five_point_plus_coupling(self):
+        system, guess = make_system(n=4)
+        jac = system.jacobian(guess)
+        # <= 6 nonzeros per row: 5-point stencil + cross-field coupling.
+        row_counts = np.diff(jac.indptr)
+        assert np.max(row_counts) <= 6
+        assert jac.nnz < system.dimension * 6 + 1
+
+    def test_jacobian_weight_scales_offdiagonal(self):
+        sys1, guess = make_system(n=2, weight=1.0)
+        sys2, _ = make_system(n=2, weight=0.5)
+        j1 = sys1.jacobian(guess).to_dense()
+        j2 = sys2.jacobian(guess).to_dense()
+        off1 = j1 - np.diag(np.diag(j1))
+        off2 = j2 - np.diag(np.diag(j2))
+        np.testing.assert_allclose(off2, 0.5 * off1, atol=1e-12)
+
+    def test_diagonal_dominance_decreases_with_reynolds(self):
+        # The Section 6.1 effect: high Re weakens the Jacobian diagonal.
+        rng_state = np.zeros(0)
+        low, _ = make_system(n=3, reynolds=0.1, seed=5)
+        high, _ = make_system(n=3, reynolds=10.0, seed=5)
+        state = np.random.default_rng(6).uniform(-1, 1, low.dimension)
+        assert high.diagonal_dominance(state) < low.diagonal_dominance(state)
+
+
+class TestBurgersSolve:
+    @pytest.mark.parametrize("reynolds", [0.1, 1.0])
+    def test_newton_solves_random_problem(self, reynolds):
+        system, guess = make_system(n=3, reynolds=reynolds, seed=3)
+        result = damped_newton_with_restarts(
+            system, guess, NewtonOptions(tolerance=1e-10, max_iterations=100)
+        )
+        assert result.converged
+        assert system.residual_norm(result.u) < 1e-9
+
+    def test_solution_satisfies_manufactured_problem(self):
+        # Choose a target state, compute the RHS that makes it a root,
+        # then recover it from a perturbed guess.
+        grid = Grid2D.square(3)
+        rng = np.random.default_rng(7)
+        bu = DirichletBoundary.random(grid, rng)
+        bv = DirichletBoundary.random(grid, rng)
+        target_u = rng.uniform(-1, 1, grid.shape)
+        target_v = rng.uniform(-1, 1, grid.shape)
+        probe = BurgersStencilSystem(
+            grid, 1.0, np.zeros(grid.shape), np.zeros(grid.shape), bu, bv
+        )
+        target = probe.pack(target_u, target_v)
+        residual_at_target = probe.residual(target)
+        n = grid.num_nodes
+        system = BurgersStencilSystem(
+            grid,
+            1.0,
+            rhs_u=grid.field(residual_at_target[:n]),
+            rhs_v=grid.field(residual_at_target[n:]),
+            boundary_u=bu,
+            boundary_v=bv,
+        )
+        result = damped_newton_with_restarts(system, target + 0.01 * rng.standard_normal(2 * n))
+        assert result.converged
+        np.testing.assert_allclose(result.u, target, atol=1e-7)
+
+
+class TestBurgersTimeStepper:
+    def test_diffusion_decays_fields(self):
+        # Pure diffusion regime (tiny Re... careful: small Re = strong
+        # diffusion): an initial bump with zero boundaries decays.
+        grid = Grid2D.square(4)
+        bc = DirichletBoundary.constant(grid, 0.0)
+        stepper = BurgersTimeStepper(grid, reynolds=0.5, dt=0.1, boundary_u=bc, boundary_v=bc)
+        u0 = np.full(grid.shape, 0.5)
+        v0 = np.zeros(grid.shape)
+        u, v, results = stepper.evolve(u0, v0, num_steps=5)
+        assert all(r.converged for r in results)
+        assert np.max(np.abs(u)) < np.max(np.abs(u0))
+
+    def test_constant_state_with_matching_boundary_is_steady(self):
+        # u = v = c everywhere (including boundaries): advective and
+        # diffusive terms vanish, so the state is a fixed point.
+        grid = Grid2D.square(3)
+        c = 0.7
+        bc = DirichletBoundary.constant(grid, c)
+        stepper = BurgersTimeStepper(grid, reynolds=1.0, dt=0.2, boundary_u=bc, boundary_v=bc)
+        u0 = np.full(grid.shape, c)
+        u, v, results = stepper.evolve(u0, u0.copy(), num_steps=3)
+        assert all(r.converged for r in results)
+        np.testing.assert_allclose(u, c, atol=1e-8)
+        np.testing.assert_allclose(v, c, atol=1e-8)
+
+    def test_step_reports_newton_result(self):
+        grid = Grid2D.square(3)
+        bc = DirichletBoundary.constant(grid, 0.0)
+        stepper = BurgersTimeStepper(grid, reynolds=1.0, dt=0.1, boundary_u=bc, boundary_v=bc)
+        _, _, result = stepper.step(np.zeros(grid.shape), np.zeros(grid.shape))
+        assert result.converged
+
+    def test_dt_validated(self):
+        grid = Grid2D.square(2)
+        bc = DirichletBoundary.constant(grid)
+        with pytest.raises(ValueError):
+            BurgersTimeStepper(grid, 1.0, dt=0.0, boundary_u=bc, boundary_v=bc)
+
+    def test_crank_nicolson_second_order_in_time(self):
+        # Halving dt should reduce the time-discretization error ~4x,
+        # measured against a fine-dt reference trajectory.
+        grid = Grid2D.square(3)
+        bc = DirichletBoundary.constant(grid, 0.0)
+        rng = np.random.default_rng(11)
+        u0 = rng.uniform(-0.5, 0.5, grid.shape)
+        v0 = rng.uniform(-0.5, 0.5, grid.shape)
+
+        def final_state(dt, steps):
+            stepper = BurgersTimeStepper(
+                grid, reynolds=1.0, dt=dt, boundary_u=bc, boundary_v=bc
+            )
+            u, v, results = stepper.evolve(u0, v0, num_steps=steps)
+            assert all(r.converged for r in results)
+            return np.concatenate([u.ravel(), v.ravel()])
+
+        reference = final_state(0.0125, 64)
+        coarse = final_state(0.1, 8)
+        fine = final_state(0.05, 16)
+        err_coarse = np.linalg.norm(coarse - reference)
+        err_fine = np.linalg.norm(fine - reference)
+        assert 2.5 < err_coarse / err_fine < 6.0
+
+
+class TestReynoldsCharacter:
+    def test_large_reynolds_is_hyperbolic_quasilinear(self):
+        character = reynolds_character(10.0)
+        assert character.regime == "large"
+        assert "hyperbolic" in character.dominant_character
+        assert character.nonlinearity == "quasilinear"
+
+    def test_small_reynolds_is_parabolic(self):
+        character = reynolds_character(0.01)
+        assert character.regime == "small"
+        assert "parabolic" in character.dominant_character
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reynolds_character(0.0)
+
+
+class TestRandomProblemGenerator:
+    def test_constants_within_declared_range(self):
+        system, guess = random_burgers_system(4, 1.0, np.random.default_rng(0))
+        assert np.max(np.abs(system.rhs_u)) <= 3.0
+        assert np.max(np.abs(system.rhs_v)) <= 3.0
+        assert np.max(np.abs(guess)) <= 1.0
+
+    def test_reproducible_with_seed(self):
+        a, ga = random_burgers_system(3, 1.0, np.random.default_rng(42))
+        b, gb = random_burgers_system(3, 1.0, np.random.default_rng(42))
+        np.testing.assert_array_equal(a.rhs_u, b.rhs_u)
+        np.testing.assert_array_equal(ga, gb)
+
+
+class TestBurgersForcing:
+    def test_forcing_shifts_steady_state(self):
+        # Constant forcing drives the implicit step away from zero.
+        grid = Grid2D.square(3)
+        bc = DirichletBoundary.constant(grid, 0.0)
+        forced = BurgersTimeStepper(
+            grid,
+            reynolds=1.0,
+            dt=0.2,
+            boundary_u=bc,
+            boundary_v=bc,
+            forcing_u=np.full(grid.shape, 0.5),
+        )
+        u, v, results = forced.evolve(np.zeros(grid.shape), np.zeros(grid.shape), num_steps=3)
+        assert all(r.converged for r in results)
+        assert np.mean(u) > 0.05
+        # The unforced v field stays near zero.
+        assert abs(np.mean(v)) < np.mean(u) / 2.0
+
+    def test_zero_forcing_matches_default(self):
+        grid = Grid2D.square(3)
+        bc = DirichletBoundary.constant(grid, 0.0)
+        rng = np.random.default_rng(0)
+        u0 = rng.uniform(-0.3, 0.3, grid.shape)
+        v0 = rng.uniform(-0.3, 0.3, grid.shape)
+        default = BurgersTimeStepper(grid, reynolds=1.0, dt=0.1, boundary_u=bc, boundary_v=bc)
+        explicit = BurgersTimeStepper(
+            grid,
+            reynolds=1.0,
+            dt=0.1,
+            boundary_u=bc,
+            boundary_v=bc,
+            forcing_u=np.zeros(grid.shape),
+            forcing_v=np.zeros(grid.shape),
+        )
+        ua, va, _ = default.evolve(u0, v0, num_steps=2)
+        ub, vb, _ = explicit.evolve(u0, v0, num_steps=2)
+        np.testing.assert_allclose(ua, ub, atol=1e-12)
+        np.testing.assert_allclose(va, vb, atol=1e-12)

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table4" in out
+    assert "figure9" in out
+
+
+def test_table4_prints_rows(capsys):
+    assert main(["table4"]) == 0
+    out = capsys.readouterr().out
+    assert "16 x 16" in out
+    assert "352" in out
+
+
+def test_table5_prints_matrix(capsys):
+    assert main(["table5"]) == 0
+    assert "this work" in capsys.readouterr().out
+
+
+def test_figure2_small(capsys):
+    assert main(["figure2", "--resolution", "24"]) == 0
+    assert "contiguity" in capsys.readouterr().out
+
+
+def test_figure6_small(capsys):
+    assert main(["figure6", "--trials", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "total RMS error" in out
+
+
+def test_figure7_tiny(capsys):
+    assert main(["figure7", "--grids", "2", "--reynolds", "1.0", "--trials", "1"]) == 0
+    assert "2x2" in capsys.readouterr().out
+
+
+def test_requires_command(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        main(["figure99"])

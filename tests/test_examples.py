@@ -1,0 +1,96 @@
+"""Smoke tests: the example scripts run end to end.
+
+Each example is executed in-process (importing its module and calling
+its entry function) so regressions in the public API surface fail the
+suite rather than only breaking documentation.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(f"example_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_runs(capsys):
+    module = load_example("quickstart")
+    module.solve_cubic_continuously()
+    accelerator = module.solve_equation2_on_analog()
+    module.hybrid_polish(accelerator)
+    out = capsys.readouterr().out
+    assert "hybrid solution" in out
+    assert "root" in out
+
+
+def test_continuous_algorithms_runs(capsys):
+    module = load_example("continuous_algorithms")
+    module.eigenanalysis_demo()
+    module.linear_programming_demo()
+    out = capsys.readouterr().out
+    assert "simplex optimum" in out
+    assert "flow eigenvalue" in out
+
+
+def test_newton_fractals_runs(capsys):
+    module = load_example("newton_fractals")
+    # Shrink the resolution for the smoke test.
+    module.RESOLUTION = 24
+    module.main()
+    out = capsys.readouterr().out
+    assert "contiguity score" in out
+    assert "homotopy" in out
+
+
+def test_microrobot_energy_budget_runs(capsys):
+    module = load_example("microrobot_energy_budget")
+    module.GRID_N = 4
+    module.main()
+    out = capsys.readouterr().out
+    assert "ticks on battery" in out
+    assert "hybrid analog+CPU" in out
+
+
+def test_burgers_flow_runs(capsys):
+    module = load_example("burgers_flow")
+    module.GRID_N = 3
+    module.STEPS = 2
+    module.main()
+    out = capsys.readouterr().out
+    assert "kinetic energy" in out
+
+
+def test_design_space_runs(capsys):
+    module = load_example("accelerator_design_space")
+    module.GRID_SIZES = (2, 4)
+    module.main()
+    out = capsys.readouterr().out
+    assert "area mm^2" in out
+    assert "ratio" in out
+
+
+def test_bratu_fold_runs(capsys):
+    module = load_example("bratu_fold")
+    module.NODES = 15
+    module.trace_branches()
+    module.lookup_table_variant()
+    out = capsys.readouterr().out
+    assert "lower-branch peak" in out
+    assert "table bits" in out
+
+
+def test_quickstart_scope_panel(capsys):
+    module = load_example("quickstart")
+    module.solve_equation2_on_analog()
+    out = capsys.readouterr().out
+    assert "settling transient" in out
+    assert "rho0" in out

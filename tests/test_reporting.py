@@ -1,0 +1,74 @@
+"""Tests for the reporting helpers."""
+
+from repro.reporting import Comparison, ascii_table, render_comparisons
+
+
+class TestAsciiTable:
+    def test_basic_layout(self):
+        rows = [{"name": "a", "value": 1.5}, {"name": "bb", "value": 2.25}]
+        text = ascii_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_empty(self):
+        assert ascii_table([]) == "(empty table)"
+
+    def test_column_selection_and_missing_cells(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        text = ascii_table(rows, columns=["a", "b"])
+        assert "2" in text
+        assert text.count("|") >= 3
+
+    def test_float_formatting(self):
+        rows = [{"x": 0.000123456}, {"x": 123456.0}, {"x": 0.0}]
+        text = ascii_table(rows)
+        assert "1.235e-04" in text
+        assert "1.235e+05" in text
+        assert "\n0" in text or "| 0" in text or text.endswith("0")
+
+    def test_alignment_consistent(self):
+        rows = [{"col": "short"}, {"col": "a much longer cell"}]
+        text = ascii_table(rows)
+        widths = {len(line) for line in text.splitlines()}
+        assert len(widths) == 1  # fixed-width layout
+
+
+class TestComparisons:
+    def test_render(self):
+        comparisons = [
+            Comparison(
+                experiment="Figure 9",
+                quantity="time speedup at 32x32",
+                paper_value="5.7x",
+                measured_value="8.1x",
+                holds=True,
+                note="shape holds",
+            ),
+            Comparison(
+                experiment="Figure 6",
+                quantity="RMS error",
+                paper_value="5.38%",
+                measured_value="5.3%",
+                holds=True,
+            ),
+        ]
+        text = render_comparisons(comparisons)
+        assert "Figure 9" in text
+        assert "5.7x" in text
+        assert "yes" in text
+
+    def test_violations_flagged(self):
+        text = render_comparisons(
+            [
+                Comparison(
+                    experiment="X",
+                    quantity="q",
+                    paper_value="1",
+                    measured_value="100",
+                    holds=False,
+                )
+            ]
+        )
+        assert "NO" in text

@@ -1,0 +1,86 @@
+"""Tests for the Table 1 workload mini-apps."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    CooksMembraneWorkload,
+    HartmannWorkload,
+    LidDrivenCavityWorkload,
+    TransonicFlowWorkload,
+)
+
+ALL_WORKLOADS = [
+    TransonicFlowWorkload,
+    HartmannWorkload,
+    LidDrivenCavityWorkload,
+    CooksMembraneWorkload,
+]
+
+
+@pytest.mark.parametrize("workload_cls", ALL_WORKLOADS, ids=lambda c: c.__name__)
+def test_runs_and_reports_kernel_fraction(workload_cls):
+    workload = workload_cls()
+    report = workload.run()
+    fraction = report.fraction(workload.KERNEL_NAME)
+    assert 0.0 < fraction < 1.0
+    assert report.total_seconds > 0.0
+
+
+@pytest.mark.parametrize("workload_cls", ALL_WORKLOADS, ids=lambda c: c.__name__)
+def test_equation_solving_is_a_major_kernel(workload_cls):
+    # Table 1's headline: equation solving is a major kernel in every
+    # one of the profiled solvers.
+    workload = workload_cls()
+    report = workload.run()
+    assert report.fraction(workload.KERNEL_NAME) > 0.10
+
+
+def test_structured_grid_has_higher_solver_fraction():
+    # "The equation solving proportion is higher for structured grids
+    # such as finite difference. Irregular memory accesses shift
+    # computation time away from equation solving for less structured
+    # grids such as finite volume and finite elements."
+    transonic = TransonicFlowWorkload()
+    cavity = LidDrivenCavityWorkload()
+    membrane = CooksMembraneWorkload()
+    f_transonic = transonic.run().fraction(transonic.KERNEL_NAME)
+    f_cavity = cavity.run().fraction(cavity.KERNEL_NAME)
+    f_membrane = membrane.run().fraction(membrane.KERNEL_NAME)
+    assert f_transonic > f_cavity
+    assert f_transonic > f_membrane
+
+
+def test_bwaves_analogue_is_the_most_kernel_dominated():
+    fractions = {}
+    for cls in ALL_WORKLOADS:
+        workload = cls()
+        fractions[cls.__name__] = workload.run().fraction(workload.KERNEL_NAME)
+    assert max(fractions, key=fractions.get) == "TransonicFlowWorkload"
+
+
+class TestPhysicsSanity:
+    def test_cavity_flow_develops(self):
+        workload = LidDrivenCavityWorkload(grid_n=12, num_steps=4)
+        workload.run()
+        # The lid drags the top row of fluid in +x.
+        u = workload._final_u.reshape(12, 12)
+        assert np.mean(u[-1, :]) > 0.0
+        # And the bottom stays much slower.
+        assert np.mean(u[-1, :]) > 5.0 * abs(np.mean(u[0, :]))
+
+    def test_membrane_deflects_toward_load(self):
+        workload = CooksMembraneWorkload(grid_n=10, outer_iterations=6)
+        workload.run()
+        assert np.mean(workload._final_displacement) > 0.0
+
+    def test_membrane_hardening_reduces_deflection(self):
+        soft = CooksMembraneWorkload(grid_n=8, hardening=0.0, load=2.0, outer_iterations=8)
+        hard = CooksMembraneWorkload(grid_n=8, hardening=5.0, load=2.0, outer_iterations=8)
+        soft.run()
+        hard.run()
+        assert np.max(hard._final_displacement) < np.max(soft._final_displacement)
+
+    def test_hartmann_analytic_helper_positive(self):
+        workload = HartmannWorkload(hartmann_number=2.0)
+        assert workload.analytic_centerline_velocity() > 0.0
