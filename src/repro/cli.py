@@ -4,9 +4,11 @@
     python -m repro table4
     python -m repro figure6 --trials 100
     python -m repro figure7 --grids 2,4,8 --reynolds 0.1,1.0 --trials 1
+    python -m repro sweep --experiments figure7,figure8 --workers 2
 
 Each command runs the corresponding experiment driver and prints the
-same rows/series the paper reports.
+same rows/series the paper reports. ``sweep`` fans several experiments
+across worker processes and adds per-run linear-kernel accounting.
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ from repro.experiments import (
     run_table4,
     run_table5,
 )
+from repro.experiments.parallel import SWEEP_RUNNERS, run_parallel_sweep
 
 __all__ = ["main"]
 
@@ -78,6 +81,15 @@ def _build_parser() -> argparse.ArgumentParser:
     fig9.add_argument("--grids", type=_parse_ints, default=(16,))
     fig9.add_argument("--trials", type=int, default=1)
     fig9.add_argument("--seed", type=int, default=1)
+
+    sweep = sub.add_parser("sweep", help="run several experiments across worker processes")
+    sweep.add_argument(
+        "--experiments",
+        type=lambda text: tuple(text.split(",")),
+        default=tuple(sorted(SWEEP_RUNNERS)),
+        help="comma-separated subset of: " + ",".join(sorted(SWEEP_RUNNERS)),
+    )
+    sweep.add_argument("--workers", type=int, default=None, help="process count (1 = serial)")
     return parser
 
 
@@ -87,6 +99,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if command == "list":
         print("tables:  table1 table2 table3 table4 table5")
         print("figures: figure2 figure3 figure6 figure7 figure8 figure9")
+        print("sweeps:  sweep (parallel: " + " ".join(sorted(SWEEP_RUNNERS)) + ")")
         return 0
     if command == "table1":
         result = run_table1()
@@ -110,6 +123,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = run_figure8(grid_n=args.grid, reynolds_values=args.reynolds, trials=args.trials)
     elif command == "figure9":
         result = run_figure9(grid_sizes=args.grids, trials=args.trials, seed=args.seed)
+    elif command == "sweep":
+        result = run_parallel_sweep(names=args.experiments, max_workers=args.workers)
     else:  # pragma: no cover - argparse guards this
         raise SystemExit(f"unknown command {command}")
     print(result.render())

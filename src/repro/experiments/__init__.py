@@ -18,6 +18,7 @@ from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure7 import run_figure7
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.figure9 import run_figure9
+from repro.experiments.parallel import run_parallel_sweep
 
 __all__ = [
     "run_table1",
@@ -31,4 +32,5 @@ __all__ = [
     "run_figure7",
     "run_figure8",
     "run_figure9",
+    "run_parallel_sweep",
 ]

@@ -21,11 +21,7 @@ from typing import Optional
 import numpy as np
 
 from repro.analog.engine import solution_error
-from repro.nonlinear.newton import (
-    LinearSolverStats,
-    NewtonOptions,
-    make_sparse_linear_solver,
-)
+from repro.linalg.kernel import LinearKernel, LinearSolverStats
 from repro.nonlinear.systems import NonlinearSystem
 
 __all__ = ["EqualAccuracyResult", "equal_accuracy_damped_newton", "ANALOG_ERROR_TARGET"]
@@ -47,6 +43,9 @@ class EqualAccuracyResult:
     restarts: int
     inner_iterations: int
     linear_solves: int
+    total_inner_iterations: int = 0
+    total_linear_solves: int = 0
+    preconditioner_builds: int = 0
 
     @property
     def mean_inner_per_newton(self) -> float:
@@ -62,23 +61,33 @@ def equal_accuracy_damped_newton(
     max_iterations: int = 200,
     min_damping: float = 1.0 / 1024.0,
     divergence_threshold: float = 1e6,
+    kernel: Optional[LinearKernel] = None,
 ) -> EqualAccuracyResult:
     """Damped Newton, halving on failure, stopped at the error target.
 
     ``scale`` maps solutions into the analog dynamic range so the error
     metric matches Equation 6's scaled form. Following the paper's
     charitable accounting, ``iterations`` counts only the successful
-    damping's run; the honest total is also reported.
+    damping's run; the honest total is also reported
+    (``total_iterations_including_restarts``, ``total_inner_iterations``
+    and ``total_linear_solves`` include every failed attempt).
+
+    One :class:`~repro.linalg.kernel.LinearKernel` is shared across
+    every damping attempt (pass ``kernel`` to share it with other
+    solves of the same problem), so the preconditioner is factorized
+    once per sparsity pattern instead of once per attempt.
     """
     golden = np.asarray(golden, dtype=float)
+    kernel = kernel or LinearKernel()
     damping = 1.0
     restarts = 0
     total_iterations = 0
+    total_stats = LinearSolverStats()
+    builds_before = kernel.stats.preconditioner_builds
     last_u = np.asarray(initial_guess, dtype=float)
 
     while damping >= min_damping:
         stats = LinearSolverStats()
-        solver = make_sparse_linear_solver(stats=stats)
         u = np.array(initial_guess, dtype=float, copy=True)
         initial_norm = max(system.residual_norm(u), 1e-300)
         performed = 0
@@ -89,7 +98,7 @@ def equal_accuracy_damped_newton(
             residual = system.residual(u)
             jacobian = system.jacobian(u)
             try:
-                delta = solver(jacobian, residual)
+                delta = kernel.solve(jacobian, residual, sink=stats)
             except Exception:
                 diverged = True
                 break
@@ -101,6 +110,7 @@ def equal_accuracy_damped_newton(
                 diverged = True
                 break
         total_iterations += performed
+        total_stats.merge(stats)
         if not diverged and solution_error(u / scale, golden / scale) <= target_error:
             return EqualAccuracyResult(
                 u=u,
@@ -111,6 +121,9 @@ def equal_accuracy_damped_newton(
                 restarts=restarts,
                 inner_iterations=stats.inner_iterations,
                 linear_solves=stats.solves,
+                total_inner_iterations=total_stats.inner_iterations,
+                total_linear_solves=total_stats.solves,
+                preconditioner_builds=kernel.stats.preconditioner_builds - builds_before,
             )
         last_u = u
         restarts += 1
@@ -124,4 +137,7 @@ def equal_accuracy_damped_newton(
         restarts=restarts,
         inner_iterations=0,
         linear_solves=0,
+        total_inner_iterations=total_stats.inner_iterations,
+        total_linear_solves=total_stats.solves,
+        preconditioner_builds=kernel.stats.preconditioner_builds - builds_before,
     )

@@ -23,11 +23,12 @@ import numpy as np
 
 from repro.analog.engine import AnalogAccelerator
 from repro.core.hybrid import HybridSolver
-from repro.nonlinear.newton import NewtonOptions, make_sparse_linear_solver
+from repro.linalg.kernel import LinearKernel, LinearSolverStats
+from repro.nonlinear.newton import NewtonOptions, damped_newton_with_restarts
 from repro.perf.analog_model import AnalogTimingModel
 from repro.perf.cpu_model import CpuModel
 from repro.pde.burgers import random_burgers_system
-from repro.reporting import ascii_table
+from repro.reporting import ascii_table, render_kernel_stats
 
 __all__ = ["Figure8Result", "run_figure8", "PAPER_FIGURE8"]
 
@@ -48,12 +49,15 @@ PAPER_FIGURE8 = {
 @dataclass
 class Figure8Result:
     rows_data: List[dict]
+    kernel_stats: Optional[LinearSolverStats] = None
 
     def rows(self) -> List[dict]:
         return self.rows_data
 
     def render(self) -> str:
-        return ascii_table(self.rows_data)
+        table = ascii_table(self.rows_data)
+        stats = render_kernel_stats(self.kernel_stats, label="digital linear kernel")
+        return f"{table}\n\n{stats}" if stats else table
 
     def row_at(self, reynolds: float) -> Optional[dict]:
         for row in self.rows_data:
@@ -79,6 +83,7 @@ def run_figure8(
     cpu_model = cpu_model or CpuModel()
     analog_model = analog_model or AnalogTimingModel()
     options = NewtonOptions(tolerance=1e-11, max_iterations=60)
+    sweep_stats = LinearSolverStats()
     rows = []
     for reynolds in reynolds_values:
         baseline_times = []
@@ -91,18 +96,18 @@ def run_figure8(
             # dynamic range (no warm history to exploit).
             guess = rng.uniform(-2.0, 2.0, system.dimension)
             nnz = system.jacobian(guess).nnz
+            # Per-trial kernels (baseline and seeded legs accounted
+            # separately but into one sweep-level sink).
             solver = HybridSolver(
                 AnalogAccelerator(seed=seed + trial),
                 polish_options=options,
-                linear_solver=make_sparse_linear_solver(),
+                linear_solver=LinearKernel(stats=sweep_stats),
             )
-            from repro.nonlinear.newton import damped_newton_with_restarts
-
             baseline = damped_newton_with_restarts(
                 system,
                 guess,
                 options,
-                linear_solver=make_sparse_linear_solver(),
+                linear_solver=LinearKernel(stats=sweep_stats),
                 min_damping=1.0 / 64.0,
             )
             if not baseline.converged:
@@ -132,4 +137,4 @@ def run_figure8(
                 "speedup": float(np.mean(baseline_times) / max(np.mean(seeded_times), 1e-12)),
             }
         )
-    return Figure8Result(rows_data=rows)
+    return Figure8Result(rows_data=rows, kernel_stats=sweep_stats)

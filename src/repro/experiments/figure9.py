@@ -28,16 +28,16 @@ import numpy as np
 
 from repro.analog.engine import AnalogAccelerator
 from repro.core.gauss_seidel import RedBlackGaussSeidel
+from repro.linalg.kernel import LinearKernel, LinearSolverStats
 from repro.nonlinear.newton import (
     NewtonOptions,
     damped_newton_with_restarts,
-    make_sparse_linear_solver,
     newton_solve,
 )
 from repro.perf.analog_model import AnalogTimingModel
 from repro.perf.gpu_model import GpuModel
 from repro.pde.burgers import BurgersStencilSystem, random_burgers_system
-from repro.reporting import ascii_table
+from repro.reporting import ascii_table, render_kernel_stats
 
 __all__ = ["Figure9Result", "run_figure9", "PAPER_FIGURE9"]
 
@@ -52,12 +52,15 @@ PAPER_FIGURE9 = {
 @dataclass
 class Figure9Result:
     rows_data: List[dict]
+    kernel_stats: Optional[LinearSolverStats] = None
 
     def rows(self) -> List[dict]:
         return self.rows_data
 
     def render(self) -> str:
-        return ascii_table(self.rows_data)
+        table = ascii_table(self.rows_data)
+        stats = render_kernel_stats(self.kernel_stats, label="digital linear kernel")
+        return f"{table}\n\n{stats}" if stats else table
 
     def row_at(self, grid_n: int) -> Optional[dict]:
         for row in self.rows_data:
@@ -94,7 +97,7 @@ def run_figure9(
     gpu_model = gpu_model or GpuModel()
     analog_model = analog_model or AnalogTimingModel()
     newton_options = NewtonOptions(tolerance=1e-11, max_iterations=60)
-    sparse_solver = make_sparse_linear_solver()
+    sweep_stats = LinearSolverStats()
     rows = []
     for grid_n in grid_sizes:
         baseline_times, seed_times, polish_times = [], [], []
@@ -106,9 +109,12 @@ def run_figure9(
             # where the paper's seeding benefit appears.
             guess = rng.uniform(-2.0, 2.0, system.dimension)
             jacobian = system.jacobian(guess)
+            # Per-trial kernel: baseline and seeded-polish legs share the
+            # trial's factorization; sweep_stats aggregates across trials.
+            kernel = LinearKernel(stats=sweep_stats)
 
             baseline = damped_newton_with_restarts(
-                system, guess, newton_options, linear_solver=sparse_solver, min_damping=1.0 / 64.0
+                system, guess, newton_options, linear_solver=kernel, min_damping=1.0 / 64.0
             )
             if not baseline.converged:
                 continue
@@ -137,10 +143,10 @@ def run_figure9(
             seed_times.append(analog_model.seconds(mean_settle) * serial_phases)
 
             # ...then undamped GPU Newton from the assembled seed.
-            polish = newton_solve(system, gs.u, newton_options, linear_solver=sparse_solver)
+            polish = newton_solve(system, gs.u, newton_options, linear_solver=kernel)
             if not polish.converged:
                 polish = damped_newton_with_restarts(
-                    system, gs.u, newton_options, linear_solver=sparse_solver
+                    system, gs.u, newton_options, linear_solver=kernel
                 )
             polish_times.append(gpu_model.solve_seconds(polish, jacobian))
         if not baseline_times:
@@ -166,4 +172,4 @@ def run_figure9(
                 "energy savings": baseline_j / max(seeded_j + analog_j, 1e-12),
             }
         )
-    return Figure9Result(rows_data=rows)
+    return Figure9Result(rows_data=rows, kernel_stats=sweep_stats)

@@ -1,0 +1,157 @@
+"""Fan experiment sweeps across a process pool.
+
+The figure sweeps (7/8/9) and the measured tables (2/4) are
+embarrassingly parallel at the experiment level: each driver builds its
+own problems, its own :class:`~repro.linalg.kernel.LinearKernel`
+instances and its own stats sinks, so runs share no mutable state and
+can execute in separate worker processes. :func:`run_parallel_sweep`
+dispatches any subset of them over :class:`concurrent.futures.
+ProcessPoolExecutor` and gathers the rendered results plus the
+per-sweep linear-kernel accounting.
+
+Sandboxed or single-core environments may refuse to fork; the sweep
+then degrades to in-process serial execution with identical results
+(the drivers are deterministic given their seeds).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.table2 import run_table2
+from repro.experiments.table4 import run_table4
+from repro.reporting import ascii_table
+
+__all__ = ["SweepRun", "SweepResult", "run_parallel_sweep", "SWEEP_RUNNERS"]
+
+# Experiments safe to fan out: each call is self-contained (fresh RNGs,
+# fresh kernels) and returns a picklable result object.
+SWEEP_RUNNERS: Dict[str, Callable] = {
+    "figure7": run_figure7,
+    "figure8": run_figure8,
+    "figure9": run_figure9,
+    "table2": run_table2,
+    "table4": run_table4,
+}
+
+# Small default shapes so a full sweep stays interactive; pass
+# ``overrides`` for paper-scale runs.
+_DEFAULT_KWARGS: Dict[str, Dict] = {
+    "figure7": {"grid_sizes": (2, 4), "reynolds_values": (0.01, 1.0), "trials": 1},
+    "figure8": {"grid_n": 8, "reynolds_values": (0.25, 2.0), "trials": 2},
+    "figure9": {"grid_sizes": (16,), "trials": 1, "seed": 1},
+    "table2": {},
+    "table4": {},
+}
+
+
+@dataclass
+class SweepRun:
+    """Outcome of one experiment inside a sweep."""
+
+    name: str
+    rendered: str
+    error: Optional[str] = None
+    linear_solves: int = 0
+    inner_iterations: int = 0
+    preconditioner_builds: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SweepResult:
+    """All runs of one sweep plus how they were executed."""
+
+    runs: List[SweepRun] = field(default_factory=list)
+    mode: str = "serial"  # "parallel" or "serial"
+    workers: int = 1
+
+    def run_named(self, name: str) -> Optional[SweepRun]:
+        for run in self.runs:
+            if run.name == name:
+                return run
+        return None
+
+    def summary_rows(self) -> List[dict]:
+        return [
+            {
+                "experiment": run.name,
+                "status": "ok" if run.ok else f"error: {run.error}",
+                "linear solves": run.linear_solves,
+                "inner iterations": run.inner_iterations,
+                "preconditioner builds": run.preconditioner_builds,
+            }
+            for run in self.runs
+        ]
+
+    def render(self) -> str:
+        parts = [
+            f"sweep of {len(self.runs)} experiment(s), "
+            f"{self.mode} execution ({self.workers} worker(s))",
+            ascii_table(self.summary_rows()),
+        ]
+        for run in self.runs:
+            header = f"== {run.name} =="
+            parts.append(f"{header}\n{run.rendered}" if run.ok else header)
+        return "\n\n".join(parts)
+
+
+def _run_one(name: str, kwargs: Dict) -> SweepRun:
+    """Execute one experiment; must stay top-level for pickling."""
+    runner = SWEEP_RUNNERS[name]
+    try:
+        result = runner(**kwargs)
+    except Exception as exc:  # pragma: no cover - defensive; drivers are total
+        return SweepRun(name=name, rendered="", error=f"{type(exc).__name__}: {exc}")
+    stats = getattr(result, "kernel_stats", None)
+    return SweepRun(
+        name=name,
+        rendered=result.render(),
+        linear_solves=stats.solves if stats else 0,
+        inner_iterations=stats.inner_iterations if stats else 0,
+        preconditioner_builds=stats.preconditioner_builds if stats else 0,
+    )
+
+
+def run_parallel_sweep(
+    names: Sequence[str] = ("figure7", "figure8", "figure9", "table2", "table4"),
+    overrides: Optional[Dict[str, Dict]] = None,
+    max_workers: Optional[int] = None,
+) -> SweepResult:
+    """Run the named experiments, in parallel when the platform allows.
+
+    ``overrides`` maps experiment name to keyword arguments merged over
+    the small defaults (e.g. ``{"figure7": {"trials": 4}}``).
+    ``max_workers=1`` forces serial execution without touching the pool.
+    """
+    overrides = overrides or {}
+    jobs: List[Tuple[str, Dict]] = []
+    for name in names:
+        if name not in SWEEP_RUNNERS:
+            known = ", ".join(sorted(SWEEP_RUNNERS))
+            raise ValueError(f"unknown experiment {name!r}; known: {known}")
+        kwargs = dict(_DEFAULT_KWARGS.get(name, {}))
+        kwargs.update(overrides.get(name, {}))
+        jobs.append((name, kwargs))
+
+    workers = max_workers if max_workers is not None else min(len(jobs), 4)
+    if workers > 1 and len(jobs) > 1:
+        try:
+            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(_run_one, name, kwargs) for name, kwargs in jobs]
+                runs = [future.result() for future in futures]
+            return SweepResult(runs=runs, mode="parallel", workers=workers)
+        except Exception:
+            # Process pools need fork/spawn + a writable semaphore dir;
+            # sandboxes may provide neither. Fall back to serial.
+            pass
+    runs = [_run_one(name, kwargs) for name, kwargs in jobs]
+    return SweepResult(runs=runs, mode="serial", workers=1)

@@ -45,6 +45,7 @@ from repro.linalg.preconditioners import (
     Ilu0Preconditioner,
     SsorPreconditioner,
 )
+from repro.linalg.kernel import LinearKernel, LinearSolverStats
 from repro.linalg.qr import SparseQr, qr_operation_count
 from repro.linalg.gradient_flow import GradientFlowResult, gradient_flow_solve
 from repro.linalg.multigrid import MultigridPoisson, MultigridResult
@@ -77,6 +78,8 @@ __all__ = [
     "JacobiPreconditioner",
     "Ilu0Preconditioner",
     "SsorPreconditioner",
+    "LinearKernel",
+    "LinearSolverStats",
     "SparseQr",
     "qr_operation_count",
     "GradientFlowResult",

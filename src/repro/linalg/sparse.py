@@ -200,13 +200,11 @@ class CsrMatrix:
 
     def diagonal(self) -> np.ndarray:
         """Main diagonal as a dense vector (zeros where absent)."""
-        diag = np.zeros(min(self.shape))
-        for i in range(min(self.shape)):
-            start, stop = self.indptr[i], self.indptr[i + 1]
-            cols = self.indices[start:stop]
-            hit = np.nonzero(cols == i)[0]
-            if hit.size:
-                diag[i] = self.data[start + hit[0]]
+        n = min(self.shape)
+        diag = np.zeros(n)
+        row_ids = self._row_ids()
+        hits = (row_ids == self.indices) & (row_ids < n)
+        diag[row_ids[hits]] = self.data[hits]
         return diag
 
     def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -216,11 +214,9 @@ class CsrMatrix:
 
     def transpose(self) -> "CsrMatrix":
         """Explicit transpose, itself in CSR form."""
-        builder = CooBuilder(self.num_cols, self.num_rows)
-        row_ids = self._row_ids()
-        for r, c, v in zip(row_ids, self.indices, self.data):
-            builder.add(int(c), int(r), float(v))
-        return builder.to_csr()
+        return csr_from_triplets(
+            self.num_cols, self.num_rows, self.indices, self._row_ids(), self.data
+        )
 
     def to_dense(self) -> np.ndarray:
         """Materialize as a dense array (tests and small solves only)."""
@@ -242,12 +238,13 @@ class CsrMatrix:
         """Structural sum ``A + B`` (shapes must match)."""
         if self.shape != other.shape:
             raise ValueError(f"shape mismatch {self.shape} vs {other.shape}")
-        builder = CooBuilder(*self.shape)
-        for mat in (self, other):
-            row_ids = mat._row_ids()
-            for r, c, v in zip(row_ids, mat.indices, mat.data):
-                builder.add(int(r), int(c), float(v))
-        return builder.to_csr()
+        return csr_from_triplets(
+            self.num_rows,
+            self.num_cols,
+            np.concatenate([self._row_ids(), other._row_ids()]),
+            np.concatenate([self.indices, other.indices]),
+            np.concatenate([self.data, other.data]),
+        )
 
     def frobenius_norm(self) -> float:
         return float(np.sqrt(np.sum(self.data**2)))

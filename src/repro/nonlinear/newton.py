@@ -15,9 +15,27 @@ is :func:`damped_newton_with_restarts`, which reports both the
 charitable "paper accounting" and the true total work.
 
 Each Newton step solves ``J delta = F``. The linear kernel is
-pluggable: dense LU for small systems, and the library's sparse Krylov
-solvers (Bi-CGstab with ILU(0), or GMRES near singularity) for PDE
-stencils; see :func:`make_sparse_linear_solver`.
+pluggable and comes in two forms:
+
+* a stateful :class:`~repro.linalg.kernel.LinearKernel` — the
+  preferred hot-path form. The kernel owns its preconditioner and
+  reuses the factorization across Newton steps while the Jacobian's
+  sparsity pattern is unchanged (refreshing only when the Krylov
+  residual-reduction rate degrades), and it charges every inner
+  iteration to a :class:`~repro.linalg.kernel.LinearSolverStats` sink,
+  so ``NewtonResult.linear_stats`` reflects the true inner work the
+  CPU/GPU cost models bill for;
+* a bare ``solver(jacobian, rhs)`` callable, kept as a thin
+  backward-compatible adapter (stats then only count outer solves).
+
+When no solver is given, :func:`newton_solve` builds a fresh
+``LinearKernel`` per solve: dense LU for array Jacobians,
+Jacobi-preconditioned Bi-CGstab (with GMRES and emergency-dense
+fallbacks) for CSR — and the per-solve statistics are recorded instead
+of silently dropped. :func:`make_sparse_linear_solver` now returns a
+``LinearKernel`` (which is itself callable), so existing call sites
+keep working while gaining factorization reuse and additive fallback
+accounting.
 """
 
 from __future__ import annotations
@@ -27,9 +45,8 @@ from typing import Callable, List, Optional, Union
 
 import numpy as np
 
-from repro.linalg.dense import SingularMatrixError, solve_dense
-from repro.linalg.iterative import bicgstab, gmres
-from repro.linalg.preconditioners import Ilu0Preconditioner
+from repro.linalg.dense import SingularMatrixError
+from repro.linalg.kernel import LinearKernel, LinearSolverStats
 from repro.linalg.sparse import CsrMatrix
 from repro.nonlinear.systems import NonlinearSystem
 
@@ -37,6 +54,7 @@ __all__ = [
     "NewtonOptions",
     "NewtonResult",
     "LinearSolverStats",
+    "LinearKernel",
     "newton_solve",
     "damped_newton_with_restarts",
     "make_sparse_linear_solver",
@@ -44,24 +62,13 @@ __all__ = [
 
 JacobianLike = Union[np.ndarray, CsrMatrix]
 LinearSolver = Callable[[JacobianLike, np.ndarray], np.ndarray]
+# Accepted everywhere a linear solver is pluggable: a stateful kernel
+# or the legacy bare callable.
+LinearSolverLike = Union[LinearKernel, LinearSolver]
 
 
 class NewtonDivergence(RuntimeError):
     """Raised internally when an iteration produces a non-finite state."""
-
-
-@dataclass
-class LinearSolverStats:
-    """Aggregate cost of the inner linear solves across Newton steps."""
-
-    solves: int = 0
-    inner_iterations: int = 0
-    matvecs: int = 0
-
-    def record(self, iterations: int, matvecs: int) -> None:
-        self.solves += 1
-        self.inner_iterations += iterations
-        self.matvecs += matvecs
 
 
 @dataclass
@@ -109,16 +116,21 @@ class NewtonResult:
     restarts: int = 0
     total_iterations_including_restarts: int = 0
     linear_stats: LinearSolverStats = field(default_factory=LinearSolverStats)
+    total_linear_stats: Optional[LinearSolverStats] = None
     failure_reason: Optional[str] = None
 
 
-def default_linear_solver(jacobian: JacobianLike, rhs: np.ndarray) -> np.ndarray:
-    """Dense LU for arrays; ILU-preconditioned Bi-CGstab for CSR, with
-    a GMRES fallback when Bi-CGstab breaks down (near-singular J)."""
-    if isinstance(jacobian, CsrMatrix):
-        solver = make_sparse_linear_solver()
-        return solver(jacobian, rhs)
-    return solve_dense(np.asarray(jacobian, dtype=float), rhs)
+def default_linear_solver(
+    jacobian: JacobianLike, rhs: np.ndarray, stats: Optional[LinearSolverStats] = None
+) -> np.ndarray:
+    """Backward-compatible one-shot solve: dense LU for arrays,
+    preconditioned Krylov (with fallbacks) for CSR.
+
+    Prefer passing a :class:`LinearKernel` to the Newton drivers — a
+    fresh kernel per call cannot reuse factorizations. ``stats``, when
+    given, receives the solve's full inner-iteration accounting.
+    """
+    return LinearKernel(stats=stats).solve(jacobian, rhs)
 
 
 def make_sparse_linear_solver(
@@ -126,84 +138,36 @@ def make_sparse_linear_solver(
     max_iterations: int = 2_000,
     stats: Optional[LinearSolverStats] = None,
     preconditioner_kind: str = "jacobi",
-) -> LinearSolver:
+) -> LinearKernel:
     """Build the library's production sparse kernel for Newton steps.
 
-    Runs preconditioned Bi-CGstab (the Table 1 kernel of the
-    bwaves-style solvers); if it stalls, falls back to restarted GMRES,
-    and finally to a dense solve for small systems. Records
-    inner-iteration counts in ``stats`` when provided — the CPU/GPU
-    models charge per inner iteration.
+    Thin adapter over :class:`~repro.linalg.kernel.LinearKernel`
+    (returned directly — a kernel instance is a valid
+    ``solver(jacobian, rhs)`` callable). Runs preconditioned Bi-CGstab
+    (the Table 1 kernel of the bwaves-style solvers); if it stalls,
+    falls back to restarted GMRES, and finally to a dense solve for
+    small systems. The factorization is cached and reused while the
+    CSR sparsity pattern is unchanged, and inner-iteration counts are
+    recorded **additively across all attempts** in ``stats`` when
+    provided — the CPU/GPU models charge per inner iteration.
 
     ``preconditioner_kind`` selects ``"jacobi"`` (default — fully
     vectorized, right for the diagonally dominant Burgers Jacobians),
     ``"ilu0"`` (stronger but row-serial), or ``"none"``.
     """
-    if preconditioner_kind not in ("jacobi", "ilu0", "none"):
-        raise ValueError(f"unknown preconditioner_kind {preconditioner_kind!r}")
-
-    def _build_preconditioner(jacobian: CsrMatrix):
-        try:
-            if preconditioner_kind == "jacobi":
-                from repro.linalg.preconditioners import JacobiPreconditioner
-
-                return JacobiPreconditioner(jacobian)
-            if preconditioner_kind == "ilu0":
-                return Ilu0Preconditioner(jacobian)
-        except ValueError:
-            return None
-        return None
-
-    def solver(jacobian: JacobianLike, rhs: np.ndarray) -> np.ndarray:
-        if not isinstance(jacobian, CsrMatrix):
-            return solve_dense(np.asarray(jacobian, dtype=float), rhs)
-        preconditioner = _build_preconditioner(jacobian)
-        result = bicgstab(
-            jacobian, rhs, preconditioner=preconditioner, tol=tol, max_iterations=max_iterations
-        )
-        if not result.converged and jacobian.num_rows > 4096:
-            # GMRES fallback for systems too large for the direct
-            # emergency path; bounded budget — its restart cycles carry
-            # per-stage costs that would dominate wall-clock on
-            # near-singular systems.
-            result = gmres(
-                jacobian,
-                rhs,
-                preconditioner=preconditioner,
-                tol=tol,
-                max_iterations=min(max_iterations, 400),
-            )
-        if not result.converged and jacobian.num_rows <= 4096:
-            # Direct emergency fallback for (near-)singular Jacobians.
-            # Our own LU is used where its pure-Python cost is tolerable;
-            # past that we lean on LAPACK so a pathological instance
-            # cannot stall a whole experiment sweep.
-            dense = jacobian.to_dense()
-            if jacobian.num_rows <= 128:
-                try:
-                    delta = solve_dense(dense, rhs)
-                except SingularMatrixError:
-                    delta = np.linalg.lstsq(dense, rhs, rcond=None)[0]
-            else:
-                try:
-                    delta = np.linalg.solve(dense, rhs)
-                except np.linalg.LinAlgError:
-                    delta = np.linalg.lstsq(dense, rhs, rcond=None)[0]
-            if stats is not None:
-                stats.record(result.iterations, result.matvec_count)
-            return delta
-        if stats is not None:
-            stats.record(result.iterations, result.matvec_count)
-        return result.x
-
-    return solver
+    return LinearKernel(
+        tol=tol,
+        max_iterations=max_iterations,
+        stats=stats,
+        preconditioner_kind=preconditioner_kind,
+    )
 
 
 def newton_solve(
     system: NonlinearSystem,
     u0: np.ndarray,
     options: Optional[NewtonOptions] = None,
-    linear_solver: Optional[LinearSolver] = None,
+    linear_solver: Optional[LinearSolverLike] = None,
 ) -> NewtonResult:
     """Run (damped) Newton's method from ``u0``.
 
@@ -213,9 +177,25 @@ def newton_solve(
     stops being finite, the Jacobian is singular to working precision,
     or the residual grows past ``options.divergence_threshold`` times
     its initial value.
+
+    ``linear_solver`` may be a stateful
+    :class:`~repro.linalg.kernel.LinearKernel` (preferred: the
+    preconditioner is reused across the Newton steps and the full
+    inner-solve accounting lands in ``NewtonResult.linear_stats``) or a
+    bare callable. When omitted, a fresh kernel is created for this
+    solve.
     """
     options = options or NewtonOptions()
-    solve = linear_solver or default_linear_solver
+    kernel: Optional[LinearKernel]
+    if linear_solver is None:
+        kernel = LinearKernel()
+        solve: Optional[LinearSolver] = None
+    elif isinstance(linear_solver, LinearKernel):
+        kernel = linear_solver
+        solve = None
+    else:
+        kernel = None
+        solve = linear_solver
     u = np.array(u0, dtype=float, copy=True)
     stats = LinearSolverStats()
 
@@ -238,7 +218,11 @@ def newton_solve(
     for iteration in range(1, options.max_iterations + 1):
         jacobian = system.jacobian(u)
         try:
-            delta = solve(jacobian, residual)
+            if kernel is not None:
+                delta = kernel.solve(jacobian, residual, sink=stats)
+            else:
+                delta = solve(jacobian, residual)
+                stats.solves += 1
         except SingularMatrixError:
             return NewtonResult(
                 u=u,
@@ -250,7 +234,6 @@ def newton_solve(
                 linear_stats=stats,
                 failure_reason="singular Jacobian",
             )
-        stats.solves += 1
         u = u - options.damping * delta
         if not np.all(np.isfinite(u)):
             return NewtonResult(
@@ -303,7 +286,7 @@ def damped_newton_with_restarts(
     system: NonlinearSystem,
     u0: np.ndarray,
     options: Optional[NewtonOptions] = None,
-    linear_solver: Optional[LinearSolver] = None,
+    linear_solver: Optional[LinearSolverLike] = None,
     min_damping: float = 1.0 / 1024.0,
 ) -> NewtonResult:
     """The paper's baseline solver: halve the damping until convergence.
@@ -314,12 +297,23 @@ def damped_newton_with_restarts(
     advantage counting only the time spent using the correct damping
     parameter"), the returned ``iterations`` counts only the successful
     run; the honest total including failed restarts is in
-    ``total_iterations_including_restarts``.
+    ``total_iterations_including_restarts``, and the honest
+    inner-linear-solve total across every attempt is in
+    ``total_linear_stats`` (``linear_stats`` keeps the successful run's
+    share). A :class:`~repro.linalg.kernel.LinearKernel` passed as
+    ``linear_solver`` is shared across the restart attempts, so the
+    preconditioner built on the first attempt keeps paying off.
     """
     options = options or NewtonOptions()
+    if linear_solver is None:
+        # One kernel for the whole restart schedule: the sparsity
+        # pattern is fixed, so failed-damping attempts reuse the
+        # factorization instead of rebuilding it.
+        linear_solver = LinearKernel()
     damping = options.damping
     restarts = 0
     total_iterations = 0
+    total_stats = LinearSolverStats()
     last: Optional[NewtonResult] = None
     while damping >= min_damping:
         attempt_options = NewtonOptions(
@@ -330,9 +324,11 @@ def damped_newton_with_restarts(
         )
         result = newton_solve(system, u0, attempt_options, linear_solver)
         total_iterations += result.iterations
+        total_stats.merge(result.linear_stats)
         if result.converged:
             result.restarts = restarts
             result.total_iterations_including_restarts = total_iterations
+            result.total_linear_stats = total_stats
             return result
         last = result
         restarts += 1
@@ -340,5 +336,6 @@ def damped_newton_with_restarts(
     assert last is not None
     last.restarts = restarts
     last.total_iterations_including_restarts = total_iterations
+    last.total_linear_stats = total_stats
     last.failure_reason = f"no damping in [{min_damping}, {options.damping}] converged"
     return last

@@ -34,7 +34,14 @@ from repro.pde.burgers import (
     random_burgers_system,
     reynolds_character,
 )
-from repro.pde.timestepping import CrankNicolsonSystem, SpatialOperator, ImplicitEulerSystem, Bdf2System
+from repro.pde.timestepping import (
+    Bdf2System,
+    CrankNicolsonSystem,
+    ImplicitEulerSystem,
+    ImplicitStepper,
+    SpatialOperator,
+    TrajectoryResult,
+)
 from repro.pde.reaction_diffusion import ReactionDiffusion1D
 from repro.pde.poisson import PoissonProblem
 from repro.pde.bratu import BratuProblem1D, BratuProblem2D, BRATU_1D_CRITICAL, BRATU_2D_CRITICAL
@@ -56,6 +63,8 @@ __all__ = [
     "CrankNicolsonSystem",
     "ImplicitEulerSystem",
     "Bdf2System",
+    "ImplicitStepper",
+    "TrajectoryResult",
     "SpatialOperator",
     "ReactionDiffusion1D",
     "PoissonProblem",

@@ -10,19 +10,37 @@ next time level:
 
 * **Crank-Nicolson** (trapezoidal, second-order): the paper's choice
   for the parabolic viscous Burgers' equation;
-* **implicit Euler** (first-order) as the robust comparison scheme.
+* **implicit Euler** (first-order) as the robust comparison scheme;
+* **BDF2** (second-order, L-stable) as the Section 7 extension.
+
+:class:`ImplicitStepper` drives any of the three with a single
+:class:`~repro.linalg.kernel.LinearKernel` shared across every Newton
+step of every time step: the per-step Jacobians ``I + c dt J(y)`` all
+share one sparsity pattern on a fixed grid, so the preconditioner is
+factorized once and reused for the whole integration, and the
+aggregated inner-solve statistics are available for the cost models.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Union
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Union
 
 import numpy as np
 
+from repro.linalg.kernel import LinearKernel, LinearSolverStats
 from repro.linalg.sparse import CsrMatrix, eye
+from repro.nonlinear.newton import NewtonOptions, NewtonResult, newton_solve
 from repro.nonlinear.systems import NonlinearSystem
 
-__all__ = ["SpatialOperator", "CrankNicolsonSystem", "ImplicitEulerSystem", "Bdf2System"]
+__all__ = [
+    "SpatialOperator",
+    "CrankNicolsonSystem",
+    "ImplicitEulerSystem",
+    "Bdf2System",
+    "ImplicitStepper",
+    "TrajectoryResult",
+]
 
 JacobianLike = Union[np.ndarray, CsrMatrix]
 
@@ -155,3 +173,115 @@ class Bdf2System(NonlinearSystem):
         if isinstance(inner, CsrMatrix):
             return eye(self.dimension).add(inner.scaled(self._coeff))
         return np.eye(self.dimension) + self._coeff * np.asarray(inner, dtype=float)
+
+
+@dataclass
+class TrajectoryResult:
+    """Outcome of an :class:`ImplicitStepper` integration.
+
+    ``states`` holds the initial state plus one row per completed step;
+    ``newton_results`` the per-step solver outcomes. ``linear_stats``
+    aggregates the inner linear-solve accounting for the whole
+    trajectory (the stepper's kernel records per-step shares too).
+    """
+
+    states: np.ndarray
+    newton_results: List[NewtonResult] = field(default_factory=list)
+    linear_stats: LinearSolverStats = field(default_factory=LinearSolverStats)
+
+    @property
+    def y(self) -> np.ndarray:
+        """Final state."""
+        return self.states[-1]
+
+    @property
+    def converged(self) -> bool:
+        return all(result.converged for result in self.newton_results)
+
+    @property
+    def total_newton_iterations(self) -> int:
+        return sum(result.iterations for result in self.newton_results)
+
+
+class ImplicitStepper:
+    """Implicit integrator sharing one linear kernel across all steps.
+
+    Parameters
+    ----------
+    operator:
+        The spatial operator ``N(y)`` of ``dy/dt = -N(y)``.
+    dt:
+        Fixed step size.
+    scheme:
+        ``"crank-nicolson"`` (default), ``"implicit-euler"``, or
+        ``"bdf2"`` (started with one Crank-Nicolson step, the
+        conventional bootstrap for the missing history level).
+    options:
+        Newton options for the per-step nonlinear solves.
+    kernel:
+        The shared :class:`~repro.linalg.kernel.LinearKernel`; a
+        default one is created when omitted. Because every step's
+        Jacobian carries the same sparsity pattern, the preconditioner
+        built on the first Newton step of the first time step serves
+        the entire integration unless the reuse gate trips.
+    """
+
+    SCHEMES = ("crank-nicolson", "implicit-euler", "bdf2")
+
+    def __init__(
+        self,
+        operator: SpatialOperator,
+        dt: float,
+        scheme: str = "crank-nicolson",
+        options: Optional[NewtonOptions] = None,
+        kernel: Optional[LinearKernel] = None,
+    ):
+        if scheme not in self.SCHEMES:
+            raise ValueError(f"scheme must be one of {self.SCHEMES}, got {scheme!r}")
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+        self.operator = operator
+        self.dt = float(dt)
+        self.scheme = scheme
+        self.options = options or NewtonOptions(tolerance=1e-10, max_iterations=60)
+        self.kernel = kernel or LinearKernel()
+        self._previous: Optional[np.ndarray] = None
+
+    def reset_history(self) -> None:
+        """Forget the BDF2 history level (restart the bootstrap)."""
+        self._previous = None
+
+    def _step_system(self, y: np.ndarray) -> NonlinearSystem:
+        if self.scheme == "implicit-euler":
+            return ImplicitEulerSystem(self.operator, y, self.dt)
+        if self.scheme == "crank-nicolson" or self._previous is None:
+            return CrankNicolsonSystem(self.operator, y, self.dt)
+        return Bdf2System(self.operator, y, self._previous, self.dt)
+
+    def step(self, y: np.ndarray) -> NewtonResult:
+        """Advance one time step; the root of the step system is the
+        next level. Non-convergence is reported, not raised — the
+        caller decides whether a partially converged trajectory is
+        usable."""
+        y = np.asarray(y, dtype=float)
+        system = self._step_system(y)
+        result = newton_solve(system, y, self.options, self.kernel)
+        if self.scheme == "bdf2":
+            self._previous = y.copy()
+        return result
+
+    def run(self, y0: np.ndarray, steps: int) -> TrajectoryResult:
+        """Integrate ``steps`` time steps from ``y0``."""
+        if steps <= 0:
+            raise ValueError("steps must be positive")
+        y = np.asarray(y0, dtype=float)
+        states = np.empty((steps + 1, y.shape[0]))
+        states[0] = y
+        trajectory = TrajectoryResult(states=states)
+        for index in range(1, steps + 1):
+            result = self.step(y)
+            trajectory.newton_results.append(result)
+            trajectory.linear_stats.merge(result.linear_stats)
+            y = result.u
+            states[index] = y
+        return trajectory

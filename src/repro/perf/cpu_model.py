@@ -23,8 +23,12 @@ at Re = 2.0 where the damping search kicks in.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.nonlinear.newton import NewtonResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.linalg.kernel import LinearSolverStats
 
 __all__ = ["CpuModel"]
 
@@ -85,6 +89,25 @@ class CpuModel:
         if iterations < 0:
             raise ValueError("iterations must be nonnegative")
         return iterations * self.newton_iteration_seconds(num_unknowns, nnz)
+
+    def solve_seconds_from_stats(
+        self, stats: "LinearSolverStats", num_unknowns: int, nnz: int
+    ) -> float:
+        """Modeled seconds from measured linear-kernel accounting.
+
+        Unlike :meth:`solve_seconds` (which charges a dense LU per Newton
+        iteration), this charges what the iterative kernel actually did:
+        sparse assembly per outer solve, ~4 sparse matvecs' work per
+        preconditioner build, and 2 nnz flops per recorded matvec —
+        so reused factorizations translate into cheaper modeled time.
+        """
+        if num_unknowns < 0 or nnz < 0:
+            raise ValueError("operation counts must be nonnegative")
+        assembly_flops = stats.solves * nnz * self.flops_per_nonzero_assembly
+        build_flops = stats.preconditioner_builds * 4.0 * 2.0 * nnz
+        krylov_flops = stats.matvecs * 2.0 * nnz
+        seconds = (assembly_flops + build_flops + krylov_flops) / (self.effective_gflops * 1e9)
+        return seconds + stats.solves * self.iteration_overhead_seconds
 
     def energy_joules(self, seconds: float) -> float:
         if seconds < 0.0:

@@ -3,15 +3,22 @@
 Every experiment driver in :mod:`repro.experiments` returns structured
 rows; :func:`ascii_table` prints them in the same layout as the paper's
 tables, and :class:`Comparison` records paper-vs-measured pairs for
-EXPERIMENTS.md.
+EXPERIMENTS.md. :func:`render_kernel_stats` summarizes the inner
+linear-solve accounting (solves, inner iterations, preconditioner
+builds/reuse) that the :class:`~repro.linalg.kernel.LinearKernel` layer
+records for each experiment run — the counts the CPU/GPU cost models
+charge for.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-__all__ = ["ascii_table", "Comparison", "render_comparisons"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.linalg.kernel import LinearSolverStats
+
+__all__ = ["ascii_table", "Comparison", "render_comparisons", "render_kernel_stats"]
 
 
 def _format_cell(value) -> str:
@@ -38,6 +45,18 @@ def ascii_table(rows: Sequence[Dict], columns: Optional[Sequence[str]] = None) -
     rule = "-+-".join("-" * width for width in widths)
     body = [" | ".join(cell.ljust(width) for cell, width in zip(row, widths)) for row in cells]
     return "\n".join([header, rule, *body])
+
+
+def render_kernel_stats(stats: Optional["LinearSolverStats"], label: str = "linear kernel") -> str:
+    """One-table summary of a run's inner linear-solve accounting.
+
+    Returns an empty string for ``None`` or untouched stats so callers
+    can unconditionally append it to a render.
+    """
+    if stats is None or stats.solves == 0:
+        return ""
+    table = ascii_table([stats.as_row()])
+    return f"{label}:\n{table}"
 
 
 @dataclass(frozen=True)

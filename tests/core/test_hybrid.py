@@ -75,3 +75,60 @@ class TestHybridSolver:
 
     def test_double_eps_constant(self):
         assert DOUBLE_EPS == pytest.approx(2.220446049250313e-16)
+
+
+class TestFallbackOptions:
+    def test_default_fallback_relaxes_tight_polish_tolerance(self):
+        # The polish runs at ~1e3 * eps; inheriting that for the damped
+        # recovery used to loop every damping level to the iteration
+        # cap. The default fallback gets its own relaxed floor.
+        solver = HybridSolver(AnalogAccelerator(seed=0))
+        assert solver.polish_options.tolerance < HybridSolver.FALLBACK_TOLERANCE_FLOOR
+        assert solver.fallback_options.tolerance == HybridSolver.FALLBACK_TOLERANCE_FLOOR
+        assert solver.fallback_options.max_iterations >= 200
+
+    def test_explicit_fallback_options_respected(self):
+        custom = NewtonOptions(tolerance=1e-7, max_iterations=33)
+        solver = HybridSolver(AnalogAccelerator(seed=0), fallback_options=custom)
+        assert solver.fallback_options is custom
+
+    def test_loose_polish_tolerance_not_tightened(self):
+        solver = HybridSolver(
+            AnalogAccelerator(seed=0),
+            polish_options=NewtonOptions(tolerance=1e-6, max_iterations=50),
+        )
+        assert solver.fallback_options.tolerance == 1e-6
+
+    def test_recovery_converges_and_reports_honestly(self):
+        # Unsettled analog run (tiny time limit) on a hard problem:
+        # the undamped polish from the naive guess fails, recovery runs
+        # under the relaxed options, and the final result's converged
+        # flag matches the residual actually achieved.
+        solver = HybridSolver(AnalogAccelerator(seed=4))
+        system, guess = random_burgers_system(4, 2.0, np.random.default_rng(11))
+        result = solver.solve(system, initial_guess=guess, analog_time_limit=1e-3)
+        if result.converged:
+            achieved = max(
+                solver.polish_options.tolerance, solver.fallback_options.tolerance
+            )
+            assert result.residual_norm <= achieved
+        else:
+            assert result.residual_norm > solver.fallback_options.tolerance
+
+    def test_recovery_folds_restart_accounting(self):
+        # When recovery kicks in, its restart/iteration bill must not
+        # vanish from the result the cost models read.
+        solver = HybridSolver(
+            AnalogAccelerator(seed=4),
+            polish_options=NewtonOptions(
+                damping=1.0, tolerance=1e3 * DOUBLE_EPS, max_iterations=2
+            ),
+        )
+        system, guess = random_burgers_system(4, 2.0, np.random.default_rng(12))
+        result = solver.solve(system, initial_guess=guess, analog_time_limit=1e-3)
+        digital = result.digital
+        assert (
+            digital.total_iterations_including_restarts >= digital.iterations
+        )
+        if result.converged and digital.total_linear_stats is not None:
+            assert digital.total_linear_stats.solves >= digital.linear_stats.solves

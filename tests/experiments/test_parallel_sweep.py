@@ -1,0 +1,73 @@
+"""Parallel experiment sweeps and the kernel-reuse acceptance check."""
+
+import pytest
+
+from repro.experiments.parallel import (
+    SWEEP_RUNNERS,
+    SweepResult,
+    run_parallel_sweep,
+)
+
+TINY_FIGURE7 = {"grid_sizes": (2,), "reynolds_values": (0.01,), "trials": 1}
+
+
+class TestRunParallelSweep:
+    def test_serial_sweep_runs_and_renders(self):
+        result = run_parallel_sweep(
+            names=("figure7", "table2"),
+            overrides={"figure7": TINY_FIGURE7},
+            max_workers=1,
+        )
+        assert isinstance(result, SweepResult)
+        assert result.mode == "serial"
+        assert [run.name for run in result.runs] == ["figure7", "table2"]
+        assert all(run.ok for run in result.runs)
+        rendered = result.render()
+        assert "figure7" in rendered and "table2" in rendered
+        assert "linear solves" in rendered
+
+    def test_parallel_matches_serial(self):
+        serial = run_parallel_sweep(
+            names=("figure7",), overrides={"figure7": TINY_FIGURE7}, max_workers=1
+        )
+        parallel = run_parallel_sweep(
+            names=("figure7", "table2"),
+            overrides={"figure7": TINY_FIGURE7},
+            max_workers=2,
+        )
+        # Drivers are deterministic: same kwargs => same accounting,
+        # whether or not the pool was available in this environment.
+        s7 = serial.run_named("figure7")
+        p7 = parallel.run_named("figure7")
+        assert p7.linear_solves == s7.linear_solves
+        assert p7.inner_iterations == s7.inner_iterations
+        assert p7.preconditioner_builds == s7.preconditioner_builds
+        assert p7.rendered == s7.rendered
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_parallel_sweep(names=("figure11",))
+
+    def test_registry_covers_issue_experiments(self):
+        assert set(SWEEP_RUNNERS) == {"figure7", "figure8", "figure9", "table2", "table4"}
+
+
+class TestKernelReuseAcceptance:
+    def test_figure7_sweep_builds_fewer_preconditioners_than_solves(self):
+        """Acceptance: a figure7-style sweep must reuse factorizations —
+        strictly fewer preconditioner builds than linear solves."""
+        result = run_parallel_sweep(
+            names=("figure7",),
+            overrides={
+                "figure7": {
+                    "grid_sizes": (2, 4),
+                    "reynolds_values": (0.01, 1.0),
+                    "trials": 1,
+                }
+            },
+            max_workers=1,
+        )
+        run = result.run_named("figure7")
+        assert run.ok
+        assert run.linear_solves > 0
+        assert 0 < run.preconditioner_builds < run.linear_solves

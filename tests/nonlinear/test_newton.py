@@ -176,3 +176,57 @@ class TestSparseLinearSolver:
         solver(builder.to_csr(), np.ones(4))
         assert stats.solves == 1
         assert stats.matvecs >= 1
+
+
+class TestDefaultPathStats:
+    """Regression: the default CSR path must not drop linear stats.
+
+    ``default_linear_solver`` used to build a throwaway solver without a
+    stats sink, so ``NewtonResult.linear_stats`` came back all-zero for
+    every sparse Newton solve that didn't pass an explicit solver.
+    """
+
+    def _sparse_system(self, n=16, reynolds=0.5, seed=0):
+        from repro.pde.burgers import random_burgers_system
+
+        rng = np.random.default_rng(seed)
+        system, guess = random_burgers_system(int(np.sqrt(n)), reynolds, rng)
+        return system, guess
+
+    def test_newton_solve_default_path_records_stats(self):
+        system, guess = self._sparse_system()
+        result = newton_solve(system, guess, NewtonOptions(tolerance=1e-10))
+        assert result.converged
+        assert result.linear_stats.solves > 0
+        assert result.linear_stats.solves == result.iterations
+        assert result.linear_stats.matvecs > 0
+        assert result.linear_stats.inner_iterations > 0
+
+    def test_newton_solve_default_path_reuses_preconditioner(self):
+        system, guess = self._sparse_system()
+        result = newton_solve(system, guess, NewtonOptions(tolerance=1e-10))
+        stats = result.linear_stats
+        assert stats.solves >= 3
+        assert stats.preconditioner_builds == 1
+
+    def test_damped_restarts_total_stats_cover_failed_attempts(self):
+        from repro.linalg.kernel import LinearKernel
+
+        system, guess = self._sparse_system(reynolds=2.0, seed=3)
+        kernel = LinearKernel()
+        result = damped_newton_with_restarts(
+            system,
+            guess,
+            NewtonOptions(tolerance=1e-10, max_iterations=40),
+            linear_solver=kernel,
+            min_damping=1.0 / 64.0,
+        )
+        total = result.total_linear_stats
+        assert total is not None
+        assert total.solves > 0
+        # The honest total covers every damping attempt, not just the
+        # winning one carried in result.linear_stats.
+        assert total.solves >= result.linear_stats.solves
+        # One kernel for the whole schedule: far fewer factorizations
+        # than solves.
+        assert kernel.stats.preconditioner_builds < total.solves

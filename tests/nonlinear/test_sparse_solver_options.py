@@ -74,3 +74,40 @@ def test_stats_capture_inner_iterations():
     solver(mat, np.ones(20))
     assert stats.solves == 1
     assert stats.inner_iterations >= 1
+
+
+def test_fallback_accounting_is_explicit_and_additive():
+    # Regression: the dense emergency path used to leave the failed
+    # Krylov attempt's stats as the whole record — the dense solve
+    # itself was invisible. It is now an explicit counter, and the
+    # Krylov work stays on the bill.
+    # Exactly singular and inconsistent: the last row duplicates row 0
+    # but its rhs demands a different value, so no Krylov attempt can
+    # converge and the lstsq-backed dense path must answer.
+    n = 4
+    builder = CooBuilder(n, n)
+    for i in range(n - 1):
+        builder.add(i, i, 1.0)
+    builder.add(n - 1, 0, 1.0)
+    mat = builder.to_csr()
+    stats = LinearSolverStats()
+    solver = make_sparse_linear_solver(stats=stats)
+    rhs = np.ones(n)
+    rhs[-1] = 2.0
+    out = solver(mat, rhs)
+    assert np.all(np.isfinite(out))
+    assert stats.solves == 1
+    assert stats.dense_fallbacks == 1
+    assert stats.matvecs >= stats.inner_iterations
+
+
+def test_returned_solver_is_a_reusing_kernel():
+    # make_sparse_linear_solver is now a thin adapter over LinearKernel:
+    # repeated same-pattern solves share one preconditioner build.
+    stats = LinearSolverStats()
+    solver = make_sparse_linear_solver(stats=stats)
+    mat = stencil(25)
+    for _ in range(3):
+        solver(mat, np.ones(25))
+    assert stats.solves == 3
+    assert stats.preconditioner_builds == 1

@@ -69,6 +69,30 @@ class TestCpuModel:
         model = CpuModel(power_watts=200.0)
         assert model.energy_joules(2.0) == pytest.approx(400.0)
 
+    def test_solve_seconds_from_stats_rewards_reuse(self):
+        # Same measured Krylov work, fewer preconditioner builds =>
+        # strictly cheaper modeled time.
+        model = CpuModel()
+        rebuilt = LinearSolverStats(
+            solves=10, inner_iterations=100, matvecs=210, preconditioner_builds=10
+        )
+        reused = LinearSolverStats(
+            solves=10, inner_iterations=100, matvecs=210, preconditioner_builds=1
+        )
+        cost_rebuilt = model.solve_seconds_from_stats(rebuilt, num_unknowns=256, nnz=1200)
+        cost_reused = model.solve_seconds_from_stats(reused, num_unknowns=256, nnz=1200)
+        assert 0.0 < cost_reused < cost_rebuilt
+
+    def test_solve_seconds_from_stats_charges_all_attempts(self):
+        model = CpuModel()
+        base = LinearSolverStats(solves=4, inner_iterations=40, matvecs=84)
+        with_fallback = LinearSolverStats(solves=4, inner_iterations=40, matvecs=160)
+        assert model.solve_seconds_from_stats(
+            with_fallback, num_unknowns=64, nnz=300
+        ) > model.solve_seconds_from_stats(base, num_unknowns=64, nnz=300)
+        with pytest.raises(ValueError):
+            model.solve_seconds_from_stats(base, num_unknowns=-1, nnz=300)
+
     def test_validation(self):
         model = CpuModel()
         with pytest.raises(ValueError):

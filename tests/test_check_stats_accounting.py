@@ -1,0 +1,38 @@
+"""Tier-1 wrapper for ``scripts/check_stats_accounting.py``.
+
+Runs the smoke check both in-process (fast, assert-level failures show
+as test failures) and as a subprocess (guards the script's standalone
+``sys.path`` bootstrap).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "check_stats_accounting.py"
+
+
+def test_stats_accounting_in_process():
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
+    try:
+        from check_stats_accounting import check_stats_accounting
+    finally:
+        sys.path.pop(0)
+    row = check_stats_accounting(grid_n=4, seed=0)
+    assert row["linear solves"] > 0
+    assert row["matvecs"] >= row["inner iterations"] > 0
+    assert 1 <= row["preconditioner builds"] <= row["linear solves"]
+    assert row["modeled seconds"] > 0.0
+
+
+def test_stats_accounting_script_runs_standalone():
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=str(REPO_ROOT),
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "stats accounting OK" in proc.stdout

@@ -37,7 +37,28 @@ def test_figure6_small(capsys):
 
 def test_figure7_tiny(capsys):
     assert main(["figure7", "--grids", "2", "--reynolds", "1.0", "--trials", "1"]) == 0
-    assert "2x2" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "2x2" in out
+    # The linear-kernel accounting is surfaced with the figure.
+    assert "digital linear kernel" in out
+    assert "preconditioner builds" in out
+
+
+def test_sweep_serial(capsys):
+    assert main(["sweep", "--experiments", "table2,table4", "--workers", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "sweep of 2 experiment(s)" in out
+    assert "table2" in out and "table4" in out
+
+
+def test_sweep_rejects_unknown_experiment():
+    with pytest.raises(ValueError, match="unknown experiment"):
+        main(["sweep", "--experiments", "figure99"])
+
+
+def test_list_mentions_sweep(capsys):
+    assert main(["list"]) == 0
+    assert "sweep" in capsys.readouterr().out
 
 
 def test_requires_command(capsys):

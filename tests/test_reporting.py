@@ -1,6 +1,12 @@
 """Tests for the reporting helpers."""
 
-from repro.reporting import Comparison, ascii_table, render_comparisons
+from repro.linalg.kernel import LinearSolverStats
+from repro.reporting import (
+    Comparison,
+    ascii_table,
+    render_comparisons,
+    render_kernel_stats,
+)
 
 
 class TestAsciiTable:
@@ -72,3 +78,18 @@ class TestComparisons:
             ]
         )
         assert "NO" in text
+
+
+class TestRenderKernelStats:
+    def test_untouched_stats_render_empty(self):
+        assert render_kernel_stats(None) == ""
+        assert render_kernel_stats(LinearSolverStats()) == ""
+
+    def test_renders_label_and_counters(self):
+        stats = LinearSolverStats(
+            solves=6, inner_iterations=42, matvecs=90, preconditioner_builds=2
+        )
+        text = render_kernel_stats(stats, label="digital linear kernel")
+        assert text.startswith("digital linear kernel:")
+        assert "preconditioner builds" in text
+        assert "42" in text and "90" in text
