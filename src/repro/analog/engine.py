@@ -39,6 +39,7 @@ from repro.nonlinear.continuous_newton import continuous_newton_solve
 from repro.nonlinear.homotopy import davidenko_solve
 from repro.nonlinear.systems import NonlinearSystem
 from repro.pde.burgers import BurgersStencilSystem
+from repro.trace.tracer import TracerLike, as_tracer
 
 __all__ = ["AnalogSolveResult", "AnalogAccelerator", "solution_error", "DistortedSystem"]
 
@@ -180,12 +181,15 @@ class AnalogAccelerator:
         time_limit: float = 60.0,
         derivative_tolerance: float = 1e-5,
         record_trajectory: bool = False,
+        tracer: Optional[TracerLike] = None,
     ) -> AnalogSolveResult:
         """Run the continuous Newton method on the hardware model.
 
         ``value_bound`` is the expected magnitude of problem values,
         used for dynamic-range scaling (the paper scales the +-3.0
         constants of its random problems into the analog range).
+        ``tracer`` records one ``analog_settle`` span per run with the
+        settled trajectory's integrator steps as ``ode_step`` children.
         """
         fabric = self._fabric_for(system.dimension)
         if isinstance(system, BurgersStencilSystem):
@@ -200,6 +204,7 @@ class AnalogAccelerator:
                 time_limit,
                 derivative_tolerance,
                 record_trajectory=record_trajectory,
+                tracer=tracer,
             )
         finally:
             fabric.exec_stop()
@@ -273,6 +278,7 @@ class AnalogAccelerator:
         value_bound: float = 3.0,
         time_limit: float = 60.0,
         derivative_tolerance: float = 1e-5,
+        tracer: Optional[TracerLike] = None,
     ):
         """Solve a sequence of same-shaped problems on one configuration.
 
@@ -311,6 +317,7 @@ class AnalogAccelerator:
                     time_limit,
                     derivative_tolerance,
                     system=system,
+                    tracer=tracer,
                 )
                 result.reconfigured = index == 0
                 results.append(result)
@@ -329,7 +336,9 @@ class AnalogAccelerator:
         derivative_tolerance: float,
         system: Optional[NonlinearSystem] = None,
         record_trajectory: bool = False,
+        tracer: Optional[TracerLike] = None,
     ) -> AnalogSolveResult:
+        tracer = as_tracer(tracer)
         system = compiled.system if system is None else system
         scale = required_scale(value_bound, self.noise)
         scaled = ScaledSystem(system, scale)
@@ -359,18 +368,34 @@ class AnalogAccelerator:
         # 1/Re viscous coefficients) inflates absolute residuals without
         # the settled *solution* being any worse.
         initial_residual = float(np.linalg.norm(distorted.residual(w0)))
-        flow = continuous_newton_solve(
-            distorted,
-            w0,
-            time_limit=time_limit,
-            fidelity="behavioral",
-            derivative_tolerance=derivative_tolerance,
-            dwell=0.05,
-            rtol=1e-6,
-            atol=1e-9,
-            linear_solver=flow_solver,
-            residual_tolerance=max(1e-2, 1e-3 * initial_residual),
-        )
+        with tracer.span("analog_settle", dimension=system.dimension) as settle_span:
+            flow = continuous_newton_solve(
+                distorted,
+                w0,
+                time_limit=time_limit,
+                fidelity="behavioral",
+                derivative_tolerance=derivative_tolerance,
+                dwell=0.05,
+                rtol=1e-6,
+                atol=1e-9,
+                linear_solver=flow_solver,
+                residual_tolerance=max(1e-2, 1e-3 * initial_residual),
+            )
+            settle_span.update(
+                converged=flow.converged,
+                settle_time_units=flow.settle_time,
+                residual_norm=flow.residual_norm,
+                rhs_evaluations=flow.solution.rhs_evaluations,
+            )
+            if tracer.active:
+                # The integrator's accepted steps, re-emitted as child
+                # spans: their *wall* duration is ~0 (the run already
+                # happened); the flow-time step lives in the attrs.
+                ts = flow.solution.ts
+                tracer.counter("ode_steps", max(len(ts) - 1, 0))
+                for tau0, tau1 in zip(ts[:-1], ts[1:]):
+                    with tracer.span("ode_step") as step_span:
+                        step_span.update(tau=float(tau0), dtau=float(tau1 - tau0))
         # ADC readout: thermal noise averaged over repeats, then
         # quantization (bias not removed by averaging).
         settled_w = flow.u

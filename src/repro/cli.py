@@ -4,11 +4,19 @@
     python -m repro table4
     python -m repro figure6 --trials 100
     python -m repro figure7 --grids 2,4,8 --reynolds 0.1,1.0 --trials 1
+    python -m repro figure7 --nx 20 --trace /tmp/figure7.jsonl
     python -m repro sweep --experiments figure7,figure8 --workers 2
+    python -m repro trace-summary /tmp/figure7.jsonl
 
 Each command runs the corresponding experiment driver and prints the
 same rows/series the paper reports. ``sweep`` fans several experiments
 across worker processes and adds per-run linear-kernel accounting.
+
+The solver-backed figures (7/8/9) and ``sweep`` accept ``--trace PATH``
+to record a structured JSONL trace of the run — a run manifest (grid,
+Reynolds, seed, code version) followed by every solver span and counter
+(see :mod:`repro.trace`). ``trace-summary`` renders the per-phase
+breakdown of any such file.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from repro.experiments import (
     run_table5,
 )
 from repro.experiments.parallel import SWEEP_RUNNERS, run_parallel_sweep
+from repro.trace import Tracer, summarize_trace_file, write_trace
 
 __all__ = ["main"]
 
@@ -51,6 +60,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Shared ``--trace`` option for every command that drives solvers.
+    # A parent parser (rather than a root-level flag) keeps the natural
+    # ``repro figure7 --trace PATH`` syntax working.
+    traceable = argparse.ArgumentParser(add_help=False)
+    traceable.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a structured JSONL trace of the run to PATH",
+    )
+
     sub.add_parser("list", help="list available experiments")
     sub.add_parser("table1", help="workload function profiles")
     sub.add_parser("table2", help="Reynolds number effects")
@@ -67,22 +87,33 @@ def _build_parser() -> argparse.ArgumentParser:
     fig6 = sub.add_parser("figure6", help="analog error distribution")
     fig6.add_argument("--trials", type=int, default=100)
 
-    fig7 = sub.add_parser("figure7", help="digital vs analog time to convergence")
+    fig7 = sub.add_parser(
+        "figure7", help="digital vs analog time to convergence", parents=[traceable]
+    )
     fig7.add_argument("--grids", type=_parse_ints, default=(2, 4, 8, 16))
+    fig7.add_argument(
+        "--nx", type=int, default=None, help="single grid size (overrides --grids)"
+    )
     fig7.add_argument("--reynolds", type=_parse_floats, default=(0.01, 0.1, 1.0))
     fig7.add_argument("--trials", type=int, default=1)
+    fig7.add_argument("--seed", type=int, default=0)
 
-    fig8 = sub.add_parser("figure8", help="baseline vs seeded across Reynolds")
+    fig8 = sub.add_parser(
+        "figure8", help="baseline vs seeded across Reynolds", parents=[traceable]
+    )
     fig8.add_argument("--grid", type=int, default=16)
     fig8.add_argument("--reynolds", type=_parse_floats, default=(0.25, 2.0))
     fig8.add_argument("--trials", type=int, default=2)
+    fig8.add_argument("--seed", type=int, default=0)
 
-    fig9 = sub.add_parser("figure9", help="GPU-scale time and energy")
+    fig9 = sub.add_parser("figure9", help="GPU-scale time and energy", parents=[traceable])
     fig9.add_argument("--grids", type=_parse_ints, default=(16,))
     fig9.add_argument("--trials", type=int, default=1)
     fig9.add_argument("--seed", type=int, default=1)
 
-    sweep = sub.add_parser("sweep", help="run several experiments across worker processes")
+    sweep = sub.add_parser(
+        "sweep", help="run several experiments across worker processes", parents=[traceable]
+    )
     sweep.add_argument(
         "--experiments",
         type=lambda text: tuple(text.split(",")),
@@ -90,16 +121,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated subset of: " + ",".join(sorted(SWEEP_RUNNERS)),
     )
     sweep.add_argument("--workers", type=int, default=None, help="process count (1 = serial)")
+
+    summary = sub.add_parser("trace-summary", help="render a per-phase summary of a trace file")
+    summary.add_argument("path", help="JSONL trace written by --trace")
     return parser
+
+
+def _make_tracer(trace_path: Optional[str], command: str, **manifest) -> Optional[Tracer]:
+    """Build a recording tracer when ``--trace`` was given, else None.
+
+    The manifest keys (grid, Reynolds, seed, ...) land in the trace
+    file's header line alongside the code version.
+    """
+    if trace_path is None:
+        return None
+    return Tracer(manifest={"command": command, **manifest})
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     command = args.command
+    tracer: Optional[Tracer] = None
     if command == "list":
         print("tables:  table1 table2 table3 table4 table5")
         print("figures: figure2 figure3 figure6 figure7 figure8 figure9")
         print("sweeps:  sweep (parallel: " + " ".join(sorted(SWEEP_RUNNERS)) + ")")
+        print("tools:   trace-summary")
+        return 0
+    if command == "trace-summary":
+        print(summarize_trace_file(args.path))
         return 0
     if command == "table1":
         result = run_table1()
@@ -118,15 +168,51 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif command == "figure6":
         result = run_figure6(trials=args.trials)
     elif command == "figure7":
-        result = run_figure7(grid_sizes=args.grids, reynolds_values=args.reynolds, trials=args.trials)
+        grids = (args.nx,) if args.nx is not None else args.grids
+        tracer = _make_tracer(
+            args.trace,
+            command,
+            grid_sizes=list(grids),
+            reynolds_values=list(args.reynolds),
+            trials=args.trials,
+            seed=args.seed,
+        )
+        result = run_figure7(
+            grid_sizes=grids,
+            reynolds_values=args.reynolds,
+            trials=args.trials,
+            seed=args.seed,
+            tracer=tracer,
+        )
     elif command == "figure8":
-        result = run_figure8(grid_n=args.grid, reynolds_values=args.reynolds, trials=args.trials)
+        tracer = _make_tracer(
+            args.trace,
+            command,
+            grid_sizes=[args.grid],
+            reynolds_values=list(args.reynolds),
+            trials=args.trials,
+            seed=args.seed,
+        )
+        result = run_figure8(
+            grid_n=args.grid,
+            reynolds_values=args.reynolds,
+            trials=args.trials,
+            seed=args.seed,
+            tracer=tracer,
+        )
     elif command == "figure9":
-        result = run_figure9(grid_sizes=args.grids, trials=args.trials, seed=args.seed)
+        tracer = _make_tracer(
+            args.trace, command, grid_sizes=list(args.grids), trials=args.trials, seed=args.seed
+        )
+        result = run_figure9(grid_sizes=args.grids, trials=args.trials, seed=args.seed, tracer=tracer)
     elif command == "sweep":
-        result = run_parallel_sweep(names=args.experiments, max_workers=args.workers)
+        result = run_parallel_sweep(
+            names=args.experiments, max_workers=args.workers, trace_path=args.trace
+        )
     else:  # pragma: no cover - argparse guards this
         raise SystemExit(f"unknown command {command}")
+    if tracer is not None:
+        write_trace(tracer, args.trace)
     print(result.render())
     return 0
 

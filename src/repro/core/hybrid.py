@@ -43,6 +43,7 @@ from repro.nonlinear.newton import (
     newton_solve,
 )
 from repro.nonlinear.systems import NonlinearSystem
+from repro.trace.tracer import TracerLike, as_tracer
 
 __all__ = ["HybridResult", "HybridSolver"]
 
@@ -140,29 +141,43 @@ class HybridSolver:
         initial_guess: Optional[np.ndarray] = None,
         value_bound: float = 3.0,
         analog_time_limit: float = 60.0,
+        tracer: Optional[TracerLike] = None,
     ) -> HybridResult:
-        """Analog seed, then digital polish to high precision."""
+        """Analog seed, then digital polish to high precision.
+
+        ``tracer`` records a ``solve`` span containing the accelerator's
+        ``analog_settle`` span and the polish's ``newton_iter`` spans.
+        """
+        tracer = as_tracer(tracer)
         guess = (
             np.zeros(system.dimension)
             if initial_guess is None
             else np.asarray(initial_guess, dtype=float)
         )
-        analog = self.accelerator.solve(
-            system,
-            initial_guess=guess,
-            value_bound=value_bound,
-            time_limit=analog_time_limit,
-        )
-        seed = analog.solution if analog.converged else guess
-        solver = self._solver()
-        digital = newton_solve(system, seed, self.polish_options, solver)
-        if not digital.converged:
-            # The seed was not good enough (rare: an unsettled analog
-            # run). Recover with the damped baseline under its own
-            # relaxed options — the tight polish tolerance may be
-            # unreachable from a bad seed, and looping every damping
-            # level to the cap would only misreport the failure mode.
-            digital = self._recover(system, seed, solver)
+        with tracer.span("solve", solver="hybrid", dimension=system.dimension) as span:
+            analog = self.accelerator.solve(
+                system,
+                initial_guess=guess,
+                value_bound=value_bound,
+                time_limit=analog_time_limit,
+                tracer=tracer,
+            )
+            seed = analog.solution if analog.converged else guess
+            solver = self._solver()
+            digital = newton_solve(system, seed, self.polish_options, solver, tracer=tracer)
+            if not digital.converged:
+                # The seed was not good enough (rare: an unsettled analog
+                # run). Recover with the damped baseline under its own
+                # relaxed options — the tight polish tolerance may be
+                # unreachable from a bad seed, and looping every damping
+                # level to the cap would only misreport the failure mode.
+                tracer.counter("hybrid_recoveries")
+                digital = self._recover(system, seed, solver, tracer=tracer)
+            span.update(
+                converged=digital.converged,
+                digital_iterations=digital.iterations,
+                analog_settle_time_units=analog.settle_time_units,
+            )
         return HybridResult(
             u=digital.u,
             converged=digital.converged,
@@ -175,12 +190,16 @@ class HybridSolver:
         system: NonlinearSystem,
         seed: np.ndarray,
         solver: LinearSolverLike,
+        tracer: Optional[TracerLike] = None,
     ) -> NewtonResult:
         """Damped-restart recovery from a bad seed, then best-effort polish."""
-        recovery = damped_newton_with_restarts(system, seed, self.fallback_options, solver)
+        tracer = as_tracer(tracer)
+        recovery = damped_newton_with_restarts(
+            system, seed, self.fallback_options, solver, tracer=tracer
+        )
         if not recovery.converged:
             return recovery
-        polish = newton_solve(system, recovery.u, self.polish_options, solver)
+        polish = newton_solve(system, recovery.u, self.polish_options, solver, tracer=tracer)
         if not polish.converged:
             # The relaxed-tolerance solution stands; report it honestly
             # (converged at fallback_options.tolerance, residual_norm
@@ -202,6 +221,7 @@ class HybridSolver:
         self,
         system: NonlinearSystem,
         initial_guess: Optional[np.ndarray] = None,
+        tracer: Optional[TracerLike] = None,
     ) -> NewtonResult:
         """The paper's digital baseline: damped Newton with the halving
         restart schedule, from the same naive initial guess."""
@@ -210,4 +230,6 @@ class HybridSolver:
             if initial_guess is None
             else np.asarray(initial_guess, dtype=float)
         )
-        return damped_newton_with_restarts(system, guess, self.polish_options, self._solver())
+        return damped_newton_with_restarts(
+            system, guess, self.polish_options, self._solver(), tracer=tracer
+        )

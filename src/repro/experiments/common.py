@@ -22,7 +22,9 @@ import numpy as np
 
 from repro.analog.engine import solution_error
 from repro.linalg.kernel import LinearKernel, LinearSolverStats
+from repro.nonlinear.newton import _traced_linear_solve
 from repro.nonlinear.systems import NonlinearSystem
+from repro.trace.tracer import TracerLike, as_tracer
 
 __all__ = ["EqualAccuracyResult", "equal_accuracy_damped_newton", "ANALOG_ERROR_TARGET"]
 
@@ -62,6 +64,7 @@ def equal_accuracy_damped_newton(
     min_damping: float = 1.0 / 1024.0,
     divergence_threshold: float = 1e6,
     kernel: Optional[LinearKernel] = None,
+    tracer: Optional[TracerLike] = None,
 ) -> EqualAccuracyResult:
     """Damped Newton, halving on failure, stopped at the error target.
 
@@ -76,9 +79,14 @@ def equal_accuracy_damped_newton(
     every damping attempt (pass ``kernel`` to share it with other
     solves of the same problem), so the preconditioner is factorized
     once per sparsity pattern instead of once per attempt.
+
+    ``tracer`` records one ``newton_attempt`` span per damping level and
+    one ``linear_solve`` span per inner kernel call, carrying that
+    call's exact share of the kernel counters.
     """
     golden = np.asarray(golden, dtype=float)
     kernel = kernel or LinearKernel()
+    tracer = as_tracer(tracer)
     damping = 1.0
     restarts = 0
     total_iterations = 0
@@ -92,23 +100,27 @@ def equal_accuracy_damped_newton(
         initial_norm = max(system.residual_norm(u), 1e-300)
         performed = 0
         diverged = False
-        for _ in range(max_iterations):
-            if solution_error(u / scale, golden / scale) <= target_error:
-                break
-            residual = system.residual(u)
-            jacobian = system.jacobian(u)
-            try:
-                delta = kernel.solve(jacobian, residual, sink=stats)
-            except Exception:
-                diverged = True
-                break
-            u = u - damping * delta
-            performed += 1
-            if not np.all(np.isfinite(u)) or (
-                system.residual_norm(u) > divergence_threshold * initial_norm
-            ):
-                diverged = True
-                break
+        with tracer.span("newton_attempt", damping=damping, restart=restarts) as attempt:
+            for _ in range(max_iterations):
+                if solution_error(u / scale, golden / scale) <= target_error:
+                    break
+                residual = system.residual(u)
+                jacobian = system.jacobian(u)
+                try:
+                    delta = _traced_linear_solve(
+                        tracer, kernel, None, jacobian, residual, stats
+                    )
+                except Exception:
+                    diverged = True
+                    break
+                u = u - damping * delta
+                performed += 1
+                if not np.all(np.isfinite(u)) or (
+                    system.residual_norm(u) > divergence_threshold * initial_norm
+                ):
+                    diverged = True
+                    break
+            attempt.update(iterations=performed, diverged=diverged)
         total_iterations += performed
         total_stats.merge(stats)
         if not diverged and solution_error(u / scale, golden / scale) <= target_error:

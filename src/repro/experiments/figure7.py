@@ -29,6 +29,7 @@ from repro.perf.analog_model import AnalogTimingModel
 from repro.perf.cpu_model import CpuModel
 from repro.pde.burgers import random_burgers_system
 from repro.reporting import ascii_table, render_kernel_stats
+from repro.trace.tracer import TracerLike, as_tracer
 
 __all__ = ["Figure7Result", "run_figure7"]
 
@@ -70,6 +71,7 @@ def run_figure7(
     seed: int = 0,
     cpu_model: Optional[CpuModel] = None,
     analog_model: Optional[AnalogTimingModel] = None,
+    tracer: Optional[TracerLike] = None,
 ) -> Figure7Result:
     """Run the grid-size x Reynolds sweep at equal accuracy.
 
@@ -79,9 +81,17 @@ def run_figure7(
     instance, so the preconditioner is factorized far fewer times than
     linear systems are solved. The aggregated accounting is returned in
     ``Figure7Result.kernel_stats``.
+
+    ``tracer`` records one ``solve`` span per trial (grid, Reynolds and
+    trial index as attributes) containing the golden and equal-accuracy
+    digital legs' ``linear_solve`` spans and the accelerator's
+    ``analog_settle`` span. Summing the ``linear_solve`` span counters
+    reproduces ``kernel_stats`` exactly — the analog flow's internal
+    solves are deliberately not charged to either.
     """
     cpu_model = cpu_model or CpuModel()
     analog_model = analog_model or AnalogTimingModel()
+    tracer = as_tracer(tracer)
     sweep_stats = LinearSolverStats()
     rows = []
     for grid_n in grid_sizes:
@@ -95,43 +105,60 @@ def run_figure7(
                 # Per-instance kernel: golden + equal-accuracy solves
                 # share the factorization; sweep_stats aggregates.
                 kernel = LinearKernel(stats=sweep_stats)
-                golden = damped_newton_with_restarts(
-                    system,
-                    guess,
-                    NewtonOptions(tolerance=1e-11, max_iterations=100),
-                    linear_solver=kernel,
-                    # Bounded damping search: instances that need deeper
-                    # damping are treated as unsolvable, matching the
-                    # paper's sparse-data protocol at high Reynolds.
-                    min_damping=1.0 / 64.0,
-                )
-                if not golden.converged:
-                    # As in the paper: some random high-Re problems have
-                    # no reachable solution; those points are dropped.
-                    continue
-                solved += 1
-                scale = 3.3  # dynamic-range scale of the +-3 constants
-                digital = equal_accuracy_damped_newton(
-                    system,
-                    guess,
-                    golden.u,
-                    scale=scale,
-                    target_error=ANALOG_ERROR_TARGET,
-                    max_iterations=100,
-                    min_damping=1.0 / 64.0,
-                    kernel=kernel,
-                )
-                if digital.reached_target:
-                    nnz = system.jacobian(guess).nnz
-                    digital_times.append(
-                        cpu_model.solve_seconds_from_counts(
-                            digital.iterations, system.dimension, nnz
-                        )
+                with tracer.span(
+                    "solve",
+                    solver="figure7-trial",
+                    grid=f"{grid_n}x{grid_n}",
+                    reynolds=float(reynolds),
+                    trial=trial,
+                ) as trial_span:
+                    golden = damped_newton_with_restarts(
+                        system,
+                        guess,
+                        NewtonOptions(tolerance=1e-11, max_iterations=100),
+                        linear_solver=kernel,
+                        # Bounded damping search: instances that need deeper
+                        # damping are treated as unsolvable, matching the
+                        # paper's sparse-data protocol at high Reynolds.
+                        min_damping=1.0 / 64.0,
+                        tracer=tracer,
                     )
-                accelerator = AnalogAccelerator(noise=NoiseModel(), seed=seed + trial)
-                analog = accelerator.solve(system, initial_guess=guess, value_bound=3.0)
-                if analog.converged:
-                    analog_times.append(analog_model.seconds(analog.settle_time_units))
+                    if not golden.converged:
+                        # As in the paper: some random high-Re problems have
+                        # no reachable solution; those points are dropped.
+                        trial_span.set("dropped", True)
+                        continue
+                    solved += 1
+                    scale = 3.3  # dynamic-range scale of the +-3 constants
+                    digital = equal_accuracy_damped_newton(
+                        system,
+                        guess,
+                        golden.u,
+                        scale=scale,
+                        target_error=ANALOG_ERROR_TARGET,
+                        max_iterations=100,
+                        min_damping=1.0 / 64.0,
+                        kernel=kernel,
+                        tracer=tracer,
+                    )
+                    if digital.reached_target:
+                        nnz = system.jacobian(guess).nnz
+                        digital_times.append(
+                            cpu_model.solve_seconds_from_counts(
+                                digital.iterations, system.dimension, nnz
+                            )
+                        )
+                    accelerator = AnalogAccelerator(noise=NoiseModel(), seed=seed + trial)
+                    analog = accelerator.solve(
+                        system, initial_guess=guess, value_bound=3.0, tracer=tracer
+                    )
+                    if analog.converged:
+                        analog_times.append(analog_model.seconds(analog.settle_time_units))
+                    trial_span.update(
+                        digital_iterations=digital.iterations,
+                        reached_target=digital.reached_target,
+                        analog_converged=analog.converged,
+                    )
             if not digital_times or not analog_times:
                 continue
             rows.append(

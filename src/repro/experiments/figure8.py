@@ -29,6 +29,7 @@ from repro.perf.analog_model import AnalogTimingModel
 from repro.perf.cpu_model import CpuModel
 from repro.pde.burgers import random_burgers_system
 from repro.reporting import ascii_table, render_kernel_stats
+from repro.trace.tracer import TracerLike, as_tracer
 
 __all__ = ["Figure8Result", "run_figure8", "PAPER_FIGURE8"]
 
@@ -73,15 +74,20 @@ def run_figure8(
     seed: int = 0,
     cpu_model: Optional[CpuModel] = None,
     analog_model: Optional[AnalogTimingModel] = None,
+    tracer: Optional[TracerLike] = None,
 ) -> Figure8Result:
     """Sweep Reynolds numbers; report baseline vs seeded times.
 
     The paper's full figure uses a 16x16 grid, nine Reynolds values and
     16 trials; defaults are reduced for bench runtime — pass the full
     settings to reproduce the complete series.
+
+    ``tracer`` records the baseline leg's ``newton_attempt`` spans and
+    the hybrid leg's ``solve``/``analog_settle`` spans per trial.
     """
     cpu_model = cpu_model or CpuModel()
     analog_model = analog_model or AnalogTimingModel()
+    tracer = as_tracer(tracer)
     options = NewtonOptions(tolerance=1e-11, max_iterations=60)
     sweep_stats = LinearSolverStats()
     rows = []
@@ -109,13 +115,14 @@ def run_figure8(
                 options,
                 linear_solver=LinearKernel(stats=sweep_stats),
                 min_damping=1.0 / 64.0,
+                tracer=tracer,
             )
             if not baseline.converged:
                 # Paper protocol: instances where no damping converges
                 # are dropped from the averages (their Figure 8 error
                 # bars come from the surviving trials).
                 continue
-            hybrid = solver.solve(system, initial_guess=guess)
+            hybrid = solver.solve(system, initial_guess=guess, tracer=tracer)
             if not hybrid.converged:
                 continue
             baseline_times.append(

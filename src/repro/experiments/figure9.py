@@ -38,6 +38,7 @@ from repro.perf.analog_model import AnalogTimingModel
 from repro.perf.gpu_model import GpuModel
 from repro.pde.burgers import BurgersStencilSystem, random_burgers_system
 from repro.reporting import ascii_table, render_kernel_stats
+from repro.trace.tracer import NULL_TRACER, TracerLike, as_tracer
 
 __all__ = ["Figure9Result", "run_figure9", "PAPER_FIGURE9"]
 
@@ -69,11 +70,17 @@ class Figure9Result:
         return None
 
 
-def _analog_subdomain_solver(accelerator: AnalogAccelerator, settle_units: List[float]):
+def _analog_subdomain_solver(
+    accelerator: AnalogAccelerator,
+    settle_units: List[float],
+    tracer: TracerLike = NULL_TRACER,
+):
     """Subdomain solver plugging the accelerator into Gauss-Seidel."""
 
     def solve(system: BurgersStencilSystem, guess: np.ndarray) -> np.ndarray:
-        result = accelerator.solve(system, initial_guess=guess, value_bound=3.0)
+        result = accelerator.solve(
+            system, initial_guess=guess, value_bound=3.0, tracer=tracer
+        )
         settle_units.append(result.settle_time_units)
         if result.converged:
             return result.solution
@@ -92,10 +99,17 @@ def run_figure9(
     analog_model: Optional[AnalogTimingModel] = None,
     gs_tolerance: float = 0.02,
     max_sweeps: int = 3,
+    tracer: Optional[TracerLike] = None,
 ) -> Figure9Result:
-    """Run the GPU-scale comparison at the paper's Re = 2.0."""
+    """Run the GPU-scale comparison at the paper's Re = 2.0.
+
+    ``tracer`` records the baseline and polish legs' Newton/linear
+    spans plus one ``analog_settle`` span per Gauss-Seidel subdomain
+    solve.
+    """
     gpu_model = gpu_model or GpuModel()
     analog_model = analog_model or AnalogTimingModel()
+    tracer = as_tracer(tracer)
     newton_options = NewtonOptions(tolerance=1e-11, max_iterations=60)
     sweep_stats = LinearSolverStats()
     rows = []
@@ -114,7 +128,12 @@ def run_figure9(
             kernel = LinearKernel(stats=sweep_stats)
 
             baseline = damped_newton_with_restarts(
-                system, guess, newton_options, linear_solver=kernel, min_damping=1.0 / 64.0
+                system,
+                guess,
+                newton_options,
+                linear_solver=kernel,
+                min_damping=1.0 / 64.0,
+                tracer=tracer,
             )
             if not baseline.converged:
                 continue
@@ -128,7 +147,7 @@ def run_figure9(
             decomposition = RedBlackGaussSeidel(
                 system,
                 block_size=block_size,
-                subdomain_solver=_analog_subdomain_solver(accelerator, settle_units),
+                subdomain_solver=_analog_subdomain_solver(accelerator, settle_units, tracer),
             )
             gs = decomposition.solve(
                 initial_guess=guess, tolerance=gs_tolerance, max_sweeps=max_sweeps
@@ -143,10 +162,10 @@ def run_figure9(
             seed_times.append(analog_model.seconds(mean_settle) * serial_phases)
 
             # ...then undamped GPU Newton from the assembled seed.
-            polish = newton_solve(system, gs.u, newton_options, linear_solver=kernel)
+            polish = newton_solve(system, gs.u, newton_options, linear_solver=kernel, tracer=tracer)
             if not polish.converged:
                 polish = damped_newton_with_restarts(
-                    system, gs.u, newton_options, linear_solver=kernel
+                    system, gs.u, newton_options, linear_solver=kernel, tracer=tracer
                 )
             polish_times.append(gpu_model.solve_seconds(polish, jacobian))
         if not baseline_times:

@@ -17,6 +17,7 @@ then degrades to in-process serial execution with identical results
 from __future__ import annotations
 
 import concurrent.futures
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -26,8 +27,9 @@ from repro.experiments.figure9 import run_figure9
 from repro.experiments.table2 import run_table2
 from repro.experiments.table4 import run_table4
 from repro.reporting import ascii_table
+from repro.trace import Tracer, merge_traces, write_trace
 
-__all__ = ["SweepRun", "SweepResult", "run_parallel_sweep", "SWEEP_RUNNERS"]
+__all__ = ["SweepRun", "SweepResult", "run_parallel_sweep", "SWEEP_RUNNERS", "TRACEABLE"]
 
 # Experiments safe to fan out: each call is self-contained (fresh RNGs,
 # fresh kernels) and returns a picklable result object.
@@ -38,6 +40,10 @@ SWEEP_RUNNERS: Dict[str, Callable] = {
     "table2": run_table2,
     "table4": run_table4,
 }
+
+# Experiments whose drivers accept ``tracer=``; the others run
+# untraced inside a traced sweep (their shard is simply absent).
+TRACEABLE = frozenset({"figure7", "figure8", "figure9"})
 
 # Small default shapes so a full sweep stays interactive; pass
 # ``overrides`` for paper-scale runs.
@@ -104,13 +110,25 @@ class SweepResult:
         return "\n\n".join(parts)
 
 
-def _run_one(name: str, kwargs: Dict) -> SweepRun:
-    """Execute one experiment; must stay top-level for pickling."""
+def _run_one(name: str, kwargs: Dict, shard_path: Optional[str] = None) -> SweepRun:
+    """Execute one experiment; must stay top-level for pickling.
+
+    When ``shard_path`` is given and the experiment supports tracing,
+    the worker records its own :class:`~repro.trace.Tracer` and writes
+    the shard trace file for the parent to merge — workers in separate
+    processes cannot share one tracer.
+    """
     runner = SWEEP_RUNNERS[name]
+    tracer = None
+    if shard_path is not None and name in TRACEABLE:
+        tracer = Tracer(manifest={"experiment": name})
+        kwargs = dict(kwargs, tracer=tracer)
     try:
         result = runner(**kwargs)
     except Exception as exc:  # pragma: no cover - defensive; drivers are total
         return SweepRun(name=name, rendered="", error=f"{type(exc).__name__}: {exc}")
+    if tracer is not None:
+        write_trace(tracer, shard_path)
     stats = getattr(result, "kernel_stats", None)
     return SweepRun(
         name=name,
@@ -121,37 +139,64 @@ def _run_one(name: str, kwargs: Dict) -> SweepRun:
     )
 
 
+def _merge_shards(trace_path: str, shard_paths: List[str]) -> None:
+    """Merge the shard traces that actually materialised, then clean up."""
+    produced = [path for path in shard_paths if os.path.exists(path)]
+    if produced:
+        merge_traces(produced, trace_path)
+    for path in produced:
+        os.unlink(path)
+
+
 def run_parallel_sweep(
     names: Sequence[str] = ("figure7", "figure8", "figure9", "table2", "table4"),
     overrides: Optional[Dict[str, Dict]] = None,
     max_workers: Optional[int] = None,
+    trace_path: Optional[str] = None,
 ) -> SweepResult:
     """Run the named experiments, in parallel when the platform allows.
 
     ``overrides`` maps experiment name to keyword arguments merged over
     the small defaults (e.g. ``{"figure7": {"trials": 4}}``).
     ``max_workers=1`` forces serial execution without touching the pool.
+
+    ``trace_path`` enables per-worker tracing for the experiments in
+    :data:`TRACEABLE`: each worker writes ``<trace_path>.<name>.part``
+    (processes cannot share a tracer), and the shards are merged into a
+    single trace file at ``trace_path`` — span ids renumbered, counters
+    summed, each span tagged with its source experiment.
     """
     overrides = overrides or {}
-    jobs: List[Tuple[str, Dict]] = []
+    jobs: List[Tuple[str, Dict, Optional[str]]] = []
+    shard_paths: List[str] = []
     for name in names:
         if name not in SWEEP_RUNNERS:
             known = ", ".join(sorted(SWEEP_RUNNERS))
             raise ValueError(f"unknown experiment {name!r}; known: {known}")
         kwargs = dict(_DEFAULT_KWARGS.get(name, {}))
         kwargs.update(overrides.get(name, {}))
-        jobs.append((name, kwargs))
+        shard = None
+        if trace_path is not None and name in TRACEABLE:
+            shard = f"{trace_path}.{name}.part"
+            shard_paths.append(shard)
+        jobs.append((name, kwargs, shard))
 
     workers = max_workers if max_workers is not None else min(len(jobs), 4)
     if workers > 1 and len(jobs) > 1:
         try:
             with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(_run_one, name, kwargs) for name, kwargs in jobs]
+                futures = [
+                    pool.submit(_run_one, name, kwargs, shard) for name, kwargs, shard in jobs
+                ]
                 runs = [future.result() for future in futures]
+            if trace_path is not None:
+                _merge_shards(trace_path, shard_paths)
             return SweepResult(runs=runs, mode="parallel", workers=workers)
         except Exception:
             # Process pools need fork/spawn + a writable semaphore dir;
             # sandboxes may provide neither. Fall back to serial.
             pass
-    runs = [_run_one(name, kwargs) for name, kwargs in jobs]
+    runs = [_run_one(name, kwargs, shard) for name, kwargs, shard in jobs]
+    if trace_path is not None:
+        _merge_shards(trace_path, shard_paths)
     return SweepResult(runs=runs, mode="serial", workers=1)

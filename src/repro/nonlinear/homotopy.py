@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.nonlinear.newton import NewtonOptions, damped_newton_with_restarts, newton_solve
 from repro.nonlinear.systems import NonlinearSystem
+from repro.trace.tracer import TracerLike, as_tracer
 
 __all__ = [
     "BlendedSystem",
@@ -107,7 +108,12 @@ class HomotopyResult:
     physical continuous dynamics at a turning point)."""
 
 
-def _fold_recovery(blended: BlendedSystem, u: np.ndarray, options: NewtonOptions):
+def _fold_recovery(
+    blended: BlendedSystem,
+    u: np.ndarray,
+    options: NewtonOptions,
+    tracer: Optional[TracerLike] = None,
+):
     """Find a surviving root of the blended system after a fold.
 
     When the tracked real root annihilates (a turning point of the real
@@ -141,7 +147,7 @@ def _fold_recovery(blended: BlendedSystem, u: np.ndarray, options: NewtonOptions
     last = None
     for idx in order:
         result = damped_newton_with_restarts(
-            blended, lattice[idx], recovery_options, min_damping=1.0 / 64.0
+            blended, lattice[idx], recovery_options, min_damping=1.0 / 64.0, tracer=tracer
         )
         last = result
         if result.converged:
@@ -154,15 +160,19 @@ def homotopy_solve(
     hard: NonlinearSystem,
     start_root: np.ndarray,
     schedule: Optional[HomotopySchedule] = None,
+    tracer: Optional[TracerLike] = None,
 ) -> HomotopyResult:
     """Track one root of the simple system to a root of the hard one.
 
     The sweep uses secant prediction (extrapolating the last two path
     points) followed by a Newton corrector on the blended system. A
     path that loses its corrector (turning point, path divergence) is
-    reported with the lambda at which tracking failed.
+    reported with the lambda at which tracking failed. ``tracer``
+    records one ``homotopy_stage`` span per lambda increment wrapping
+    that stage's corrector iterations.
     """
     schedule = schedule or HomotopySchedule()
+    tracer = as_tracer(tracer)
     u = np.array(start_root, dtype=float, copy=True)
     path = [u.copy()]
     lambdas = [0.0]
@@ -172,44 +182,47 @@ def homotopy_solve(
     previous = None
     lam_values = np.linspace(0.0, 1.0, schedule.steps + 1)[1:]
     for lam in lam_values:
-        # Secant predictor.
-        if previous is not None:
-            prediction = u + (u - previous)
-        else:
-            prediction = u.copy()
-        blended = BlendedSystem(simple, hard, float(lam))
-        options = schedule.final_corrector if lam == lam_values[-1] else schedule.corrector
-        result = newton_solve(blended, prediction, options)
-        if not result.converged:
-            # Retry without the predictor before resorting to a jump.
-            result = newton_solve(blended, u, options)
-        if not result.converged:
-            # Fold point: the tracked real root annihilated. The
-            # continuous dynamics of the physical accelerator do not
-            # stop here — noise kicks the state off the fold and the
-            # Newton flow slides into the basin of a surviving root of
-            # the blended system. We emulate that with damped Newton
-            # restarts from deterministic perturbations of growing
-            # radius around the fold point.
-            result = _fold_recovery(blended, u, options)
-            if result.converged:
-                jumps += 1
-        total_corrector += result.iterations
-        if not result.converged:
-            return HomotopyResult(
-                u=u,
-                converged=False,
-                start_root=np.asarray(start_root, dtype=float),
-                path=path,
-                lambdas=lambdas,
-                corrector_iterations=total_corrector,
-                failure_lambda=float(lam),
-                jumps=jumps,
-            )
-        previous = u
-        u = result.u
-        path.append(u.copy())
-        lambdas.append(float(lam))
+        with tracer.span("homotopy_stage", lam=float(lam)) as stage:
+            # Secant predictor.
+            if previous is not None:
+                prediction = u + (u - previous)
+            else:
+                prediction = u.copy()
+            blended = BlendedSystem(simple, hard, float(lam))
+            options = schedule.final_corrector if lam == lam_values[-1] else schedule.corrector
+            result = newton_solve(blended, prediction, options, tracer=tracer)
+            if not result.converged:
+                # Retry without the predictor before resorting to a jump.
+                result = newton_solve(blended, u, options, tracer=tracer)
+            if not result.converged:
+                # Fold point: the tracked real root annihilated. The
+                # continuous dynamics of the physical accelerator do not
+                # stop here — noise kicks the state off the fold and the
+                # Newton flow slides into the basin of a surviving root of
+                # the blended system. We emulate that with damped Newton
+                # restarts from deterministic perturbations of growing
+                # radius around the fold point.
+                result = _fold_recovery(blended, u, options, tracer=tracer)
+                if result.converged:
+                    jumps += 1
+                    tracer.counter("homotopy_jumps")
+            total_corrector += result.iterations
+            stage.update(converged=result.converged, iterations=result.iterations)
+            if not result.converged:
+                return HomotopyResult(
+                    u=u,
+                    converged=False,
+                    start_root=np.asarray(start_root, dtype=float),
+                    path=path,
+                    lambdas=lambdas,
+                    corrector_iterations=total_corrector,
+                    failure_lambda=float(lam),
+                    jumps=jumps,
+                )
+            previous = u
+            u = result.u
+            path.append(u.copy())
+            lambdas.append(float(lam))
     return HomotopyResult(
         u=u,
         converged=True,

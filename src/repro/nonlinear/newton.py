@@ -49,6 +49,7 @@ from repro.linalg.dense import SingularMatrixError
 from repro.linalg.kernel import LinearKernel, LinearSolverStats
 from repro.linalg.sparse import CsrMatrix
 from repro.nonlinear.systems import NonlinearSystem
+from repro.trace.tracer import TracerLike, as_tracer
 
 __all__ = [
     "NewtonOptions",
@@ -163,11 +164,49 @@ def make_sparse_linear_solver(
     )
 
 
+def _traced_linear_solve(
+    tracer: TracerLike,
+    kernel: Optional[LinearKernel],
+    solve: Optional[LinearSolver],
+    jacobian: JacobianLike,
+    rhs: np.ndarray,
+    stats: LinearSolverStats,
+) -> np.ndarray:
+    """One inner linear solve, charged to ``stats`` and (when a
+    recording tracer is given) wrapped in a ``linear_solve`` span whose
+    attributes carry the PR-1 kernel counters for exactly this call."""
+    if not tracer.active:
+        if kernel is not None:
+            return kernel.solve(jacobian, rhs, sink=stats)
+        delta = solve(jacobian, rhs)
+        stats.solves += 1
+        return delta
+    with tracer.span("linear_solve") as span:
+        if kernel is not None:
+            call_stats = LinearSolverStats()
+            delta = kernel.solve(jacobian, rhs, sink=call_stats)
+            stats.merge(call_stats)
+            span.update(
+                solves=call_stats.solves,
+                inner_iterations=call_stats.inner_iterations,
+                matvecs=call_stats.matvecs,
+                preconditioner_builds=call_stats.preconditioner_builds,
+                gmres_fallbacks=call_stats.gmres_fallbacks,
+                dense_fallbacks=call_stats.dense_fallbacks,
+            )
+        else:
+            delta = solve(jacobian, rhs)
+            stats.solves += 1
+            span.update(solves=1, inner_iterations=0, matvecs=0, preconditioner_builds=0)
+    return delta
+
+
 def newton_solve(
     system: NonlinearSystem,
     u0: np.ndarray,
     options: Optional[NewtonOptions] = None,
     linear_solver: Optional[LinearSolverLike] = None,
+    tracer: Optional[TracerLike] = None,
 ) -> NewtonResult:
     """Run (damped) Newton's method from ``u0``.
 
@@ -184,8 +223,14 @@ def newton_solve(
     inner-solve accounting lands in ``NewtonResult.linear_stats``) or a
     bare callable. When omitted, a fresh kernel is created for this
     solve.
+
+    ``tracer`` (a :class:`repro.trace.Tracer`) records one
+    ``newton_iter`` span per iteration — residual norm and damping as
+    attributes — each containing a ``linear_solve`` span carrying the
+    inner kernel counters. The default is the no-op null tracer.
     """
     options = options or NewtonOptions()
+    tracer = as_tracer(tracer)
     kernel: Optional[LinearKernel]
     if linear_solver is None:
         kernel = LinearKernel()
@@ -216,60 +261,63 @@ def newton_solve(
         )
 
     for iteration in range(1, options.max_iterations + 1):
-        jacobian = system.jacobian(u)
-        try:
-            if kernel is not None:
-                delta = kernel.solve(jacobian, residual, sink=stats)
-            else:
-                delta = solve(jacobian, residual)
-                stats.solves += 1
-        except SingularMatrixError:
-            return NewtonResult(
-                u=u,
-                converged=False,
-                iterations=iteration - 1,
-                residual_norm=norm,
-                residual_history=history,
-                damping_used=options.damping,
-                linear_stats=stats,
-                failure_reason="singular Jacobian",
-            )
-        u = u - options.damping * delta
-        if not np.all(np.isfinite(u)):
-            return NewtonResult(
-                u=u,
-                converged=False,
-                iterations=iteration,
-                residual_norm=float("inf"),
-                residual_history=history,
-                damping_used=options.damping,
-                linear_stats=stats,
-                failure_reason="non-finite iterate",
-            )
-        residual = system.residual(u)
-        norm = float(np.linalg.norm(residual))
-        history.append(norm)
-        if norm <= options.tolerance:
-            return NewtonResult(
-                u=u,
-                converged=True,
-                iterations=iteration,
-                residual_norm=norm,
-                residual_history=history,
-                damping_used=options.damping,
-                linear_stats=stats,
-            )
-        if norm > options.divergence_threshold * initial_norm:
-            return NewtonResult(
-                u=u,
-                converged=False,
-                iterations=iteration,
-                residual_norm=norm,
-                residual_history=history,
-                damping_used=options.damping,
-                linear_stats=stats,
-                failure_reason="residual diverged",
-            )
+        with tracer.span(
+            "newton_iter", iteration=iteration, damping=options.damping
+        ) as iter_span:
+            jacobian = system.jacobian(u)
+            try:
+                delta = _traced_linear_solve(tracer, kernel, solve, jacobian, residual, stats)
+            except SingularMatrixError:
+                iter_span.set("failure", "singular Jacobian")
+                return NewtonResult(
+                    u=u,
+                    converged=False,
+                    iterations=iteration - 1,
+                    residual_norm=norm,
+                    residual_history=history,
+                    damping_used=options.damping,
+                    linear_stats=stats,
+                    failure_reason="singular Jacobian",
+                )
+            u = u - options.damping * delta
+            if not np.all(np.isfinite(u)):
+                iter_span.set("failure", "non-finite iterate")
+                return NewtonResult(
+                    u=u,
+                    converged=False,
+                    iterations=iteration,
+                    residual_norm=float("inf"),
+                    residual_history=history,
+                    damping_used=options.damping,
+                    linear_stats=stats,
+                    failure_reason="non-finite iterate",
+                )
+            residual = system.residual(u)
+            norm = float(np.linalg.norm(residual))
+            history.append(norm)
+            iter_span.set("residual_norm", norm)
+            if norm <= options.tolerance:
+                return NewtonResult(
+                    u=u,
+                    converged=True,
+                    iterations=iteration,
+                    residual_norm=norm,
+                    residual_history=history,
+                    damping_used=options.damping,
+                    linear_stats=stats,
+                )
+            if norm > options.divergence_threshold * initial_norm:
+                iter_span.set("failure", "residual diverged")
+                return NewtonResult(
+                    u=u,
+                    converged=False,
+                    iterations=iteration,
+                    residual_norm=norm,
+                    residual_history=history,
+                    damping_used=options.damping,
+                    linear_stats=stats,
+                    failure_reason="residual diverged",
+                )
     return NewtonResult(
         u=u,
         converged=False,
@@ -288,6 +336,7 @@ def damped_newton_with_restarts(
     options: Optional[NewtonOptions] = None,
     linear_solver: Optional[LinearSolverLike] = None,
     min_damping: float = 1.0 / 1024.0,
+    tracer: Optional[TracerLike] = None,
 ) -> NewtonResult:
     """The paper's baseline solver: halve the damping until convergence.
 
@@ -305,6 +354,7 @@ def damped_newton_with_restarts(
     preconditioner built on the first attempt keeps paying off.
     """
     options = options or NewtonOptions()
+    tracer = as_tracer(tracer)
     if linear_solver is None:
         # One kernel for the whole restart schedule: the sparsity
         # pattern is fixed, so failed-damping attempts reuse the
@@ -322,9 +372,13 @@ def damped_newton_with_restarts(
             max_iterations=options.max_iterations,
             divergence_threshold=options.divergence_threshold,
         )
-        result = newton_solve(system, u0, attempt_options, linear_solver)
+        with tracer.span("newton_attempt", damping=damping, restart=restarts) as attempt:
+            result = newton_solve(system, u0, attempt_options, linear_solver, tracer=tracer)
+            attempt.update(converged=result.converged, iterations=result.iterations)
         total_iterations += result.iterations
         total_stats.merge(result.linear_stats)
+        if not result.converged:
+            tracer.counter("newton_restarts")
         if result.converged:
             result.restarts = restarts
             result.total_iterations_including_restarts = total_iterations

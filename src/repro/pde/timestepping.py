@@ -32,6 +32,7 @@ from repro.linalg.kernel import LinearKernel, LinearSolverStats
 from repro.linalg.sparse import CsrMatrix, eye
 from repro.nonlinear.newton import NewtonOptions, NewtonResult, newton_solve
 from repro.nonlinear.systems import NonlinearSystem
+from repro.trace.tracer import TracerLike, as_tracer
 
 __all__ = [
     "SpatialOperator",
@@ -258,28 +259,39 @@ class ImplicitStepper:
             return CrankNicolsonSystem(self.operator, y, self.dt)
         return Bdf2System(self.operator, y, self._previous, self.dt)
 
-    def step(self, y: np.ndarray) -> NewtonResult:
+    def step(self, y: np.ndarray, tracer: Optional[TracerLike] = None) -> NewtonResult:
         """Advance one time step; the root of the step system is the
         next level. Non-convergence is reported, not raised — the
         caller decides whether a partially converged trajectory is
-        usable."""
+        usable. ``tracer`` records one ``time_step`` span wrapping the
+        step's Newton iterations."""
+        tracer = as_tracer(tracer)
         y = np.asarray(y, dtype=float)
         system = self._step_system(y)
-        result = newton_solve(system, y, self.options, self.kernel)
+        with tracer.span("time_step", scheme=self.scheme, dt=self.dt) as span:
+            result = newton_solve(system, y, self.options, self.kernel, tracer=tracer)
+            span.update(
+                converged=result.converged,
+                iterations=result.iterations,
+                residual_norm=result.residual_norm,
+            )
         if self.scheme == "bdf2":
             self._previous = y.copy()
         return result
 
-    def run(self, y0: np.ndarray, steps: int) -> TrajectoryResult:
+    def run(
+        self, y0: np.ndarray, steps: int, tracer: Optional[TracerLike] = None
+    ) -> TrajectoryResult:
         """Integrate ``steps`` time steps from ``y0``."""
         if steps <= 0:
             raise ValueError("steps must be positive")
+        tracer = as_tracer(tracer)
         y = np.asarray(y0, dtype=float)
         states = np.empty((steps + 1, y.shape[0]))
         states[0] = y
         trajectory = TrajectoryResult(states=states)
         for index in range(1, steps + 1):
-            result = self.step(y)
+            result = self.step(y, tracer=tracer)
             trajectory.newton_results.append(result)
             trajectory.linear_stats.merge(result.linear_stats)
             y = result.u

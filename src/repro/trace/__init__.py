@@ -1,0 +1,49 @@
+"""repro.trace: structured solve tracing.
+
+Zero-dependency observability for the Newton/homotopy/analog-settle
+pipeline:
+
+* :mod:`repro.trace.tracer` — :class:`Tracer` with nestable spans,
+  counters and gauges; :class:`NullTracer` keeps untraced hot paths
+  allocation-free.
+* :mod:`repro.trace.exporter` — JSON-lines export with a run-manifest
+  header, reading, and shard merging for parallel sweeps.
+* :mod:`repro.trace.summary` — per-phase time/iteration breakdowns
+  (the ``repro trace-summary`` subcommand).
+"""
+
+from repro.trace.exporter import (
+    SCHEMA_VERSION,
+    TraceFile,
+    merge_traces,
+    read_trace,
+    write_trace,
+)
+from repro.trace.summary import phase_rows, render_trace_summary, summarize_trace_file
+from repro.trace.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanRecord,
+    TraceNestingError,
+    Tracer,
+    as_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "as_tracer",
+    "Span",
+    "SpanRecord",
+    "TraceNestingError",
+    "SCHEMA_VERSION",
+    "TraceFile",
+    "write_trace",
+    "read_trace",
+    "merge_traces",
+    "phase_rows",
+    "render_trace_summary",
+    "summarize_trace_file",
+]

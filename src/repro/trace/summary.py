@@ -1,0 +1,90 @@
+"""Per-phase breakdowns of a recorded trace (``repro trace-summary``).
+
+Groups span records by name and renders time/iteration totals through
+:func:`repro.reporting.ascii_table`, so a trace answers the paper's
+two headline questions — where did the time go, and how many
+iterations did each stage take — straight from the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.reporting import ascii_table
+from repro.trace.exporter import TraceFile, read_trace
+
+__all__ = ["phase_rows", "render_trace_summary", "summarize_trace_file"]
+
+# Span attributes summed into the per-phase table when present
+# (the PR-1 linear-kernel counters plus the Newton-level counts).
+_SUMMED_ATTRS = (
+    "inner_iterations",
+    "matvecs",
+    "preconditioner_builds",
+    "iterations",
+)
+
+
+def phase_rows(trace: TraceFile) -> List[dict]:
+    """One reporting row per span name: counts, time, summed counters."""
+    order: List[str] = []
+    grouped: Dict[str, List[dict]] = {}
+    for span in trace.spans:
+        name = span.get("name", "?")
+        if name not in grouped:
+            grouped[name] = []
+            order.append(name)
+        grouped[name].append(span)
+
+    rows = []
+    for name in order:
+        spans = grouped[name]
+        total = sum(span.get("t_end", 0.0) - span.get("t_start", 0.0) for span in spans)
+        row = {
+            "phase": name,
+            "spans": len(spans),
+            "total time (s)": total,
+            "mean time (ms)": 1e3 * total / len(spans),
+        }
+        for attr in _SUMMED_ATTRS:
+            summed = sum(span.get("attrs", {}).get(attr, 0) for span in spans)
+            row[attr.replace("_", " ")] = summed
+        rows.append(row)
+    return rows
+
+
+def render_trace_summary(trace: TraceFile) -> str:
+    """Render the manifest, per-phase table and counters as text."""
+    parts = []
+    manifest = {
+        key: value
+        for key, value in trace.manifest.items()
+        if key not in ("type", "shards")
+    }
+    if manifest:
+        fields = ", ".join(f"{key}={value}" for key, value in manifest.items())
+        parts.append(f"manifest: {fields}")
+    if trace.manifest.get("shards"):
+        parts.append(f"merged from {len(trace.manifest['shards'])} shard trace(s)")
+
+    if trace.spans:
+        parts.append("per-phase breakdown:\n" + ascii_table(phase_rows(trace)))
+    else:
+        parts.append("(no spans recorded)")
+
+    if trace.counters:
+        counter_rows = [
+            {"counter": name, "value": trace.counters[name]} for name in sorted(trace.counters)
+        ]
+        parts.append("counters:\n" + ascii_table(counter_rows))
+    if trace.gauges:
+        gauge_rows = [
+            {"gauge": name, "value": trace.gauges[name]} for name in sorted(trace.gauges)
+        ]
+        parts.append("gauges (last value):\n" + ascii_table(gauge_rows))
+    return "\n\n".join(parts)
+
+
+def summarize_trace_file(path: Union[str, "object"]) -> str:
+    """Read a JSONL trace from disk and render its summary."""
+    return render_trace_summary(read_trace(path))

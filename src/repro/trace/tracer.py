@@ -1,0 +1,263 @@
+"""Zero-dependency structured tracing for the solve pipeline.
+
+The paper's headline claims are iteration-count and time-to-convergence
+curves (Figures 7-9); regressions in convergence behaviour are
+invisible from aggregate counters alone. :class:`Tracer` records the
+per-stage story: nestable spans (``solve`` -> ``newton_attempt`` ->
+``newton_iter`` -> ``linear_solve``; ``analog_settle`` -> ``ode_step``)
+carrying monotonic timestamps, residual norms, damping levels and the
+linear-kernel counters as attributes, plus named counters and gauges.
+
+Everything that emits spans takes an optional ``tracer=`` argument
+defaulting to ``None``; :func:`as_tracer` maps ``None`` to the shared
+:data:`NULL_TRACER`, whose span handle is a preallocated singleton so
+the hot path stays allocation-free and branch-cheap when tracing is
+off.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Union
+
+__all__ = [
+    "SpanRecord",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "as_tracer",
+    "TraceNestingError",
+]
+
+
+class TraceNestingError(RuntimeError):
+    """Raised when spans are closed out of order or left dangling."""
+
+
+@dataclass
+class SpanRecord:
+    """A completed span: one timed stage of the solve pipeline."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    depth: int
+    t_start: float
+    t_end: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    def to_record(self) -> Dict[str, Any]:
+        """JSON-serializable dict (one JSONL line, sans type tag)."""
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "depth": self.depth,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "attrs": self.attrs,
+        }
+
+
+class Span:
+    """An open span handle; close via context-manager exit or ``close``."""
+
+    __slots__ = ("_tracer", "span_id", "parent_id", "name", "depth", "t_start", "attrs")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        depth: int,
+        t_start: float,
+        attrs: Dict[str, Any],
+    ):
+        self._tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.depth = depth
+        self.t_start = t_start
+        self.attrs = attrs
+
+    def set(self, key: str, value: Any) -> "Span":
+        """Attach (or overwrite) one attribute; chainable."""
+        self.attrs[key] = value
+        return self
+
+    def update(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def close(self) -> None:
+        self._tracer._close(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.close()
+        return False
+
+
+class _NullSpan:
+    """Shared no-op span handle: every method discards its arguments."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+    def update(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The do-nothing default: keeps instrumented hot paths free.
+
+    ``span`` hands back one preallocated :class:`_NullSpan`, so with
+    tracing off an instrumented loop costs one attribute lookup and one
+    call per stage — no allocations, no timestamps.
+    """
+
+    __slots__ = ()
+
+    active = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def counter(self, name: str, value: Union[int, float] = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+TracerLike = Union["Tracer", NullTracer]
+
+
+def as_tracer(tracer: Optional[TracerLike]) -> TracerLike:
+    """Normalize an optional ``tracer=`` argument to a usable tracer."""
+    return NULL_TRACER if tracer is None else tracer
+
+
+class Tracer:
+    """Recording tracer: spans nest on an explicit stack.
+
+    Parameters
+    ----------
+    manifest:
+        Run-level metadata (grid size, Reynolds, seed, code version...)
+        exported as the JSONL header line by
+        :func:`repro.trace.exporter.write_trace`.
+    clock:
+        Monotonic time source; injectable for tests.
+    """
+
+    active = True
+
+    def __init__(
+        self,
+        manifest: Optional[Dict[str, Any]] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.manifest: Dict[str, Any] = dict(manifest or {})
+        self._clock = clock
+        self._stack: List[Span] = []
+        self._next_id = 1
+        self.spans: List[SpanRecord] = []
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+
+    # -- spans --------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a child span of whatever span is currently innermost."""
+        parent = self._stack[-1] if self._stack else None
+        handle = Span(
+            tracer=self,
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            name=str(name),
+            depth=len(self._stack),
+            t_start=self._clock(),
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._stack.append(handle)
+        return handle
+
+    def _close(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            open_names = [s.name for s in self._stack]
+            raise TraceNestingError(
+                f"span {span.name!r} closed out of order; open stack: {open_names}"
+            )
+        self._stack.pop()
+        self.spans.append(
+            SpanRecord(
+                span_id=span.span_id,
+                parent_id=span.parent_id,
+                name=span.name,
+                depth=span.depth,
+                t_start=span.t_start,
+                t_end=self._clock(),
+                attrs=span.attrs,
+            )
+        )
+
+    @property
+    def open_depth(self) -> int:
+        """Number of spans currently open (0 when fully closed)."""
+        return len(self._stack)
+
+    def check_closed(self) -> None:
+        """Raise if any span is still open (export-time hygiene)."""
+        if self._stack:
+            raise TraceNestingError(
+                f"{len(self._stack)} span(s) still open: "
+                f"{[s.name for s in self._stack]}"
+            )
+
+    # -- counters and gauges --------------------------------------------
+
+    def counter(self, name: str, value: Union[int, float] = 1) -> None:
+        """Add ``value`` to a named monotonic counter."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the latest value of a named gauge."""
+        self.gauges[name] = float(value)
+
+    # -- queries ----------------------------------------------------------
+
+    def spans_named(self, name: str) -> List[SpanRecord]:
+        return [record for record in self.spans if record.name == name]
+
+    def total_duration(self, name: str) -> float:
+        return sum(record.duration for record in self.spans_named(name))

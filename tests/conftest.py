@@ -4,8 +4,15 @@ Hypothesis deadlines are disabled globally: the property tests exercise
 numerical kernels whose wall-clock varies wildly with machine load
 (this suite is routinely run alongside the paper-scale experiment
 sweep), and a deadline flake tells us nothing about correctness.
+
+``--update-golden`` rewrites the pinned CLI outputs under
+``tests/golden/`` instead of comparing against them; run it after an
+intentional output change and commit the refreshed files.
 """
 
+from pathlib import Path
+
+import pytest
 from hypothesis import HealthCheck, settings
 
 settings.register_profile(
@@ -14,3 +21,43 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile("repro")
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.txt from the current CLI output",
+    )
+
+
+@pytest.fixture
+def golden(request):
+    """Compare (or, with --update-golden, record) a named golden text.
+
+    Usage: ``golden("table5", normalized_output)``. Asserts equality
+    against ``tests/golden/<name>.txt``; with ``--update-golden`` it
+    writes the file and passes.
+    """
+    update = request.config.getoption("--update-golden")
+
+    def compare(name: str, actual: str) -> None:
+        path = GOLDEN_DIR / f"{name}.txt"
+        if update:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_text(actual, encoding="utf-8")
+            return
+        if not path.exists():
+            pytest.fail(
+                f"golden file {path} missing; run pytest with --update-golden to create it"
+            )
+        expected = path.read_text(encoding="utf-8")
+        assert actual == expected, (
+            f"CLI output for {name!r} drifted from {path}.\n"
+            "If the change is intentional, refresh with: pytest --update-golden"
+        )
+
+    return compare

@@ -2,9 +2,13 @@
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.linalg.kernel import LinearKernel, LinearSolverStats
 from repro.linalg.sparse import CooBuilder, CsrMatrix, diags, eye
+from repro.nonlinear.newton import _traced_linear_solve
+from repro.trace import Tracer
 
 
 def _tridiag(n: int, diag: float = 4.0, off: float = -1.0) -> CsrMatrix:
@@ -181,6 +185,57 @@ class TestStatsAccounting:
             "GMRES fallbacks",
             "dense fallbacks",
         ]
+
+
+class TestTracedAccounting:
+    """The tracing layer's accounting contract: summing the per-call
+    ``linear_solve`` span attributes reproduces the kernel's lifetime
+    stats exactly, for any interleaving of sizes and value drifts."""
+
+    COUNTER_FIELDS = (
+        "solves",
+        "inner_iterations",
+        "matvecs",
+        "preconditioner_builds",
+        "gmres_fallbacks",
+        "dense_fallbacks",
+    )
+
+    @given(
+        calls=st.lists(
+            st.tuples(st.sampled_from([8, 12, 17]), st.floats(0.0, 0.5)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_span_sums_equal_lifetime_stats(self, calls):
+        lifetime = LinearSolverStats()
+        kernel = LinearKernel(stats=lifetime)
+        tracer = Tracer()
+        result_stats = LinearSolverStats()
+        for n, drift in calls:
+            matrix = _tridiag(n, diag=4.0 + drift)
+            _traced_linear_solve(tracer, kernel, None, matrix, np.ones(n), result_stats)
+        tracer.check_closed()
+        spans = tracer.spans_named("linear_solve")
+        assert len(spans) == len(calls)
+        for field in self.COUNTER_FIELDS:
+            span_total = sum(span.attrs[field] for span in spans)
+            assert span_total == getattr(lifetime, field), field
+            # The per-solve sink the Newton result keeps sees the same
+            # totals: nothing is double- or under-charged by tracing.
+            assert span_total == getattr(result_stats, field), field
+
+    def test_traced_and_untraced_solves_agree(self):
+        matrix = _tridiag(20)
+        rhs = np.ones(20)
+        plain = LinearKernel().solve(matrix, rhs)
+        traced_stats = LinearSolverStats()
+        traced = _traced_linear_solve(
+            Tracer(), LinearKernel(), None, matrix, rhs, traced_stats
+        )
+        np.testing.assert_allclose(traced, plain)
+        assert traced_stats.solves == 1
 
 
 class TestCallableCompatibility:

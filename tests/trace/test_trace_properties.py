@@ -1,0 +1,173 @@
+"""Property suites for repro.trace (Hypothesis).
+
+Three invariants the rest of the PR leans on:
+
+* span nesting is LIFO for *any* push/pop interleaving — depths,
+  parent links and completion order always reconstruct a forest;
+* the JSONL export round-trips spans, attributes, counters and gauges
+  for arbitrary (JSON-representable) content;
+* counters are additive under shard merging, regardless of how the
+  counts are split across shards.
+"""
+
+import json
+import string
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trace import (
+    TraceNestingError,
+    Tracer,
+    merge_traces,
+    read_trace,
+    write_trace,
+)
+
+names = st.text(string.ascii_lowercase + "_", min_size=1, max_size=12)
+
+# Attribute values constrained to what JSON represents exactly (floats
+# must round-trip; NaN/inf are not JSON).
+attr_values = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=20),
+    st.none(),
+)
+attr_dicts = st.dictionaries(names, attr_values, max_size=4)
+
+# A walk is a sequence of push (open child span) / pop (close innermost)
+# operations; pops on an empty stack are skipped at interpretation time.
+walks = st.lists(
+    st.tuples(st.sampled_from(["push", "pop"]), names), min_size=1, max_size=40
+)
+
+
+def _run_walk(tracer: Tracer, walk) -> int:
+    """Interpret a walk against a tracer; returns how many spans opened."""
+    stack = []
+    opened = 0
+    for op, name in walk:
+        if op == "push":
+            stack.append(tracer.span(name))
+            opened += 1
+        elif stack:
+            stack.pop().close()
+    while stack:
+        stack.pop().close()
+    return opened
+
+
+class TestNestingProperties:
+    @given(walks)
+    def test_any_lifo_walk_reconstructs_a_forest(self, walk):
+        tracer = Tracer()
+        opened = _run_walk(tracer, walk)
+        tracer.check_closed()
+        assert len(tracer.spans) == opened
+        by_id = {record.span_id: record for record in tracer.spans}
+        seen = set()
+        for record in tracer.spans:  # completion order: children first
+            if record.parent_id is None:
+                assert record.depth == 0
+            else:
+                parent = by_id[record.parent_id]
+                assert record.depth == parent.depth + 1
+                # A span starts within its parent's lifetime and ends
+                # before it (children complete first).
+                assert parent.t_start <= record.t_start
+                assert record.t_end <= parent.t_end
+            assert record.span_id not in seen
+            seen.add(record.span_id)
+        # ids are unique and allocated 1..N in open order
+        assert sorted(seen) == list(range(1, opened + 1))
+
+    @given(walks)
+    def test_non_lifo_close_always_raises(self, walk):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        try:
+            outer.close()
+            assert False, "closing a non-innermost span must raise"
+        except TraceNestingError:
+            pass
+        # The failed close must not corrupt the stack: LIFO still works.
+        inner.close()
+        outer.close()
+        tracer.check_closed()
+
+
+class TestRoundTripProperties:
+    @given(
+        spans=st.lists(st.tuples(names, attr_dicts), max_size=10),
+        counters=st.dictionaries(names, st.integers(0, 10**6), max_size=5),
+        gauges=st.dictionaries(
+            names, st.floats(allow_nan=False, allow_infinity=False, width=64), max_size=5
+        ),
+        manifest=st.dictionaries(names, st.integers(0, 100), max_size=3),
+    )
+    def test_jsonl_round_trip_is_lossless(self, tmp_path_factory, spans, counters, gauges, manifest):
+        tracer = Tracer(manifest=manifest)
+        for name, attrs in spans:
+            with tracer.span(name, **attrs):
+                pass
+        for name, value in counters.items():
+            tracer.counter(name, value)
+        for name, value in gauges.items():
+            tracer.gauge(name, value)
+
+        path = tmp_path_factory.mktemp("trace") / "t.jsonl"
+        trace = read_trace(write_trace(tracer, path))
+
+        assert [(s["name"], s["attrs"]) for s in trace.spans] == [
+            (name, attrs) for name, attrs in spans
+        ]
+        assert trace.counters == counters
+        assert trace.gauges == gauges
+        for key, value in manifest.items():
+            # built-in manifest fields (schema/version) ride alongside
+            assert trace.manifest[key] == value
+        # The file itself is line-by-line JSON.
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+
+class TestMergeProperties:
+    @given(
+        shard_counters=st.lists(
+            st.dictionaries(names, st.integers(0, 10**6), max_size=4),
+            min_size=1,
+            max_size=4,
+        ),
+        spans_per_shard=st.lists(st.integers(0, 5), min_size=1, max_size=4),
+    )
+    def test_counters_additive_and_ids_unique_under_merge(
+        self, tmp_path_factory, shard_counters, spans_per_shard
+    ):
+        tmp = tmp_path_factory.mktemp("shards")
+        paths = []
+        expected: dict = {}
+        total_spans = 0
+        for index, counters in enumerate(shard_counters):
+            tracer = Tracer(manifest={"experiment": f"shard{index}"})
+            count = spans_per_shard[index % len(spans_per_shard)]
+            for _ in range(count):
+                with tracer.span("work"):
+                    pass
+            total_spans += count
+            for name, value in counters.items():
+                tracer.counter(name, value)
+                expected[name] = expected.get(name, 0) + value
+            paths.append(write_trace(tracer, tmp / f"{index}.jsonl"))
+
+        merged = merge_traces(paths, tmp / "merged.jsonl")
+        assert merged.counters == expected
+        assert len(merged.spans) == total_spans
+        ids = [span["id"] for span in merged.spans]
+        assert len(set(ids)) == len(ids)
+        # Merging one shard with itself doubles every counter.
+        doubled = merge_traces([paths[0], paths[0]], tmp / "doubled.jsonl")
+        for name, value in shard_counters[0].items():
+            assert doubled.counters[name] == 2 * value

@@ -1,0 +1,211 @@
+"""Method-of-manufactured-solutions convergence-order verification.
+
+Two families of checks:
+
+* **temporal**: :class:`~repro.pde.timestepping.ImplicitStepper` on the
+  scalar ODE ``dy/dt = -y**2`` (exact solution ``1/(1+t)`` from
+  ``y0 = 1``): implicit Euler must converge at first order,
+  Crank-Nicolson and BDF2 at second order;
+* **spatial**: the discrete residual stencils evaluated at an exact
+  manufactured solution with analytically computed forcing leave a
+  truncation error that must shrink at second order in the mesh
+  spacing (1-D Burgers, 2-D Burgers, and the five-point Poisson
+  matrix).
+
+Observed order between resolutions ``h`` and ``h/2`` is
+``log2(e_h / e_{h/2})``; tolerances are the standard loose MMS bands
+(a scheme off by a whole order fails decisively, pre-asymptotic
+wobble does not).
+"""
+
+import numpy as np
+import pytest
+
+from repro.pde.boundary import DirichletBoundary
+from repro.pde.burgers import BurgersStencilSystem
+from repro.pde.burgers1d import Burgers1DStencilSystem
+from repro.pde.grid import Grid2D
+from repro.pde.poisson import PoissonProblem
+from repro.pde.timestepping import ImplicitStepper, SpatialOperator
+
+
+def observed_orders(errors):
+    """log2 ratios of consecutive errors on a halving sequence."""
+    errors = np.asarray(errors, dtype=float)
+    assert np.all(errors > 0), "degenerate (exactly zero) errors defeat the MMS check"
+    return np.log2(errors[:-1] / errors[1:])
+
+
+# ---------------------------------------------------------------------------
+# Temporal order: dy/dt = -y^2, exact y(t) = 1 / (1 + t).
+# ---------------------------------------------------------------------------
+
+
+def _riccati_operator() -> SpatialOperator:
+    """N(y) = y^2 so that dy/dt = -N(y) has the exact solution above."""
+    return SpatialOperator(
+        dimension=1,
+        apply=lambda y: y**2,
+        jacobian=lambda y: np.array([[2.0 * y[0]]]),
+    )
+
+
+def _temporal_errors(scheme: str, dts) -> list:
+    t_final = 1.0
+    exact = 1.0 / (1.0 + t_final)
+    errors = []
+    for dt in dts:
+        stepper = ImplicitStepper(_riccati_operator(), dt=dt, scheme=scheme)
+        trajectory = stepper.run(np.array([1.0]), steps=round(t_final / dt))
+        assert trajectory.converged
+        errors.append(abs(float(trajectory.y[0]) - exact))
+    return errors
+
+
+TEMPORAL_DTS = (0.1, 0.05, 0.025, 0.0125)
+
+
+class TestTemporalOrder:
+    def test_implicit_euler_is_first_order(self):
+        orders = observed_orders(_temporal_errors("implicit-euler", TEMPORAL_DTS))
+        assert np.all(orders >= 0.8) and np.all(orders <= 1.3), orders
+
+    def test_crank_nicolson_is_second_order(self):
+        orders = observed_orders(_temporal_errors("crank-nicolson", TEMPORAL_DTS))
+        assert np.all(orders >= 1.8), orders
+
+    def test_bdf2_is_second_order(self):
+        # One Crank-Nicolson bootstrap step, then BDF2: the O(dt^3)
+        # start-up error must not drag the global order below 2.
+        orders = observed_orders(_temporal_errors("bdf2", TEMPORAL_DTS))
+        assert np.all(orders >= 1.8), orders
+
+    def test_second_order_schemes_beat_first_order(self):
+        dt = TEMPORAL_DTS[-1]
+        euler = _temporal_errors("implicit-euler", [dt])[0]
+        cn = _temporal_errors("crank-nicolson", [dt])[0]
+        bdf2 = _temporal_errors("bdf2", [dt])[0]
+        assert cn < euler / 10
+        assert bdf2 < euler / 10
+
+
+# ---------------------------------------------------------------------------
+# Spatial order: truncation error of the residual stencils.
+# ---------------------------------------------------------------------------
+
+
+REYNOLDS = 1.7  # arbitrary non-unit value so no term degenerates
+
+
+class TestBurgers1DSpatialOrder:
+    """u(x) = sin(pi x) on [0, 1]; nodes at x_i = i h, h = 1/(n+1)."""
+
+    @staticmethod
+    def _truncation_error(n: int) -> float:
+        h = 1.0 / (n + 1)
+        x = (np.arange(n) + 1) * h
+        u = np.sin(np.pi * x)
+        ux = np.pi * np.cos(np.pi * x)
+        uxx = -np.pi**2 * np.sin(np.pi * x)
+        rhs = u + (u * ux - uxx / REYNOLDS)
+        system = Burgers1DStencilSystem(
+            num_nodes=n, reynolds=REYNOLDS, rhs=rhs, left=0.0, right=0.0, spacing=h, order=2
+        )
+        return float(np.max(np.abs(system.residual(u))))
+
+    def test_second_order_stencil_is_second_order(self):
+        errors = [self._truncation_error(n) for n in (15, 31, 63)]
+        orders = observed_orders(errors)
+        assert np.all(orders >= 1.8), (errors, orders)
+
+    def test_fourth_order_stencil_beats_second_order(self):
+        # Not a full order check (the boundary extrapolation muddies the
+        # last half-order), just the Section 7 claim: at the same h the
+        # wider stencil is decisively more accurate.
+        n, h = 31, 1.0 / 32
+        x = (np.arange(n) + 1) * h
+        u = np.sin(np.pi * x)
+        ux = np.pi * np.cos(np.pi * x)
+        uxx = -np.pi**2 * np.sin(np.pi * x)
+        rhs = u + (u * ux - uxx / REYNOLDS)
+        errors = {}
+        for order in (2, 4):
+            system = Burgers1DStencilSystem(
+                num_nodes=n, reynolds=REYNOLDS, rhs=rhs, spacing=h, order=order
+            )
+            errors[order] = float(np.max(np.abs(system.residual(u))))
+        assert errors[4] < errors[2] / 10
+
+
+class TestBurgers2DSpatialOrder:
+    """u = sin(pi x) sin(pi y), v = sin(2 pi x) sin(pi y) on [0, 1]^2.
+
+    Both fields vanish on the boundary, so the homogeneous Dirichlet
+    ghost ring is exact and the residual at the exact nodal values is
+    pure truncation error.
+    """
+
+    @staticmethod
+    def _truncation_error(n: int) -> float:
+        h = 1.0 / (n + 1)
+        grid = Grid2D.square(n, spacing=h)
+        xs, ys = grid.interior_meshgrid()
+        sx, cx = np.sin(np.pi * xs), np.cos(np.pi * xs)
+        sy, cy = np.sin(np.pi * ys), np.cos(np.pi * ys)
+        s2x, c2x = np.sin(2.0 * np.pi * xs), np.cos(2.0 * np.pi * xs)
+
+        u = sx * sy
+        v = s2x * sy
+        ux, uy = np.pi * cx * sy, np.pi * sx * cy
+        vx, vy = 2.0 * np.pi * c2x * sy, np.pi * s2x * cy
+        lap_u = -2.0 * np.pi**2 * u
+        lap_v = -(4.0 + 1.0) * np.pi**2 * v
+
+        rhs_u = u + (u * ux + v * uy - lap_u / REYNOLDS)
+        rhs_v = v + (u * vx + v * vy - lap_v / REYNOLDS)
+        boundary = DirichletBoundary.constant(grid, 0.0)
+        system = BurgersStencilSystem(
+            grid, REYNOLDS, rhs_u, rhs_v, boundary, boundary, weight=1.0
+        )
+        return float(np.max(np.abs(system.residual(system.pack(u, v)))))
+
+    def test_residual_stencil_is_second_order(self):
+        errors = [self._truncation_error(n) for n in (7, 15, 31)]
+        orders = observed_orders(errors)
+        assert np.all(orders >= 1.8), (errors, orders)
+
+
+class TestPoissonSpatialOrder:
+    """-Lap(u) = f with u = sin(pi x) sin(pi y), f = 2 pi^2 u."""
+
+    @staticmethod
+    def _truncation_error(n: int) -> float:
+        h = 1.0 / (n + 1)
+        grid = Grid2D.square(n, spacing=h)
+        xs, ys = grid.interior_meshgrid()
+        u = np.sin(np.pi * xs) * np.sin(np.pi * ys)
+        forcing = 2.0 * np.pi**2 * u
+        problem = PoissonProblem(grid, forcing)
+        residual = problem.matrix().matvec(grid.flatten(u)) - problem.rhs()
+        return float(np.max(np.abs(residual)))
+
+    def test_five_point_matrix_is_second_order(self):
+        errors = [self._truncation_error(n) for n in (7, 15, 31)]
+        orders = observed_orders(errors)
+        assert np.all(orders >= 1.8), (errors, orders)
+
+    def test_solved_field_converges_at_second_order(self):
+        """End-to-end: the CG solution's error against the manufactured
+        solution also halves quadratically (discrete maximum principle
+        carries the truncation order to the solution)."""
+        errors = []
+        for n in (7, 15, 31):
+            h = 1.0 / (n + 1)
+            grid = Grid2D.square(n, spacing=h)
+            xs, ys = grid.interior_meshgrid()
+            exact = np.sin(np.pi * xs) * np.sin(np.pi * ys)
+            problem = PoissonProblem(grid, 2.0 * np.pi**2 * exact)
+            result = problem.solve(tol=1e-12)
+            errors.append(float(np.max(np.abs(problem.solution_field(result) - exact))))
+        orders = observed_orders(errors)
+        assert np.all(orders >= 1.8), (errors, orders)
