@@ -26,7 +26,7 @@ measures in Figure 6 (total RMS 5.38 %).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -146,6 +146,14 @@ class AnalogAccelerator:
     num_chips:
         Board size; ``None`` sizes the board to each problem (the
         paper's scaled-up modeled accelerators).
+    fault_hook:
+        Test/chaos seam: a callable applied to every
+        :class:`AnalogSolveResult` before it is returned from a run.
+        It may mutate the result in place (e.g. corrupt the measured
+        solution while leaving ``converged`` set — the silently bad
+        seed the degradation ladder must survive) and/or return a
+        replacement result; returning ``None`` keeps the mutated
+        original. ``None`` (the default) costs nothing.
     """
 
     def __init__(
@@ -155,6 +163,7 @@ class AnalogAccelerator:
         num_chips: Optional[int] = None,
         calibration: Optional[CalibrationConfig] = None,
         adc_repeats: int = 4,
+        fault_hook: Optional[Callable[["AnalogSolveResult"], Optional["AnalogSolveResult"]]] = None,
     ):
         self.noise = noise or NoiseModel()
         self.seed = int(seed)
@@ -163,7 +172,14 @@ class AnalogAccelerator:
         if adc_repeats <= 0:
             raise ValueError("adc_repeats must be positive")
         self.adc_repeats = int(adc_repeats)
+        self.fault_hook = fault_hook
         self._run_rng = np.random.default_rng(seed + 977)
+
+    def _apply_fault_hook(self, result: "AnalogSolveResult") -> "AnalogSolveResult":
+        if self.fault_hook is None:
+            return result
+        replaced = self.fault_hook(result)
+        return result if replaced is None else replaced
 
     def _fabric_for(self, dimension: int) -> Fabric:
         if self.num_chips is not None:
@@ -259,14 +275,14 @@ class AnalogAccelerator:
             )
             measured = self.noise.adc_read(flow.u + thermal)
             solution = scale * measured
-            return AnalogSolveResult(
+            return self._apply_fault_hook(AnalogSolveResult(
                 solution=solution,
                 converged=flow.converged,
                 settle_time_units=1.0,  # the lambda ramp spans one unit
                 scale=scale,
                 scaled_solution=measured,
                 residual_norm=hard.residual_norm(solution),
-            )
+            ))
         finally:
             fabric.exec_stop()
             compiled.release()
@@ -408,7 +424,7 @@ class AnalogAccelerator:
         solution = scaled.to_physical(measured_w)
         n = system.dimension
         resources = compiled.resources
-        return AnalogSolveResult(
+        return self._apply_fault_hook(AnalogSolveResult(
             solution=solution,
             converged=flow.converged,
             settle_time_units=flow.settle_time,
@@ -421,4 +437,4 @@ class AnalogAccelerator:
             dac_writes=n + n * resources.per_variable_total("DAC"),
             adc_reads=n * self.adc_repeats,
             trajectory=flow.solution if record_trajectory else None,
-        )
+        ))

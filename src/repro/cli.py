@@ -6,11 +6,17 @@
     python -m repro figure7 --grids 2,4,8 --reynolds 0.1,1.0 --trials 1
     python -m repro figure7 --nx 20 --trace /tmp/figure7.jsonl
     python -m repro sweep --experiments figure7,figure8 --workers 2
-    python -m repro trace-summary /tmp/figure7.jsonl
+    python -m repro serve-batch --requests 8 --workers 4 --trace /tmp/batch.jsonl
+    python -m repro trace-summary /tmp/batch.jsonl
 
 Each command runs the corresponding experiment driver and prints the
 same rows/series the paper reports. ``sweep`` fans several experiments
 across worker processes and adds per-run linear-kernel accounting.
+``serve-batch`` pushes a batch of random Burgers problems through the
+fault-tolerant solve runtime (:mod:`repro.runtime`) — deadlines,
+retries, degradation ladder — and prints the per-request outcomes;
+``--faults`` injects seeded chaos (worker crashes, analog spikes,
+solver hangs) to exercise the recovery paths.
 
 The solver-backed figures (7/8/9) and ``sweep`` accept ``--trace PATH``
 to record a structured JSONL trace of the run — a run manifest (grid,
@@ -39,6 +45,14 @@ from repro.experiments import (
     run_table5,
 )
 from repro.experiments.parallel import SWEEP_RUNNERS, run_parallel_sweep
+from repro.runtime import (
+    FAULT_KINDS,
+    FaultInjector,
+    ProblemSpec,
+    RetryPolicy,
+    Runtime,
+    SolveRequest,
+)
 from repro.trace import Tracer, summarize_trace_file, write_trace
 
 __all__ = ["main"]
@@ -50,6 +64,19 @@ def _parse_floats(text: str) -> tuple:
 
 def _parse_ints(text: str) -> tuple:
     return tuple(int(v) for v in text.split(","))
+
+
+def _parse_fault_rates(text: str) -> dict:
+    """Parse ``kind=rate,kind=rate`` into a fault-rate mapping."""
+    rates = {}
+    for part in text.split(","):
+        kind, _, rate = part.partition("=")
+        if not rate:
+            raise argparse.ArgumentTypeError(
+                f"fault spec {part!r} is not of the form kind=rate"
+            )
+        rates[kind.strip()] = float(rate)
+    return rates
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -122,6 +149,34 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--workers", type=int, default=None, help="process count (1 = serial)")
 
+    serve = sub.add_parser(
+        "serve-batch",
+        help="run a batch of solve requests through the fault-tolerant runtime",
+        parents=[traceable],
+    )
+    serve.add_argument("--requests", type=int, default=8, help="number of solve requests")
+    serve.add_argument(
+        "--grids", type=_parse_ints, default=(2,), help="Burgers grid sizes, round-robin"
+    )
+    serve.add_argument("--reynolds", type=float, default=1.0)
+    serve.add_argument("--workers", type=int, default=1, help="process count (1 = in-process)")
+    serve.add_argument("--seed", type=int, default=0, help="runtime seed (retries, fault draws)")
+    serve.add_argument(
+        "--deadline", type=float, default=None, help="per-attempt deadline in seconds"
+    )
+    serve.add_argument("--max-attempts", type=int, default=3)
+    serve.add_argument(
+        "--analog-time-limit", type=float, default=60.0, help="analog settle budget per attempt"
+    )
+    serve.add_argument(
+        "--faults",
+        type=_parse_fault_rates,
+        default=None,
+        metavar="KIND=RATE,...",
+        help="inject chaos faults, e.g. worker_crash=0.1,analog_spike=0.2 "
+        "(kinds: " + ",".join(FAULT_KINDS) + ")",
+    )
+
     summary = sub.add_parser("trace-summary", help="render a per-phase summary of a trace file")
     summary.add_argument("path", help="JSONL trace written by --trace")
     return parser
@@ -146,6 +201,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("tables:  table1 table2 table3 table4 table5")
         print("figures: figure2 figure3 figure6 figure7 figure8 figure9")
         print("sweeps:  sweep (parallel: " + " ".join(sorted(SWEEP_RUNNERS)) + ")")
+        print("runtime: serve-batch (fault-tolerant batch solving)")
         print("tools:   trace-summary")
         return 0
     if command == "trace-summary":
@@ -209,6 +265,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = run_parallel_sweep(
             names=args.experiments, max_workers=args.workers, trace_path=args.trace
         )
+    elif command == "serve-batch":
+        tracer = _make_tracer(
+            args.trace,
+            command,
+            requests=args.requests,
+            grids=list(args.grids),
+            reynolds=args.reynolds,
+            workers=args.workers,
+            seed=args.seed,
+        )
+        requests = [
+            SolveRequest(
+                request_id=f"req-{index:04d}",
+                problem=ProblemSpec.burgers(
+                    grid_n=args.grids[index % len(args.grids)],
+                    reynolds=args.reynolds,
+                    seed=args.seed + index,
+                ),
+                deadline_seconds=args.deadline,
+                analog_time_limit=args.analog_time_limit,
+            )
+            for index in range(args.requests)
+        ]
+        runtime = Runtime(
+            workers=args.workers,
+            queue_limit=max(256, args.requests),
+            retry=RetryPolicy(max_attempts=args.max_attempts),
+            seed=args.seed,
+            faults=(
+                FaultInjector.from_rates(args.faults, seed=args.seed)
+                if args.faults
+                else None
+            ),
+        )
+        result = runtime.run_batch(requests, tracer=tracer)
     else:  # pragma: no cover - argparse guards this
         raise SystemExit(f"unknown command {command}")
     if tracer is not None:

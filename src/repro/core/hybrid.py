@@ -43,6 +43,10 @@ from repro.nonlinear.newton import (
     newton_solve,
 )
 from repro.nonlinear.systems import NonlinearSystem
+from repro.runtime.ladder import (
+    FALLBACK_TOLERANCE_FLOOR as _LADDER_FALLBACK_FLOOR,
+    damped_recovery,
+)
 from repro.trace.tracer import TracerLike, as_tracer
 
 __all__ = ["HybridResult", "HybridSolver"]
@@ -108,7 +112,8 @@ class HybridSolver:
     # Tolerance floor of the default recovery options: loose enough for
     # a damped search from a bad seed to terminate, tight enough that a
     # "recovered" solution is still a solution by any practical measure.
-    FALLBACK_TOLERANCE_FLOOR = 1e-9
+    # Shared with the runtime's damped_newton ladder rung.
+    FALLBACK_TOLERANCE_FLOOR = _LADDER_FALLBACK_FLOOR
 
     def __init__(
         self,
@@ -171,8 +176,17 @@ class HybridSolver:
                 # relaxed options — the tight polish tolerance may be
                 # unreachable from a bad seed, and looping every damping
                 # level to the cap would only misreport the failure mode.
+                # The recovery policy itself lives in the runtime's
+                # degradation ladder (its damped_newton rung).
                 tracer.counter("hybrid_recoveries")
-                digital = self._recover(system, seed, solver, tracer=tracer)
+                digital = damped_recovery(
+                    system,
+                    seed,
+                    self.polish_options,
+                    self.fallback_options,
+                    solver,
+                    tracer=tracer,
+                )
             span.update(
                 converged=digital.converged,
                 digital_iterations=digital.iterations,
@@ -184,38 +198,6 @@ class HybridSolver:
             analog=analog,
             digital=digital,
         )
-
-    def _recover(
-        self,
-        system: NonlinearSystem,
-        seed: np.ndarray,
-        solver: LinearSolverLike,
-        tracer: Optional[TracerLike] = None,
-    ) -> NewtonResult:
-        """Damped-restart recovery from a bad seed, then best-effort polish."""
-        tracer = as_tracer(tracer)
-        recovery = damped_newton_with_restarts(
-            system, seed, self.fallback_options, solver, tracer=tracer
-        )
-        if not recovery.converged:
-            return recovery
-        polish = newton_solve(system, recovery.u, self.polish_options, solver, tracer=tracer)
-        if not polish.converged:
-            # The relaxed-tolerance solution stands; report it honestly
-            # (converged at fallback_options.tolerance, residual_norm
-            # says exactly how far it got).
-            return recovery
-        # Fold the recovery's work into the polished result so no
-        # accounting is lost.
-        polish.restarts += recovery.restarts
-        polish.total_iterations_including_restarts = (
-            recovery.total_iterations_including_restarts + polish.iterations
-        )
-        if recovery.total_linear_stats is not None:
-            merged = recovery.total_linear_stats
-            merged.merge(polish.linear_stats)
-            polish.total_linear_stats = merged
-        return polish
 
     def solve_baseline(
         self,

@@ -41,8 +41,10 @@ SWEEP_RUNNERS: Dict[str, Callable] = {
     "table4": run_table4,
 }
 
-# Experiments whose drivers accept ``tracer=``; the others run
-# untraced inside a traced sweep (their shard is simply absent).
+# Experiments whose drivers accept ``tracer=``. The others still write
+# a manifest-only stub shard (``traced: false``) inside a traced sweep,
+# so the merged manifest names every experiment that ran regardless of
+# execution mode — shard layout parity is asserted in tests/trace/.
 TRACEABLE = frozenset({"figure7", "figure8", "figure9"})
 
 # Small default shapes so a full sweep stays interactive; pass
@@ -113,19 +115,34 @@ class SweepResult:
 def _run_one(name: str, kwargs: Dict, shard_path: Optional[str] = None) -> SweepRun:
     """Execute one experiment; must stay top-level for pickling.
 
-    When ``shard_path`` is given and the experiment supports tracing,
-    the worker records its own :class:`~repro.trace.Tracer` and writes
-    the shard trace file for the parent to merge — workers in separate
-    processes cannot share one tracer.
+    When ``shard_path`` is given, the worker always writes a shard for
+    the parent to merge (workers in separate processes cannot share one
+    tracer): experiments in :data:`TRACEABLE` record a full
+    :class:`~repro.trace.Tracer`, the rest write a manifest-only stub
+    (``traced: false``), and a failed run writes a stub carrying the
+    error — every mode (pooled, serial degrade) emits the identical
+    shard layout.
     """
     runner = SWEEP_RUNNERS[name]
     tracer = None
-    if shard_path is not None and name in TRACEABLE:
-        tracer = Tracer(manifest={"experiment": name})
-        kwargs = dict(kwargs, tracer=tracer)
+    if shard_path is not None:
+        if name in TRACEABLE:
+            tracer = Tracer(manifest={"experiment": name, "traced": True})
+            kwargs = dict(kwargs, tracer=tracer)
+        else:
+            tracer = Tracer(manifest={"experiment": name, "traced": False})
     try:
         result = runner(**kwargs)
     except Exception as exc:  # pragma: no cover - defensive; drivers are total
+        if shard_path is not None:
+            stub = Tracer(
+                manifest={
+                    "experiment": name,
+                    "traced": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            )
+            write_trace(stub, shard_path)
         return SweepRun(name=name, rendered="", error=f"{type(exc).__name__}: {exc}")
     if tracer is not None:
         write_trace(tracer, shard_path)
@@ -160,11 +177,13 @@ def run_parallel_sweep(
     the small defaults (e.g. ``{"figure7": {"trials": 4}}``).
     ``max_workers=1`` forces serial execution without touching the pool.
 
-    ``trace_path`` enables per-worker tracing for the experiments in
-    :data:`TRACEABLE`: each worker writes ``<trace_path>.<name>.part``
-    (processes cannot share a tracer), and the shards are merged into a
-    single trace file at ``trace_path`` — span ids renumbered, counters
-    summed, each span tagged with its source experiment.
+    ``trace_path`` enables per-worker tracing: each worker writes
+    ``<trace_path>.<name>.part`` (processes cannot share a tracer), and
+    the shards are merged into a single trace file at ``trace_path`` —
+    span ids renumbered, counters summed, each span tagged with its
+    source experiment. Experiments outside :data:`TRACEABLE` contribute
+    a manifest-only stub shard (``traced: false``) so the merged
+    manifest names every experiment regardless of execution mode.
     """
     overrides = overrides or {}
     jobs: List[Tuple[str, Dict, Optional[str]]] = []
@@ -176,7 +195,7 @@ def run_parallel_sweep(
         kwargs = dict(_DEFAULT_KWARGS.get(name, {}))
         kwargs.update(overrides.get(name, {}))
         shard = None
-        if trace_path is not None and name in TRACEABLE:
+        if trace_path is not None:
             shard = f"{trace_path}.{name}.part"
             shard_paths.append(shard)
         jobs.append((name, kwargs, shard))

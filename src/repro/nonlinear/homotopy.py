@@ -21,7 +21,12 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.nonlinear.newton import NewtonOptions, damped_newton_with_restarts, newton_solve
+from repro.nonlinear.newton import (
+    IterationHook,
+    NewtonOptions,
+    damped_newton_with_restarts,
+    newton_solve,
+)
 from repro.nonlinear.systems import NonlinearSystem
 from repro.trace.tracer import TracerLike, as_tracer
 
@@ -29,7 +34,9 @@ __all__ = [
     "BlendedSystem",
     "HomotopySchedule",
     "HomotopyResult",
+    "NewtonHomotopySystem",
     "homotopy_solve",
+    "newton_homotopy_solve",
     "homotopy_all_roots",
     "DavidenkoResult",
     "davidenko_solve",
@@ -108,11 +115,63 @@ class HomotopyResult:
     physical continuous dynamics at a turning point)."""
 
 
+class NewtonHomotopySystem(NonlinearSystem):
+    """The classical global (Newton) homotopy's simple companion.
+
+    ``S(u) = F(u) - F(u0)`` has ``u0`` as an exact root by
+    construction, so any state at all can anchor a homotopy path:
+    blending with ``H = F`` via :class:`BlendedSystem` yields
+    ``G(u, lambda) = F(u) - (1 - lambda) F(u0)``, the textbook global
+    homotopy. This is the degradation ladder's last solver rung
+    (:mod:`repro.runtime.ladder`): when neither the analog-seeded
+    polish nor damped restarts converge, the path from the naive guess
+    is swept instead — the paper's Section 3.2 fallback, made
+    systematic.
+    """
+
+    def __init__(self, system: NonlinearSystem, u0: np.ndarray):
+        self.system = system
+        self.dimension = system.dimension
+        self._f0 = np.asarray(system.residual(np.asarray(u0, dtype=float)), dtype=float)
+
+    def residual(self, u: np.ndarray) -> np.ndarray:
+        return self.system.residual(u) - self._f0
+
+    def jacobian(self, u: np.ndarray):
+        return self.system.jacobian(u)
+
+
+def newton_homotopy_solve(
+    system: NonlinearSystem,
+    u0: np.ndarray,
+    schedule: Optional[HomotopySchedule] = None,
+    tracer: Optional[TracerLike] = None,
+    iteration_hook: Optional[IterationHook] = None,
+) -> HomotopyResult:
+    """Solve ``F(u) = 0`` by global homotopy from an arbitrary state.
+
+    Builds the :class:`NewtonHomotopySystem` companion at ``u0`` and
+    tracks its (exact) root to a root of ``system``. No knowledge of
+    the problem's structure is needed — which is exactly what a last
+    fallback rung requires.
+    """
+    simple = NewtonHomotopySystem(system, u0)
+    return homotopy_solve(
+        simple,
+        system,
+        np.asarray(u0, dtype=float),
+        schedule=schedule,
+        tracer=tracer,
+        iteration_hook=iteration_hook,
+    )
+
+
 def _fold_recovery(
     blended: BlendedSystem,
     u: np.ndarray,
     options: NewtonOptions,
     tracer: Optional[TracerLike] = None,
+    iteration_hook: Optional[IterationHook] = None,
 ):
     """Find a surviving root of the blended system after a fold.
 
@@ -147,7 +206,12 @@ def _fold_recovery(
     last = None
     for idx in order:
         result = damped_newton_with_restarts(
-            blended, lattice[idx], recovery_options, min_damping=1.0 / 64.0, tracer=tracer
+            blended,
+            lattice[idx],
+            recovery_options,
+            min_damping=1.0 / 64.0,
+            tracer=tracer,
+            iteration_hook=iteration_hook,
         )
         last = result
         if result.converged:
@@ -161,6 +225,7 @@ def homotopy_solve(
     start_root: np.ndarray,
     schedule: Optional[HomotopySchedule] = None,
     tracer: Optional[TracerLike] = None,
+    iteration_hook: Optional[IterationHook] = None,
 ) -> HomotopyResult:
     """Track one root of the simple system to a root of the hard one.
 
@@ -190,10 +255,14 @@ def homotopy_solve(
                 prediction = u.copy()
             blended = BlendedSystem(simple, hard, float(lam))
             options = schedule.final_corrector if lam == lam_values[-1] else schedule.corrector
-            result = newton_solve(blended, prediction, options, tracer=tracer)
+            result = newton_solve(
+                blended, prediction, options, tracer=tracer, iteration_hook=iteration_hook
+            )
             if not result.converged:
                 # Retry without the predictor before resorting to a jump.
-                result = newton_solve(blended, u, options, tracer=tracer)
+                result = newton_solve(
+                    blended, u, options, tracer=tracer, iteration_hook=iteration_hook
+                )
             if not result.converged:
                 # Fold point: the tracked real root annihilated. The
                 # continuous dynamics of the physical accelerator do not
@@ -202,7 +271,9 @@ def homotopy_solve(
                 # the blended system. We emulate that with damped Newton
                 # restarts from deterministic perturbations of growing
                 # radius around the fold point.
-                result = _fold_recovery(blended, u, options, tracer=tracer)
+                result = _fold_recovery(
+                    blended, u, options, tracer=tracer, iteration_hook=iteration_hook
+                )
                 if result.converged:
                     jumps += 1
                     tracer.counter("homotopy_jumps")

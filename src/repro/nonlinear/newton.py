@@ -52,6 +52,7 @@ from repro.nonlinear.systems import NonlinearSystem
 from repro.trace.tracer import TracerLike, as_tracer
 
 __all__ = [
+    "IterationHook",
     "NewtonOptions",
     "NewtonResult",
     "LinearSolverStats",
@@ -63,6 +64,14 @@ __all__ = [
 
 JacobianLike = Union[np.ndarray, CsrMatrix]
 LinearSolver = Callable[[JacobianLike, np.ndarray], np.ndarray]
+# Called at the top of every Newton iteration with (iteration,
+# residual_norm). The fault-tolerant runtime uses it as its cooperative
+# cancellation seam: a deadline check raises
+# :class:`repro.runtime.api.DeadlineExceeded` to abort the solve, and
+# the chaos harness's FaultInjector uses it to inject bounded hangs.
+# Exceptions raised here propagate out of the solve (trace spans close
+# on the way out).
+IterationHook = Callable[[int, float], None]
 # Accepted everywhere a linear solver is pluggable: a stateful kernel
 # or the legacy bare callable.
 LinearSolverLike = Union[LinearKernel, LinearSolver]
@@ -207,6 +216,7 @@ def newton_solve(
     options: Optional[NewtonOptions] = None,
     linear_solver: Optional[LinearSolverLike] = None,
     tracer: Optional[TracerLike] = None,
+    iteration_hook: Optional[IterationHook] = None,
 ) -> NewtonResult:
     """Run (damped) Newton's method from ``u0``.
 
@@ -261,6 +271,8 @@ def newton_solve(
         )
 
     for iteration in range(1, options.max_iterations + 1):
+        if iteration_hook is not None:
+            iteration_hook(iteration, norm)
         with tracer.span(
             "newton_iter", iteration=iteration, damping=options.damping
         ) as iter_span:
@@ -337,6 +349,7 @@ def damped_newton_with_restarts(
     linear_solver: Optional[LinearSolverLike] = None,
     min_damping: float = 1.0 / 1024.0,
     tracer: Optional[TracerLike] = None,
+    iteration_hook: Optional[IterationHook] = None,
 ) -> NewtonResult:
     """The paper's baseline solver: halve the damping until convergence.
 
@@ -373,7 +386,14 @@ def damped_newton_with_restarts(
             divergence_threshold=options.divergence_threshold,
         )
         with tracer.span("newton_attempt", damping=damping, restart=restarts) as attempt:
-            result = newton_solve(system, u0, attempt_options, linear_solver, tracer=tracer)
+            result = newton_solve(
+                system,
+                u0,
+                attempt_options,
+                linear_solver,
+                tracer=tracer,
+                iteration_hook=iteration_hook,
+            )
             attempt.update(converged=result.converged, iterations=result.iterations)
         total_iterations += result.iterations
         total_stats.merge(result.linear_stats)

@@ -1,0 +1,689 @@
+"""Batched, fault-tolerant solve orchestration (the serving layer).
+
+:class:`Runtime` turns the library's solvers into something that can
+face traffic: requests enter a bounded work queue, fan out over a
+process pool (sharing the degrade-to-serial posture of
+:mod:`repro.experiments.parallel`), and every one of them ends in a
+:class:`~repro.runtime.api.SolveOutcome` — converged, failed, or
+timed out — no matter what the attempt did: returned garbage, ran
+past its deadline, or took the whole worker process down with it.
+
+Supervision model:
+
+* **deadlines** — enforced cooperatively inside the worker (a
+  :class:`~repro.runtime.api.Deadline` checked every Newton iteration)
+  and, in pooled mode, by a parent-side watchdog with a grace margin:
+  a truly wedged attempt is abandoned (its eventual result discarded)
+  and accounted as a ``timeout``;
+* **retries** — bounded per request
+  (:class:`~repro.runtime.api.RetryPolicy`), exponential backoff with
+  jitter drawn from a seeded stream keyed by (seed, request, attempt),
+  so the schedule is identical at any worker count. Each retry runs
+  with a fresh accelerator die (new analog mismatch pattern) — the
+  hybrid-restart pattern of Burns et al. (arXiv:2410.06397);
+* **worker crashes** — a broken pool charges every in-flight attempt
+  one crashed attempt and degrades the rest of the window to
+  in-process execution (a fresh fork after an abrupt process death is
+  not a bet worth making); the crash is recorded in counters, outcome
+  fault lists, and the trace manifest;
+* **degradation** — inside each attempt the
+  :class:`~repro.runtime.ladder.DegradationLadder` descends
+  analog-seeded hybrid -> damped Newton -> homotopy before reporting
+  structured failure.
+
+Tracing: the parent records ``runtime_batch`` > ``solve_attempt`` >
+``retry`` spans and absorbs each worker's span stream (ladder rungs,
+Newton iterations, analog settles) under the corresponding
+``solve_attempt`` via :meth:`repro.trace.Tracer.absorb`, so one trace
+file tells the whole batch's story; counters
+(``runtime_retries``, ``runtime_timeouts``, ``runtime_faults``,
+``worker_crashes``, ``requests_*``) reconcile exactly with the
+returned outcomes.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analog.engine import AnalogAccelerator
+from repro.reporting import ascii_table
+from repro.runtime.api import (
+    Deadline,
+    DeadlineExceeded,
+    QueueFull,
+    RetryPolicy,
+    SolveOutcome,
+    SolveRequest,
+    stable_seed,
+)
+from repro.runtime.faults import FaultInjector, InjectedWorkerCrash
+from repro.runtime.ladder import DegradationLadder
+from repro.trace.tracer import Tracer, TracerLike, as_tracer
+
+__all__ = ["AttemptReport", "BatchResult", "Runtime"]
+
+# Parent-side watchdog fires this far past the cooperative deadline:
+# the in-worker check should always win unless the attempt is wedged.
+_DEADLINE_GRACE_FACTOR = 1.5
+_DEADLINE_GRACE_FLOOR = 0.5
+
+
+@dataclass
+class AttemptReport:
+    """What one attempt (one worker execution) reported back.
+
+    ``status`` here may additionally be ``"crashed"`` — synthesized by
+    the parent when the worker died — which the terminal
+    :class:`~repro.runtime.api.SolveOutcome` maps to ``"failed"`` if
+    no retry remains.
+    """
+
+    request_id: str
+    attempt: int
+    status: str
+    rung: Optional[str] = None
+    residual_norm: float = float("inf")
+    iterations: int = 0
+    solution: Optional[Any] = None
+    error: Optional[str] = None
+    rungs_tried: Tuple[str, ...] = ()
+    faults: Tuple[str, ...] = ()
+    spans: List[dict] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    elapsed: float = 0.0
+
+
+def _execute_attempt(
+    request: SolveRequest,
+    attempt: int,
+    runtime_seed: int,
+    faults: Optional[FaultInjector],
+    traced: bool,
+    allow_process_exit: bool,
+    ladder_kwargs: Optional[Dict[str, Any]] = None,
+) -> AttemptReport:
+    """Run one solve attempt; top-level so the pool can pickle it.
+
+    Builds the problem, the per-attempt accelerator (die seeded from
+    (runtime seed, request, attempt) — every retry gets fresh silicon),
+    and the degradation ladder, then descends it under the cooperative
+    deadline. Injected worker crashes escape (that is their job);
+    everything else becomes a structured report.
+    """
+    t0 = time.perf_counter()
+    fault_log: List[str] = []
+    if faults is not None:
+        faults.maybe_crash_worker(request.request_id, attempt, allow_process_exit)
+    worker_tracer: Optional[Tracer] = Tracer() if traced else None
+    status = "failed"
+    rung: Optional[str] = None
+    norm = float("inf")
+    iterations = 0
+    solution = None
+    error: Optional[str] = None
+    rungs_tried: Tuple[str, ...] = ()
+    try:
+        system, guess = request.problem.build()
+        accelerator = AnalogAccelerator(
+            seed=stable_seed(runtime_seed, request.request_id, attempt, "die") % (2**31),
+            fault_hook=(
+                faults.analog_hook(request.request_id, attempt, fault_log)
+                if faults is not None
+                else None
+            ),
+        )
+        ladder = DegradationLadder(accelerator=accelerator, **(ladder_kwargs or {}))
+        deadline = (
+            Deadline(request.deadline_seconds)
+            if request.deadline_seconds is not None
+            else None
+        )
+        hook = (
+            faults.iteration_hook(request.request_id, attempt, fault_log)
+            if faults is not None
+            else None
+        )
+        result = ladder.solve(
+            system,
+            initial_guess=guess,
+            value_bound=request.value_bound,
+            analog_time_limit=request.analog_time_limit,
+            deadline=deadline,
+            tracer=worker_tracer,
+            iteration_hook=hook,
+            rungs=request.rungs,
+        )
+        rungs_tried = result.rungs_tried
+        norm = float(result.residual_norm)
+        solution = result.u
+        if result.converged:
+            status, rung = "converged", result.rung
+            iterations = sum(a.iterations for a in result.attempts)
+        elif result.timed_out:
+            status, error = "timeout", "deadline exceeded"
+        else:
+            failures = "; ".join(
+                f"{a.rung}: {a.error or 'did not converge'}" for a in result.attempts
+            )
+            status, error = "failed", f"ladder exhausted ({failures})"
+    except InjectedWorkerCrash:
+        raise
+    except DeadlineExceeded:
+        status, error = "timeout", "deadline exceeded"
+    except Exception as exc:  # total: the runtime's contract is no escapes
+        status, error = "failed", f"{type(exc).__name__}: {exc}"
+    return AttemptReport(
+        request_id=request.request_id,
+        attempt=attempt,
+        status=status,
+        rung=rung,
+        residual_norm=norm,
+        iterations=iterations,
+        solution=solution,
+        error=error,
+        rungs_tried=rungs_tried,
+        faults=tuple(fault_log),
+        spans=[record.to_record() for record in worker_tracer.spans] if worker_tracer else [],
+        counters=dict(worker_tracer.counters) if worker_tracer else {},
+        gauges=dict(worker_tracer.gauges) if worker_tracer else {},
+        elapsed=time.perf_counter() - t0,
+    )
+
+
+class _RequestState:
+    """Parent-side bookkeeping for one request across its attempts."""
+
+    __slots__ = ("request", "attempts_started", "history", "faults", "last_report")
+
+    def __init__(self, request: SolveRequest):
+        self.request = request
+        self.attempts_started = 0
+        self.history: List[str] = []
+        self.faults: List[str] = []
+        self.last_report: Optional[AttemptReport] = None
+
+
+@dataclass
+class BatchResult:
+    """All outcomes of one batch plus how it was executed."""
+
+    outcomes: List[SolveOutcome]
+    mode: str  # "parallel" or "serial"
+    workers: int
+    elapsed_seconds: float
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def outcome_for(self, request_id: str) -> Optional[SolveOutcome]:
+        for outcome in self.outcomes:
+            if outcome.request_id == request_id:
+                return outcome
+        return None
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.ok)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for outcome in self.outcomes if not outcome.ok)
+
+    def summary_rows(self) -> List[dict]:
+        return [
+            {
+                "request": outcome.request_id,
+                "status": outcome.status,
+                "rung": outcome.rung or "-",
+                "attempts": outcome.attempts,
+                "retries": outcome.retries,
+                "residual": outcome.residual_norm,
+                "faults": ",".join(outcome.faults) or "-",
+            }
+            for outcome in self.outcomes
+        ]
+
+    def render(self) -> str:
+        parts = [
+            f"batch of {len(self.outcomes)} request(s), {self.mode} execution "
+            f"({self.workers} worker(s)), {self.completed} converged / "
+            f"{self.failed} not, {self.elapsed_seconds:.2f}s",
+            ascii_table(self.summary_rows()),
+        ]
+        if self.counters:
+            counter_rows = [
+                {"counter": name, "value": self.counters[name]}
+                for name in sorted(self.counters)
+            ]
+            parts.append(ascii_table(counter_rows))
+        return "\n\n".join(parts)
+
+
+class Runtime:
+    """The fault-tolerant batch solve runtime.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool width; 1 runs in-process (still fully supervised,
+        but worker-crash faults are simulated by exception and true
+        hangs can only be caught cooperatively).
+    queue_limit:
+        Bound on the admission queue. :meth:`submit` raises
+        :class:`~repro.runtime.api.QueueFull` beyond it;
+        :meth:`run_batch` admits oversized batches window by window.
+    retry:
+        Bounded-retry/backoff policy (default: 3 attempts).
+    seed:
+        Root of every derived stream: backoff jitter, fault draws,
+        per-attempt accelerator dies.
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultInjector` (chaos
+        testing seam).
+    ladder_kwargs:
+        Forwarded to each attempt's
+        :class:`~repro.runtime.ladder.DegradationLadder` (options,
+        schedule, rung order). Must be picklable.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        queue_limit: int = 256,
+        retry: Optional[RetryPolicy] = None,
+        seed: int = 0,
+        faults: Optional[FaultInjector] = None,
+        ladder_kwargs: Optional[Dict[str, Any]] = None,
+        poll_interval: float = 0.02,
+    ):
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be at least 1")
+        self.workers = max(1, int(workers))
+        self.queue_limit = int(queue_limit)
+        self.retry = retry or RetryPolicy()
+        self.seed = int(seed)
+        self.faults = faults
+        self.ladder_kwargs = ladder_kwargs
+        self.poll_interval = float(poll_interval)
+        self._queue: deque = deque()
+
+    # -- admission ------------------------------------------------------
+
+    def submit(self, request: SolveRequest) -> None:
+        """Admit one request; raises :class:`QueueFull` at the bound."""
+        if len(self._queue) >= self.queue_limit:
+            raise QueueFull(
+                f"work queue at its bound ({self.queue_limit}); drain before submitting"
+            )
+        if any(queued.request_id == request.request_id for queued in self._queue):
+            raise ValueError(f"duplicate request_id {request.request_id!r} in queue")
+        self._queue.append(request)
+
+    def run_batch(
+        self,
+        requests: Optional[Sequence[SolveRequest]] = None,
+        tracer: Optional[TracerLike] = None,
+    ) -> BatchResult:
+        """Run requests (given, plus any previously submitted) to completion.
+
+        Every request yields exactly one
+        :class:`~repro.runtime.api.SolveOutcome`, in submission order.
+        Oversized batches are admitted in queue-bound-sized windows.
+        """
+        tracer = as_tracer(tracer)
+        all_requests = list(self._queue) + list(requests or [])
+        self._queue.clear()
+        ids = [request.request_id for request in all_requests]
+        if len(set(ids)) != len(ids):
+            raise ValueError("request_ids within a batch must be unique")
+        counts: Dict[str, float] = {}
+
+        def bump(name: str, value: float = 1) -> None:
+            counts[name] = counts.get(name, 0) + value
+            tracer.counter(name, value)
+
+        t0 = time.perf_counter()
+        mode = "serial"
+        outcomes: Dict[str, SolveOutcome] = {}
+        with tracer.span(
+            "runtime_batch",
+            requests=len(all_requests),
+            workers=self.workers,
+            queue_limit=self.queue_limit,
+        ) as batch_span:
+            remaining = list(all_requests)
+            while remaining:
+                window = remaining[: self.queue_limit]
+                remaining = remaining[self.queue_limit :]
+                if self.workers > 1:
+                    window_outcomes, window_mode = self._run_pooled_window(
+                        window, tracer, bump
+                    )
+                else:
+                    window_outcomes, window_mode = self._run_serial_window(
+                        window, tracer, bump
+                    ), "serial"
+                if window_mode == "parallel":
+                    mode = "parallel"
+                outcomes.update(window_outcomes)
+            batch_span.update(
+                completed=sum(1 for o in outcomes.values() if o.ok),
+                failed=sum(1 for o in outcomes.values() if not o.ok),
+                mode=mode,
+            )
+        elapsed = time.perf_counter() - t0
+        ordered = [outcomes[request_id] for request_id in ids]
+        # The failure story survives into the trace manifest: fault and
+        # crash totals are what a post-mortem reads first.
+        if isinstance(tracer, Tracer):
+            tracer.manifest.setdefault("runtime", {}).update(
+                {
+                    "mode": mode,
+                    "workers": self.workers,
+                    "requests": len(ordered),
+                    **{name: counts[name] for name in sorted(counts)},
+                }
+            )
+        return BatchResult(
+            outcomes=ordered,
+            mode=mode,
+            workers=self.workers if mode == "parallel" else 1,
+            elapsed_seconds=elapsed,
+            counters=counts,
+        )
+
+    # -- attempt bookkeeping -------------------------------------------
+
+    def _process_report(
+        self,
+        state: _RequestState,
+        report: AttemptReport,
+        tracer: TracerLike,
+        bump,
+    ) -> Tuple[Optional[SolveOutcome], float]:
+        """Record one attempt; returns (terminal outcome | None, retry delay)."""
+        state.history.append(report.status)
+        state.faults.extend(report.faults)
+        state.last_report = report
+        bump("runtime_attempts")
+        if report.status == "timeout":
+            bump("runtime_timeouts")
+        if report.status == "crashed":
+            bump("worker_crashes")
+            state.faults.append("worker_crash")
+        if report.faults:
+            bump("runtime_faults", len(report.faults))
+        will_retry = (
+            report.status != "converged"
+            and state.attempts_started < self.retry.max_attempts
+        )
+        delay = 0.0
+        with tracer.span(
+            "solve_attempt",
+            request=state.request.request_id,
+            attempt=report.attempt,
+            status=report.status,
+            rung=report.rung,
+            elapsed=report.elapsed,
+        ) as attempt_span:
+            if report.spans or report.counters:
+                tracer.absorb(report.spans, report.counters, report.gauges)
+            if will_retry:
+                delay = self.retry.delay_for(
+                    self.seed, state.request.request_id, state.attempts_started
+                )
+                bump("runtime_retries")
+                with tracer.span(
+                    "retry",
+                    request=state.request.request_id,
+                    next_attempt=state.attempts_started,
+                    delay=delay,
+                ):
+                    pass
+                attempt_span.update(retry_scheduled=True)
+        if will_retry:
+            return None, delay
+        return self._finalize(state, report, bump), 0.0
+
+    def _finalize(self, state: _RequestState, report: AttemptReport, bump) -> SolveOutcome:
+        status = report.status
+        error = report.error
+        if status == "crashed":
+            status, error = "failed", "worker crashed"
+        outcome = SolveOutcome(
+            request_id=state.request.request_id,
+            status=status,
+            rung=report.rung,
+            residual_norm=report.residual_norm,
+            attempts=state.attempts_started,
+            retries=state.attempts_started - 1,
+            rungs_tried=report.rungs_tried,
+            faults=tuple(state.faults),
+            error=error,
+            solution=report.solution,
+            elapsed_seconds=report.elapsed,
+            iterations=report.iterations,
+            attempt_history=list(state.history),
+        )
+        if outcome.ok:
+            bump("requests_completed")
+        else:
+            bump("requests_failed")
+            if outcome.status == "timeout":
+                bump("requests_timed_out")
+        return outcome
+
+    # -- serial execution ----------------------------------------------
+
+    def _run_serial_window(
+        self, window: List[SolveRequest], tracer: TracerLike, bump
+    ) -> Dict[str, SolveOutcome]:
+        outcomes: Dict[str, SolveOutcome] = {}
+        for request in window:
+            state = _RequestState(request)
+            while True:
+                attempt = state.attempts_started
+                state.attempts_started += 1
+                try:
+                    report = _execute_attempt(
+                        request,
+                        attempt,
+                        self.seed,
+                        self.faults,
+                        getattr(tracer, "active", False),
+                        allow_process_exit=False,
+                        ladder_kwargs=self.ladder_kwargs,
+                    )
+                except InjectedWorkerCrash:
+                    report = AttemptReport(
+                        request_id=request.request_id, attempt=attempt, status="crashed"
+                    )
+                outcome, delay = self._process_report(state, report, tracer, bump)
+                if outcome is not None:
+                    outcomes[request.request_id] = outcome
+                    break
+                if delay > 0:
+                    time.sleep(delay)
+        return outcomes
+
+    # -- pooled execution ----------------------------------------------
+
+    def _run_pooled_window(
+        self, window: List[SolveRequest], tracer: TracerLike, bump
+    ) -> Tuple[Dict[str, SolveOutcome], str]:
+        """Fan a window over a process pool; degrade to serial if denied.
+
+        Sandboxes without fork/semaphores refuse pools (the same
+        posture as :func:`repro.experiments.parallel.run_parallel_sweep`)
+        — the window then runs serially with identical results.
+        """
+        try:
+            executor = concurrent.futures.ProcessPoolExecutor(max_workers=self.workers)
+        except Exception:
+            return self._run_serial_window(window, tracer, bump), "serial"
+        try:
+            return self._pooled_loop(window, executor, tracer, bump), "parallel"
+        finally:
+            # wait=False: abandoned (hung) attempts may still be
+            # sleeping; their processes exit once they finish.
+            executor.shutdown(wait=False)
+
+    def _pooled_loop(
+        self,
+        window: List[SolveRequest],
+        executor: concurrent.futures.ProcessPoolExecutor,
+        tracer: TracerLike,
+        bump,
+    ) -> Dict[str, SolveOutcome]:
+        """Supervise one window on the pool until every request is terminal.
+
+        A worker crash breaks the whole pool (every in-flight future
+        raises). The supervisor charges each in-flight request one
+        crashed attempt and **degrades the remainder of the window to
+        in-process execution** — forking a replacement pool after an
+        abrupt process death is exactly the kind of cleverness that
+        deadlocks under load, so the policy is the same as everywhere
+        else in this repo: degrade, don't gamble. The retry policy then
+        completes the batch; nothing is lost, and the degradation is
+        visible as the ``pool_degraded`` counter.
+        """
+        states = {request.request_id: _RequestState(request) for request in window}
+        # (request_id, ready_at) admission list, submission order.
+        pending: List[Tuple[str, float]] = [(request.request_id, 0.0) for request in window]
+        in_flight: Dict[concurrent.futures.Future, Tuple[str, int, Optional[float]]] = {}
+        outcomes: Dict[str, SolveOutcome] = {}
+        traced = getattr(tracer, "active", False)
+        pooled = True  # flips False once the pool breaks
+
+        def handle(state: _RequestState, report: AttemptReport) -> None:
+            outcome, delay = self._process_report(state, report, tracer, bump)
+            if outcome is not None:
+                outcomes[state.request.request_id] = outcome
+            else:
+                pending.append((state.request.request_id, time.monotonic() + delay))
+
+        def degrade(first_crashed: List[Tuple[str, int]]) -> None:
+            nonlocal pooled
+            pooled = False
+            bump("pool_degraded")
+            crashed = list(first_crashed)
+            crashed.extend(
+                (request_id, attempt)
+                for request_id, attempt, _watchdog in in_flight.values()
+            )
+            in_flight.clear()
+            for request_id, attempt in crashed:
+                handle(
+                    states[request_id],
+                    AttemptReport(request_id=request_id, attempt=attempt, status="crashed"),
+                )
+
+        def run_in_process(state: _RequestState, attempt: int) -> None:
+            try:
+                report = _execute_attempt(
+                    state.request,
+                    attempt,
+                    self.seed,
+                    self.faults,
+                    traced,
+                    allow_process_exit=False,
+                    ladder_kwargs=self.ladder_kwargs,
+                )
+            except InjectedWorkerCrash:
+                report = AttemptReport(
+                    request_id=state.request.request_id, attempt=attempt, status="crashed"
+                )
+            handle(state, report)
+
+        while pending or in_flight:
+            now = time.monotonic()
+            # Admit ready work up to pool width (or inline once degraded).
+            still_waiting: List[Tuple[str, float]] = []
+            for request_id, ready_at in pending:
+                if ready_at > now or (pooled and len(in_flight) >= self.workers):
+                    still_waiting.append((request_id, ready_at))
+                    continue
+                state = states[request_id]
+                attempt = state.attempts_started
+                state.attempts_started += 1
+                if not pooled:
+                    run_in_process(state, attempt)
+                    continue
+                try:
+                    future = executor.submit(
+                        _execute_attempt,
+                        state.request,
+                        attempt,
+                        self.seed,
+                        self.faults,
+                        traced,
+                        True,
+                        self.ladder_kwargs,
+                    )
+                except concurrent.futures.BrokenExecutor:
+                    # The pool broke between polls; this submission is
+                    # the first to notice.
+                    degrade([(request_id, attempt)])
+                    continue
+                deadline_s = state.request.deadline_seconds
+                watchdog_at = (
+                    now + deadline_s * _DEADLINE_GRACE_FACTOR + _DEADLINE_GRACE_FLOOR
+                    if deadline_s is not None
+                    else None
+                )
+                in_flight[future] = (request_id, attempt, watchdog_at)
+            pending[:] = still_waiting
+
+            if not in_flight:
+                if pending:
+                    next_ready = min(ready_at for _, ready_at in pending)
+                    time.sleep(max(0.0, min(next_ready - time.monotonic(), 0.1)))
+                continue
+
+            done, _ = concurrent.futures.wait(
+                list(in_flight),
+                timeout=self.poll_interval,
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+            crashed: List[Tuple[str, int]] = []
+            for future in done:
+                request_id, attempt, _watchdog = in_flight.pop(future)
+                try:
+                    report = future.result()
+                except concurrent.futures.BrokenExecutor:
+                    crashed.append((request_id, attempt))
+                    continue
+                except Exception as exc:
+                    # A result that cannot be returned (pickling, worker
+                    # bug) is a failed attempt, not a lost request.
+                    report = AttemptReport(
+                        request_id=request_id,
+                        attempt=attempt,
+                        status="failed",
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                handle(states[request_id], report)
+
+            if crashed:
+                degrade(crashed)
+                continue
+
+            # Parent-side watchdog: abandon attempts wedged past their
+            # deadline grace; the worker's eventual result is discarded.
+            now = time.monotonic()
+            for future, (request_id, attempt, watchdog_at) in list(in_flight.items()):
+                if watchdog_at is not None and now >= watchdog_at and not future.done():
+                    del in_flight[future]
+                    handle(
+                        states[request_id],
+                        AttemptReport(
+                            request_id=request_id,
+                            attempt=attempt,
+                            status="timeout",
+                            error="deadline exceeded (watchdog; attempt abandoned)",
+                        ),
+                    )
+        return outcomes

@@ -149,6 +149,15 @@ class NullTracer:
     def span(self, name: str, **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
 
+    def absorb(
+        self,
+        spans: List[Any],
+        counters: Optional[Dict[str, float]] = None,
+        gauges: Optional[Dict[str, float]] = None,
+        source: Optional[str] = None,
+    ) -> None:
+        pass
+
     def counter(self, name: str, value: Union[int, float] = 1) -> None:
         pass
 
@@ -243,6 +252,59 @@ class Tracer:
                 f"{len(self._stack)} span(s) still open: "
                 f"{[s.name for s in self._stack]}"
             )
+
+    # -- grafting -------------------------------------------------------
+
+    def absorb(
+        self,
+        spans: List[Any],
+        counters: Optional[Dict[str, float]] = None,
+        gauges: Optional[Dict[str, float]] = None,
+        source: Optional[str] = None,
+    ) -> None:
+        """Graft completed span records from another tracer into this one.
+
+        The runtime's worker processes each record their own tracer (a
+        tracer cannot be shared across process boundaries); the parent
+        absorbs the returned records so the merged trace reads as one
+        story. Spans may be :class:`SpanRecord` instances or their
+        ``to_record()`` dicts. Ids are renumbered into this tracer's
+        namespace, shard-local parent links are preserved, and spans
+        with no parent are attached to the currently innermost open
+        span (the parent's ``solve_attempt``). Counters are summed;
+        gauges take the absorbed value.
+        """
+        parent = self._stack[-1] if self._stack else None
+        base_depth = len(self._stack)
+        records = [span if isinstance(span, dict) else span.to_record() for span in spans]
+        id_map: Dict[int, int] = {}
+        for record in records:
+            id_map[record["id"]] = self._next_id
+            self._next_id += 1
+        for record in records:
+            attrs = dict(record.get("attrs") or {})
+            if source is not None:
+                attrs.setdefault("source", source)
+            old_parent = record.get("parent")
+            if old_parent is not None and old_parent in id_map:
+                new_parent: Optional[int] = id_map[old_parent]
+            else:
+                new_parent = parent.span_id if parent is not None else None
+            self.spans.append(
+                SpanRecord(
+                    span_id=id_map[record["id"]],
+                    parent_id=new_parent,
+                    name=record["name"],
+                    depth=base_depth + int(record.get("depth", 0)),
+                    t_start=float(record.get("t_start", 0.0)),
+                    t_end=float(record.get("t_end", 0.0)),
+                    attrs=attrs,
+                )
+            )
+        for name, value in (counters or {}).items():
+            self.counter(name, value)
+        for name, value in (gauges or {}).items():
+            self.gauge(name, value)
 
     # -- counters and gauges --------------------------------------------
 

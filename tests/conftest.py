@@ -32,6 +32,21 @@ def pytest_addoption(parser):
         default=False,
         help="rewrite tests/golden/*.txt from the current CLI output",
     )
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run tests marked slow (the soak/stress tier; CI runs them nightly)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow soak test; pass --runslow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture

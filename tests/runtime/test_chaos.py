@@ -1,0 +1,292 @@
+"""Chaos suite: injected faults must end in structured outcomes.
+
+Every scenario seeds a :class:`repro.runtime.FaultInjector`, runs a
+batch, and asserts the runtime's core guarantee — each request ends in
+exactly one terminal :class:`~repro.runtime.SolveOutcome` with the
+correct degradation-ladder rung and fault history recorded; never a
+raised exception, never a hang. Each fault kind has a scenario:
+
+* ``analog_spike`` — silent seed corruption pushes the ladder past the
+  hybrid rung (down to homotopy) within a single attempt;
+* ``solver_hang`` — a bounded stall trips the cooperative deadline, is
+  accounted a ``timeout`` attempt, and the retry converges;
+* ``worker_crash`` — in pooled mode a real ``os._exit`` mid-batch
+  (kill-the-worker): the broken pool degrades to in-process execution,
+  the attempt is retried, the batch completes, and the crash survives
+  into the trace manifest.
+
+Everything is explicitly seeded (no reliance on pytest ordering or
+collection-time randomness), so a failure replays byte-for-byte with
+``pytest tests/runtime/test_chaos.py -k <scenario>``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    FaultInjector,
+    FaultSpec,
+    ProblemSpec,
+    RetryPolicy,
+    Runtime,
+    SolveRequest,
+    TERMINAL_STATUSES,
+)
+from repro.trace.tracer import Tracer
+
+pytestmark = pytest.mark.chaos
+
+# Finite but overflow-scale: squaring it in the Burgers advection term
+# produces inf, so the corrupted seed defeats the undamped polish (and
+# the damped recovery that restarts from it) deterministically,
+# regardless of which direction the noise draw points.
+OVERFLOW_SPIKE = 1e300
+
+
+def _quadratic_requests(count, prefix="q"):
+    # analog_time_limit bounds the *simulated* settle: an unlucky die
+    # sample can make the quadratic's analog stage arbitrarily slow in
+    # wall-clock at the 60 s default, and chaos tests must never be the
+    # thing that hangs.
+    return [
+        SolveRequest(
+            f"{prefix}-{i}",
+            ProblemSpec.quadratic(rhs0=1.0 + 0.1 * i),
+            analog_time_limit=1e-3,
+        )
+        for i in range(count)
+    ]
+
+
+class TestAnalogSpike:
+    def test_corrupted_seed_degrades_to_homotopy(self):
+        """A silently corrupted analog result (converged flag intact,
+        solution blasted) must fail the hybrid rung, fail the damped
+        recovery seeded from it, and be rescued by homotopy — with the
+        fault and the full ladder path on the outcome."""
+        faults = FaultInjector(
+            specs=(
+                FaultSpec(
+                    kind="analog_spike",
+                    request_id="s-0",
+                    attempt=0,
+                    magnitude=OVERFLOW_SPIKE,
+                ),
+            )
+        )
+        tracer = Tracer()
+        runtime = Runtime(seed=5, faults=faults, retry=RetryPolicy(max_attempts=1))
+        with np.errstate(all="ignore"):
+            result = runtime.run_batch(
+                [SolveRequest("s-0", ProblemSpec.burgers(2, 2.0, seed=7))],
+                tracer=tracer,
+            )
+        outcome = result.outcomes[0]
+        assert outcome.status == "converged"
+        assert outcome.rung == "homotopy"
+        assert outcome.rungs_tried == ("hybrid", "damped_newton", "homotopy")
+        assert "analog_spike" in outcome.faults
+        assert tracer.counters["ladder_fallbacks"] == 2
+        assert tracer.counters["runtime_faults"] >= 1
+        tracer.check_closed()
+
+    def test_default_magnitude_spike_is_still_recorded(self):
+        """Even when the polish survives a milder spike, the fault is
+        on the record and the outcome is terminal."""
+        faults = FaultInjector(
+            specs=(FaultSpec(kind="analog_spike", request_id="s-0", attempt=0),)
+        )
+        runtime = Runtime(seed=5, faults=faults, retry=RetryPolicy(max_attempts=2))
+        with np.errstate(all="ignore"):
+            result = runtime.run_batch(
+                [SolveRequest("s-0", ProblemSpec.burgers(2, 2.0, seed=7))]
+            )
+        outcome = result.outcomes[0]
+        assert outcome.status in TERMINAL_STATUSES
+        assert "analog_spike" in outcome.faults
+
+
+class TestSolverHang:
+    def test_bounded_hang_times_out_then_retry_converges(self):
+        """A 0.6 s stall against a 0.3 s deadline: attempt 0 must be
+        accounted a timeout (cooperatively — the stall is shorter than
+        the parent watchdog's grace), and attempt 1, injected-fault
+        free, converges."""
+        faults = FaultInjector(
+            specs=(
+                FaultSpec(
+                    kind="solver_hang", request_id="h-0", attempt=0, magnitude=0.6
+                ),
+            )
+        )
+        tracer = Tracer()
+        runtime = Runtime(
+            seed=3,
+            faults=faults,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.05),
+        )
+        result = runtime.run_batch(
+            [
+                SolveRequest(
+                    "h-0",
+                    ProblemSpec.quadratic(),
+                    deadline_seconds=0.3,
+                    analog_time_limit=1e-3,
+                )
+            ],
+            tracer=tracer,
+        )
+        outcome = result.outcomes[0]
+        assert outcome.status == "converged"
+        assert outcome.attempt_history == ["timeout", "converged"]
+        assert outcome.retries == 1
+        assert "solver_hang" in outcome.faults
+        assert tracer.counters["runtime_timeouts"] == 1
+        assert tracer.counters["runtime_retries"] == 1
+        tracer.check_closed()
+
+    def test_hang_on_every_attempt_ends_in_timeout_outcome(self):
+        """If the stall recurs on every attempt, the request must end as
+        a structured timeout — bounded attempts, no hang, no raise."""
+        faults = FaultInjector(
+            specs=tuple(
+                FaultSpec(
+                    kind="solver_hang", request_id="h-0", attempt=a, magnitude=0.5
+                )
+                for a in range(2)
+            )
+        )
+        runtime = Runtime(
+            seed=3,
+            faults=faults,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.05),
+        )
+        result = runtime.run_batch(
+            [
+                SolveRequest(
+                    "h-0",
+                    ProblemSpec.quadratic(),
+                    deadline_seconds=0.2,
+                    analog_time_limit=1e-3,
+                )
+            ]
+        )
+        outcome = result.outcomes[0]
+        assert outcome.status == "timeout"
+        assert outcome.attempts == 2
+        assert outcome.attempt_history == ["timeout", "timeout"]
+
+
+class TestWorkerCrash:
+    def test_pooled_kill_the_worker_batch_completes(self):
+        """The acceptance scenario: a worker process killed mid-batch
+        (`os._exit` inside the pool). The batch must still complete via
+        retry, and the failure must be recorded in the trace manifest."""
+        faults = FaultInjector(
+            specs=(FaultSpec(kind="worker_crash", request_id="c-1", attempt=0),)
+        )
+        tracer = Tracer()
+        runtime = Runtime(
+            workers=2,
+            seed=3,
+            faults=faults,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.05),
+        )
+        result = runtime.run_batch(_quadratic_requests(4, prefix="c"), tracer=tracer)
+        assert len(result.outcomes) == 4
+        assert all(o.status in TERMINAL_STATUSES for o in result.outcomes)
+        assert all(o.ok for o in result.outcomes)
+        crashed = result.outcome_for("c-1")
+        assert crashed.attempts >= 2
+        assert "worker_crash" in crashed.faults
+        assert tracer.counters["worker_crashes"] >= 1
+        assert tracer.manifest["runtime"]["worker_crashes"] >= 1
+        tracer.check_closed()
+
+    def test_serial_crash_simulation_takes_same_recovery_path(self):
+        faults = FaultInjector(
+            specs=(FaultSpec(kind="worker_crash", request_id="c-0", attempt=0),)
+        )
+        tracer = Tracer()
+        runtime = Runtime(
+            workers=1,
+            seed=3,
+            faults=faults,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.05),
+        )
+        result = runtime.run_batch(
+            [SolveRequest("c-0", ProblemSpec.quadratic(), analog_time_limit=1e-3)],
+            tracer=tracer,
+        )
+        outcome = result.outcomes[0]
+        assert outcome.ok and outcome.attempts == 2
+        assert outcome.attempt_history == ["crashed", "converged"]
+        assert tracer.counters["worker_crashes"] == 1
+
+    def test_crash_on_final_attempt_is_structured_failure(self):
+        faults = FaultInjector(
+            specs=(FaultSpec(kind="worker_crash", request_id="c-0", attempt=0),)
+        )
+        runtime = Runtime(workers=1, seed=3, faults=faults, retry=RetryPolicy(max_attempts=1))
+        result = runtime.run_batch(
+            [SolveRequest("c-0", ProblemSpec.quadratic(), analog_time_limit=1e-3)]
+        )
+        outcome = result.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.error == "worker crashed"
+
+
+class TestLadderExhaustion:
+    def test_all_rungs_failing_yields_failed_outcome_not_exception(self):
+        """A hybrid-only ladder on a problem outside the undamped basin,
+        retried to the attempt bound: the terminal outcome is `failed`
+        with the per-rung diagnosis, and nothing leaks as an exception."""
+        runtime = Runtime(
+            seed=5, retry=RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.05)
+        )
+        result = runtime.run_batch(
+            [
+                SolveRequest(
+                    "f-0",
+                    ProblemSpec.burgers(4, 5.0, seed=11),
+                    rungs=("hybrid",),
+                    analog_time_limit=1e-3,
+                )
+            ]
+        )
+        outcome = result.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.attempts == 2
+        assert "ladder exhausted" in outcome.error
+        assert outcome.rungs_tried == ("hybrid",)
+
+
+class TestMixedChaosBatch:
+    def test_every_request_ends_terminal_under_mixed_faults(self):
+        """Rate-based chaos across a pooled batch: whatever fires, every
+        request must end in exactly one terminal outcome and the
+        counters must reconcile with the outcomes."""
+        faults = FaultInjector.from_rates(
+            {"worker_crash": 0.2, "analog_spike": 0.2}, seed=13
+        )
+        tracer = Tracer()
+        runtime = Runtime(
+            workers=2,
+            seed=13,
+            faults=faults,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.05),
+        )
+        requests = _quadratic_requests(6, prefix="m")
+        with np.errstate(all="ignore"):
+            result = runtime.run_batch(requests, tracer=tracer)
+        assert sorted(o.request_id for o in result.outcomes) == sorted(
+            r.request_id for r in requests
+        )
+        assert all(o.status in TERMINAL_STATUSES for o in result.outcomes)
+        completed = tracer.counters.get("requests_completed", 0)
+        failed = tracer.counters.get("requests_failed", 0)
+        assert completed + failed == len(requests)
+        assert tracer.counters["runtime_attempts"] == sum(
+            o.attempts for o in result.outcomes
+        )
+        tracer.check_closed()

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.experiments",
     "repro.reporting",
+    "repro.runtime",
     "repro.cli",
 ]
 

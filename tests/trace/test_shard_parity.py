@@ -1,0 +1,63 @@
+"""Shard-layout parity for traced parallel sweeps.
+
+:func:`repro.experiments.parallel.run_parallel_sweep` silently degrades
+to serial execution when the platform refuses a process pool, so a
+traced sweep must emit the *identical* shard layout in both modes —
+one shard per experiment, traceable ones carrying spans, the rest a
+manifest-only stub (``traced: false``). Anything less and a trace from
+a degraded CI run is not comparable to one from a developer machine.
+"""
+
+from repro.experiments.parallel import TRACEABLE, run_parallel_sweep
+from repro.trace import read_trace
+
+NAMES = ("figure7", "table2")
+OVERRIDES = {
+    "figure7": {"grid_sizes": (2,), "reynolds_values": (1.0,), "trials": 1, "seed": 5}
+}
+
+
+def _traced_sweep(tmp_path, max_workers):
+    trace_path = tmp_path / f"sweep-w{max_workers}.jsonl"
+    result = run_parallel_sweep(
+        names=NAMES,
+        overrides=OVERRIDES,
+        max_workers=max_workers,
+        trace_path=str(trace_path),
+    )
+    assert all(run.ok for run in result.runs)
+    return result, read_trace(trace_path)
+
+
+class TestShardParity:
+    def test_serial_and_pooled_sweeps_emit_identical_shard_layout(self, tmp_path):
+        _, serial = _traced_sweep(tmp_path, max_workers=1)
+        pooled_result, pooled = _traced_sweep(tmp_path, max_workers=2)
+
+        for trace in (serial, pooled):
+            shards = trace.manifest["shards"]
+            by_name = {shard["experiment"]: shard for shard in shards}
+            # Every experiment is named in the merged manifest, traced
+            # or not — including in serial-degrade mode (the historical
+            # bug: serial sweeps skipped the untraceable stubs).
+            assert set(by_name) == set(NAMES)
+            assert by_name["figure7"]["traced"] is True
+            assert by_name["table2"]["traced"] is False
+            assert "error" not in by_name["table2"]
+
+        # Span payloads agree across modes: same source experiments,
+        # same span-name histogram (the sweep is deterministic).
+        def span_shape(trace):
+            sources = set()
+            names = {}
+            for span in trace.spans:
+                sources.add(span.get("attrs", {}).get("source"))
+                names[span["name"]] = names.get(span["name"], 0) + 1
+            return sources, names
+
+        assert span_shape(serial) == span_shape(pooled)
+        # Only the traceable experiment contributes spans.
+        assert all(
+            span.get("attrs", {}).get("source") in (None, *TRACEABLE)
+            for span in serial.spans
+        )

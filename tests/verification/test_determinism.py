@@ -9,14 +9,19 @@ with the same seed retells exactly the same story. Three layers:
 * two same-seed ``run_figure7`` runs produce identical rows, identical
   iteration counts and identical kernel accounting;
 * the ``--trace`` manifest records the seed, so a trace file is enough
-  to rerun what produced it.
+  to rerun what produced it;
+* a same-seed runtime batch is bitwise identical at any worker count —
+  concurrency is an execution detail, never an input to the answer.
 """
 
 import re
 from pathlib import Path
 
+import numpy as np
+
 from repro.cli import main
 from repro.experiments.figure7 import run_figure7
+from repro.runtime import ProblemSpec, RetryPolicy, Runtime, SolveRequest
 from repro.trace import Tracer, read_trace
 
 SRC = Path(__file__).resolve().parents[2] / "src"
@@ -64,6 +69,71 @@ class TestSameSeedReruns:
             span.attrs.get("inner_iterations") for span in traces[1].spans_named("linear_solve")
         ]
         assert first_inner == second_inner
+
+
+class TestRuntimeConcurrencyDeterminism:
+    """workers=1 and workers=4 must be indistinguishable in every output.
+
+    All derived randomness in :mod:`repro.runtime` — accelerator die
+    sampling, retry jitter — is keyed by ``stable_seed(seed,
+    request_id, attempt, ...)``, never by pool scheduling order, so a
+    same-seed batch must agree bitwise across worker counts.
+    """
+
+    @staticmethod
+    def _batch(workers):
+        requests = [
+            SolveRequest(
+                f"det-{i}",
+                (
+                    ProblemSpec.burgers(2, 2.0, seed=40 + i)
+                    if i % 2
+                    else ProblemSpec.quadratic(rhs0=1.0 + 0.2 * i)
+                ),
+                analog_time_limit=1e-3,
+            )
+            for i in range(6)
+        ]
+        tracer = Tracer()
+        runtime = Runtime(
+            workers=workers,
+            seed=99,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.05),
+        )
+        return runtime.run_batch(requests, tracer=tracer), tracer
+
+    def test_outcomes_bitwise_identical_across_worker_counts(self):
+        serial, serial_tracer = self._batch(workers=1)
+        pooled, pooled_tracer = self._batch(workers=4)
+        assert [o.request_id for o in serial.outcomes] == [
+            o.request_id for o in pooled.outcomes
+        ]
+        for a, b in zip(serial.outcomes, pooled.outcomes):
+            assert (a.status, a.rung, a.attempts, a.attempt_history) == (
+                b.status,
+                b.rung,
+                b.attempts,
+                b.attempt_history,
+            )
+            assert a.residual_norm == b.residual_norm  # bitwise, not approx
+            assert np.array_equal(a.solution, b.solution)
+
+        # Solver-side counters agree exactly; execution-mode keys
+        # (pool bookkeeping) are the only permitted difference.
+        for key in ("runtime_attempts", "requests_completed", "ladder_fallbacks"):
+            assert serial_tracer.counters.get(key, 0) == pooled_tracer.counters.get(
+                key, 0
+            ), key
+
+        # Same span-name histogram: identical work was traced, even
+        # though pooled spans were grafted from worker processes.
+        def histogram(tracer):
+            names = {}
+            for span in tracer.spans:
+                names[span.name] = names.get(span.name, 0) + 1
+            return names
+
+        assert histogram(serial_tracer) == histogram(pooled_tracer)
 
 
 class TestSeedInTraceManifest:
