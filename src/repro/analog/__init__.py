@@ -20,6 +20,9 @@ the Odeint ODE solver library", Section 6.1):
 * :mod:`repro.analog.compiler` — maps nonlinear systems onto tiles and
   accounts component usage (Table 3);
 * :mod:`repro.analog.scaling` — dynamic-range scaling (Section 5.3);
+* :mod:`repro.analog.health` — degradation fault models, seed-quality
+  gating, and the online tile health monitor with quarantine and
+  recalibration scheduling;
 * :mod:`repro.analog.engine` — continuous-time execution: continuous
   Newton with hardware imperfections, settle detection, ADC readout;
 * :mod:`repro.analog.area_power` — area/power models (Tables 3-4).
@@ -37,6 +40,15 @@ from repro.analog.components import (
     ComponentKind,
 )
 from repro.analog.fabric import Fabric, Chip, Tile, Connection, FabricCapacityError
+from repro.analog.health import (
+    NONFINITE_QUALITY,
+    DegradationModel,
+    DegradationSchedule,
+    HealthMonitor,
+    SeedQuality,
+    SeedQualityGate,
+    TileHealth,
+)
 from repro.analog.compiler import CompiledProblem, ResourceCount, compile_burgers, compile_system
 from repro.analog.scaling import ScaledSystem, required_scale
 from repro.analog.engine import AnalogSolveResult, AnalogAccelerator, solution_error
@@ -61,6 +73,13 @@ __all__ = [
     "Tile",
     "Connection",
     "FabricCapacityError",
+    "NONFINITE_QUALITY",
+    "DegradationModel",
+    "DegradationSchedule",
+    "HealthMonitor",
+    "SeedQuality",
+    "SeedQualityGate",
+    "TileHealth",
     "CompiledProblem",
     "ResourceCount",
     "compile_burgers",

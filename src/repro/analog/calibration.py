@@ -33,14 +33,26 @@ class CalibrationConfig:
     measurement_repeats:
         Averaging repeats per component measurement; more repeats beat
         down thermal noise in the measured gain (sqrt law).
+    drift_tolerance:
+        How far (in full-scale residual units, per variable) the board
+        may drift from this calibration before it is considered out of
+        tolerance — the flagging threshold the health monitor
+        (:class:`repro.analog.health.HealthMonitor`) inherits. The
+        default sits well above the worst per-tile residual a healthy
+        5.38 %-RMS seed leaves (unlucky dies reach ~0.5 full-scale
+        units per variable), so it only trips on genuine degradation,
+        never on the paper's operating point.
     """
 
     enabled: bool = True
     measurement_repeats: int = 16
+    drift_tolerance: float = 1.2
 
     def __post_init__(self) -> None:
         if self.measurement_repeats <= 0:
             raise ValueError("measurement_repeats must be positive")
+        if self.drift_tolerance <= 0.0:
+            raise ValueError("drift_tolerance must be positive")
 
 
 class ProcessVariation:

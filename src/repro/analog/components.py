@@ -54,6 +54,11 @@ class AnalogComponent:
         self.noise = noise
         self.gain_error = float(gain_error)
         self.offset = float(offset)
+        # Post-calibration baselines: what calibrate() left behind.
+        # Degradation schedules apply drift as baseline + walk, so
+        # repeated application never compounds (idempotence).
+        self.calibrated_gain_error = float(gain_error)
+        self.calibrated_offset = float(offset)
         self.allocated_to: Optional[str] = None
 
     @property
@@ -134,18 +139,28 @@ class Fanout(AnalogComponent):
 
 
 class Dac(AnalogComponent):
-    """Digital-to-analog converter generating constant values."""
+    """Digital-to-analog converter generating constant values.
+
+    ``dead`` models a failed channel (an aged current source or a
+    broken trim cell): the programmed code no longer reaches the
+    datapath and the output reads zero. Degradation schedules set it;
+    :meth:`repro.analog.fabric.Tile.datapath_offset` accounts the
+    missing constant as a full-scale equation offset to first order.
+    """
 
     kind = ComponentKind.DAC
 
     def __init__(self, name: str, noise: NoiseModel, gain_error: float = 0.0, offset: float = 0.0):
         super().__init__(name, noise, gain_error, offset)
         self.code_value = 0.0
+        self.dead = False
 
     def set_constant(self, value: float) -> None:
         self.code_value = float(value)
 
     def output(self) -> float:
+        if self.dead:
+            return 0.0
         quantized = float(self.noise.dac_write(np.array([self.code_value]))[0])
         return float(self.noise.saturate(np.array([self.gain * quantized + self.offset]))[0])
 

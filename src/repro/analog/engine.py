@@ -33,6 +33,14 @@ import numpy as np
 from repro.analog.calibration import CalibrationConfig
 from repro.analog.compiler import CompiledProblem, compile_burgers, compile_system
 from repro.analog.fabric import Fabric
+from repro.analog.health import (
+    NONFINITE_QUALITY,
+    DegradationModel,
+    DegradationSchedule,
+    HealthMonitor,
+    SeedQuality,
+    SeedQualityGate,
+)
 from repro.analog.noise import NoiseModel
 from repro.analog.scaling import ScaledSystem, required_scale
 from repro.nonlinear.continuous_newton import continuous_newton_solve
@@ -54,7 +62,14 @@ def solution_error(analog: np.ndarray, digital: np.ndarray, scale: float = 1.0) 
     digital = np.asarray(digital, dtype=float)
     if analog.shape != digital.shape:
         raise ValueError("analog and digital solutions must have the same shape")
-    return float(np.sqrt(np.mean((analog - digital) ** 2)) / scale)
+    diff = analog - digital
+    if not np.all(np.isfinite(diff)):
+        # A saturated or dead-tile seed can carry NaN/Inf; the error
+        # metric must stay finite (and huge) so callers can compare and
+        # reject it without non-finite values leaking into Newton.
+        bound = 1e6 * float(scale)
+        diff = np.nan_to_num(diff, nan=bound, posinf=bound, neginf=-bound)
+    return float(np.sqrt(np.mean(diff**2)) / scale)
 
 
 class DistortedSystem(NonlinearSystem):
@@ -127,6 +142,16 @@ class AnalogSolveResult:
     """When trajectory recording is requested: the
     :class:`repro.ode.solution.OdeSolution` of the scaled state during
     the run — the oscilloscope view of the settling transient."""
+    seed_quality: Optional[SeedQuality] = None
+    """Verdict of the accelerator's :class:`SeedQualityGate` on this
+    run's solution as a Newton seed (``None`` when gating is off)."""
+    seed_accepted: bool = True
+    """Convenience mirror of ``seed_quality.accepted``. Downstream
+    solvers treat a *converged but rejected* result as "do not hand
+    this to undamped Newton" and skip straight to damped recovery."""
+    saturated_fraction: float = 0.0
+    """Fraction of variables measured at the ADC rails — the
+    saturation evidence the health monitor accumulates per tile."""
 
     @property
     def dimension(self) -> int:
@@ -153,7 +178,23 @@ class AnalogAccelerator:
         solution while leaving ``converged`` set — the silently bad
         seed the degradation ladder must survive) and/or return a
         replacement result; returning ``None`` keeps the mutated
-        original. ``None`` (the default) costs nothing.
+        original. ``None`` (the default) costs nothing. The hook runs
+        *after* seed gating and health observation — a silent
+        corruption is exactly the fault the gate cannot see.
+    degradation:
+        A :class:`repro.analog.health.DegradationModel` (wrapped in a
+        fresh schedule) or :class:`DegradationSchedule` aging this
+        board. The schedule persists across solves even though a
+        ``num_chips=None`` accelerator builds a fresh fabric per solve
+        — drift is keyed by component name, and the names are stable.
+    health:
+        The :class:`repro.analog.health.HealthMonitor` watching this
+        board; a default monitor (tolerances from ``calibration``) is
+        created when omitted.
+    seed_gate:
+        The :class:`repro.analog.health.SeedQualityGate` judging every
+        converged solution as a Newton seed. The default gate only
+        rejects seeds worse than the naive initial guess.
     """
 
     def __init__(
@@ -164,6 +205,9 @@ class AnalogAccelerator:
         calibration: Optional[CalibrationConfig] = None,
         adc_repeats: int = 4,
         fault_hook: Optional[Callable[["AnalogSolveResult"], Optional["AnalogSolveResult"]]] = None,
+        degradation: Optional[object] = None,
+        health: Optional[HealthMonitor] = None,
+        seed_gate: Optional[SeedQualityGate] = None,
     ):
         self.noise = noise or NoiseModel()
         self.seed = int(seed)
@@ -173,6 +217,11 @@ class AnalogAccelerator:
             raise ValueError("adc_repeats must be positive")
         self.adc_repeats = int(adc_repeats)
         self.fault_hook = fault_hook
+        if isinstance(degradation, DegradationModel):
+            degradation = DegradationSchedule(degradation)
+        self.degradation: Optional[DegradationSchedule] = degradation
+        self.health = health if health is not None else HealthMonitor(calibration=self.calibration)
+        self.seed_gate = seed_gate if seed_gate is not None else SeedQualityGate()
         self._run_rng = np.random.default_rng(seed + 977)
 
     def _apply_fault_hook(self, result: "AnalogSolveResult") -> "AnalogSolveResult":
@@ -183,11 +232,102 @@ class AnalogAccelerator:
 
     def _fabric_for(self, dimension: int) -> Fabric:
         if self.num_chips is not None:
-            fabric = Fabric(num_chips=self.num_chips, noise=self.noise, seed=self.seed)
-        else:
-            fabric = Fabric.for_variables(dimension, noise=self.noise, seed=self.seed)
+            fabric = Fabric(
+                num_chips=self.num_chips,
+                noise=self.noise,
+                seed=self.seed,
+                degradation=self.degradation,
+            )
+            fabric.calibrate(self.calibration)
+            self.health.apply_quarantine(fabric)
+            return fabric
+        # Auto-sized board: grow past quarantined tiles so degradation
+        # shrinks the *margin*, not the solvable problem size (fixed
+        # boards instead surface FabricCapacityError honestly).
+        from repro.analog.fabric import TILES_PER_CHIP
+
+        chips = (dimension + TILES_PER_CHIP - 1) // TILES_PER_CHIP
+        max_chips = chips + (len(self.health.quarantined) + TILES_PER_CHIP - 1) // TILES_PER_CHIP
+        while True:
+            fabric = Fabric(
+                num_chips=chips,
+                noise=self.noise,
+                seed=self.seed,
+                degradation=self.degradation,
+            )
+            self.health.apply_quarantine(fabric)
+            if len(fabric.free_tiles()) >= dimension or chips >= max_chips:
+                break
+            chips += 1
         fabric.calibrate(self.calibration)
         return fabric
+
+    def _observe_health(
+        self,
+        compiled: CompiledProblem,
+        solution: np.ndarray,
+        residual_vector: np.ndarray,
+        residual_norm: float,
+        reference_norm: float,
+        settle_time_units: float,
+        converged: bool,
+        measured_w: np.ndarray,
+        scale: float,
+        tracer: TracerLike,
+    ) -> tuple:
+        """Gate the seed, fold the run into the monitor, remediate.
+
+        Returns ``(SeedQuality, saturated_fraction)``. Emits the
+        ``analog_health`` span and the three reconciliation counters
+        (``seeds_rejected``, ``tiles_quarantined``, ``recalibrations``).
+        """
+        quality = self.seed_gate.assess(solution, residual_norm, reference_norm)
+        step = 2.0 * self.noise.full_scale / 2**self.noise.adc_bits
+        saturated = np.abs(np.asarray(measured_w, dtype=float)) >= self.noise.full_scale - step
+        scaled_residuals = np.abs(
+            np.nan_to_num(
+                np.asarray(residual_vector, dtype=float) / scale,
+                nan=NONFINITE_QUALITY,
+                posinf=NONFINITE_QUALITY,
+                neginf=-NONFINITE_QUALITY,
+            )
+        )
+        fabric = compiled.fabric
+        rejected = converged and not quality.accepted
+        with tracer.span("analog_health", dimension=len(residual_vector)) as span:
+            if rejected:
+                self.health.note_seed_rejected()
+                tracer.counter("seeds_rejected")
+            newly_flagged = self.health.observe_solve(
+                [tile.name for tile in compiled.tiles],
+                scaled_residuals,
+                settle_time_units,
+                saturated,
+                settled=converged,
+            )
+            newly_quarantined = self.health.quarantine_flagged()
+            if newly_quarantined:
+                tracer.counter("tiles_quarantined", len(newly_quarantined))
+            recalibrated = False
+            if self.health.should_recalibrate(fabric.num_tiles):
+                # Drift re-nulls; hardware faults (stuck tiles, dead
+                # DACs) persist in the schedule and will re-flag.
+                if self.degradation is not None:
+                    self.degradation.reset()
+                self.health.note_recalibration()
+                tracer.counter("recalibrations")
+                recalibrated = True
+            span.update(
+                seed_quality=float(quality.quality),
+                seed_accepted=bool(quality.accepted),
+                seed_rejected=rejected,
+                newly_flagged=len(newly_flagged),
+                newly_quarantined=len(newly_quarantined),
+                quarantine_pressure=self.health.quarantine_pressure(fabric.num_tiles),
+                recalibrated=recalibrated,
+                degradation_step=0 if self.degradation is None else self.degradation.step,
+            )
+        return quality, float(np.mean(saturated))
 
     def solve(
         self,
@@ -232,6 +372,7 @@ class AnalogAccelerator:
         hard: NonlinearSystem,
         start_root: np.ndarray,
         value_bound: float = 3.0,
+        tracer: Optional[TracerLike] = None,
     ) -> AnalogSolveResult:
         """Run homotopy continuation on the hardware model (Section 3.2).
 
@@ -244,10 +385,16 @@ class AnalogAccelerator:
         """
         if simple.dimension != hard.dimension:
             raise ValueError("simple and hard systems must share a dimension")
+        tracer = as_tracer(tracer)
         fabric = self._fabric_for(hard.dimension)
         compiled = compile_system(fabric, hard, owner="homotopy")
         try:
             scale = required_scale(value_bound, self.noise)
+            start_root = np.asarray(start_root, dtype=float)
+            w0 = self.noise.dac_write(start_root / scale)
+            # As in _execute: age the board first, then read the errors
+            # the run is actually distorted by.
+            compiled.fabric.exec_start()
             eq_gains = compiled.equation_gain_errors()
             state_gains = compiled.state_gain_errors()
             offsets = compiled.equation_offsets()
@@ -257,8 +404,6 @@ class AnalogAccelerator:
             distorted_hard = DistortedSystem(
                 ScaledSystem(hard, scale), eq_gains, state_gains, offsets
             )
-            w0 = self.noise.dac_write(np.asarray(start_root, dtype=float) / scale)
-            compiled.fabric.exec_start()
             flow = davidenko_solve(
                 distorted_simple,
                 distorted_hard,
@@ -275,13 +420,30 @@ class AnalogAccelerator:
             )
             measured = self.noise.adc_read(flow.u + thermal)
             solution = scale * measured
+            residual_vector = np.asarray(hard.residual(solution), dtype=float)
+            residual_norm = float(np.linalg.norm(residual_vector))
+            quality, saturated_fraction = self._observe_health(
+                compiled,
+                solution,
+                residual_vector,
+                residual_norm,
+                reference_norm=hard.residual_norm(start_root),
+                settle_time_units=1.0,
+                converged=flow.converged,
+                measured_w=measured,
+                scale=scale,
+                tracer=tracer,
+            )
             return self._apply_fault_hook(AnalogSolveResult(
                 solution=solution,
                 converged=flow.converged,
                 settle_time_units=1.0,  # the lambda ramp spans one unit
                 scale=scale,
                 scaled_solution=measured,
-                residual_norm=hard.residual_norm(solution),
+                residual_norm=residual_norm,
+                seed_quality=quality,
+                seed_accepted=quality.accepted,
+                saturated_fraction=saturated_fraction,
             ))
         finally:
             fabric.exec_stop()
@@ -358,20 +520,25 @@ class AnalogAccelerator:
         system = compiled.system if system is None else system
         scale = required_scale(value_bound, self.noise)
         scaled = ScaledSystem(system, scale)
+        if initial_guess is None:
+            guess_physical = np.zeros(system.dimension)
+            w0 = np.zeros(system.dimension)
+        else:
+            guess_physical = np.asarray(initial_guess, dtype=float)
+            w0 = scaled.to_scaled(guess_physical)
+        # Initial conditions are programmed through DACs.
+        w0 = self.noise.dac_write(w0)
+
+        # exec_start *before* reading the datapath errors: each start
+        # ages the board one degradation step, and the run must see the
+        # errors as they stand when the integrators are released.
+        compiled.fabric.exec_start()
         distorted = DistortedSystem(
             scaled,
             equation_gains=compiled.equation_gain_errors(),
             state_gains=compiled.state_gain_errors(),
             offsets=compiled.equation_offsets(),
         )
-        if initial_guess is None:
-            w0 = np.zeros(system.dimension)
-        else:
-            w0 = scaled.to_scaled(np.asarray(initial_guess, dtype=float))
-        # Initial conditions are programmed through DACs.
-        w0 = self.noise.dac_write(w0)
-
-        compiled.fabric.exec_start()
         # Bounded inner kernel: the flow's direction only needs to be
         # accurate to the integrator's tolerance, and runaway Krylov
         # fallbacks near singular Jacobians would dominate simulation
@@ -422,6 +589,20 @@ class AnalogAccelerator:
         )
         measured_w = self.noise.adc_read(settled_w + thermal)
         solution = scaled.to_physical(measured_w)
+        residual_vector = np.asarray(system.residual(solution), dtype=float)
+        residual_norm = float(np.linalg.norm(residual_vector))
+        quality, saturated_fraction = self._observe_health(
+            compiled,
+            solution,
+            residual_vector,
+            residual_norm,
+            reference_norm=system.residual_norm(guess_physical),
+            settle_time_units=flow.settle_time,
+            converged=flow.converged,
+            measured_w=measured_w,
+            scale=scale,
+            tracer=tracer,
+        )
         n = system.dimension
         resources = compiled.resources
         return self._apply_fault_hook(AnalogSolveResult(
@@ -430,11 +611,14 @@ class AnalogAccelerator:
             settle_time_units=flow.settle_time,
             scale=scale,
             scaled_solution=measured_w,
-            residual_norm=system.residual_norm(solution),
+            residual_norm=residual_norm,
             # Transfers per run: initial conditions plus the Table 3
             # per-variable constant DACs in; one averaged ADC sample
             # stream per variable out.
             dac_writes=n + n * resources.per_variable_total("DAC"),
             adc_reads=n * self.adc_repeats,
             trajectory=flow.solution if record_trajectory else None,
+            seed_quality=quality,
+            seed_accepted=quality.accepted,
+            saturated_fraction=saturated_fraction,
         ))

@@ -58,13 +58,18 @@ class Tile:
         self.owner: Optional[str] = None
         self.input_ports_used = 0
         self.output_ports_used = 0
+        # Health state: a quarantined tile is skipped by allocation
+        # (the health monitor pulled it from service); a stuck tile's
+        # datapath is pinned at the rail by a degradation schedule.
+        self.quarantined = False
+        self.stuck = False
 
     def components(self) -> List[AnalogComponent]:
         return [*self.integrators, *self.multipliers, *self.fanouts, *self.dacs, *self.adcs]
 
     @property
     def is_free(self) -> bool:
-        return self.owner is None
+        return self.owner is None and not self.quarantined
 
     def allocate(self, owner: str) -> None:
         if self.owner is not None:
@@ -118,10 +123,15 @@ class Tile:
 
         Offsets of the current-mode stages add along the chain: the
         four function multipliers plus the fanout copies feeding the
-        summing junction.
+        summing junction. A dead DAC channel removes one programmed
+        constant from the summing junction entirely — to first order a
+        full-scale offset on this equation, the dominant term when a
+        channel fails.
         """
         chain = [*self.multipliers[:4], *self.fanouts[:4]]
-        return float(np.sum([c.offset for c in chain]))
+        offset = float(np.sum([c.offset for c in chain]))
+        dead = sum(1 for dac in self.dacs if getattr(dac, "dead", False))
+        return offset + dead * self.noise.full_scale
 
 
 class Chip:
@@ -168,6 +178,7 @@ class Fabric:
         num_chips: int = 2,
         noise: Optional[NoiseModel] = None,
         seed: int = 0,
+        degradation=None,
     ):
         if num_chips <= 0:
             raise ValueError("num_chips must be positive")
@@ -178,6 +189,11 @@ class Fabric:
         self.calibrated = False
         self.committed = False
         self.executing = False
+        # Optional DegradationSchedule (repro.analog.health): advanced
+        # one step per exec_start, so the board ages with use. The
+        # schedule outlives this fabric — the same instance can be
+        # attached to successive boards of one accelerator.
+        self.degradation = degradation
 
     # -- capacity ------------------------------------------------------
 
@@ -216,16 +232,49 @@ class Fabric:
         for component, gain_error, offset in zip(components, residuals, offsets):
             component.gain_error = float(gain_error)
             component.offset = float(offset)
+            # The post-trim values are the baseline degradation drifts
+            # away from (and recalibration returns to).
+            component.calibrated_gain_error = float(gain_error)
+            component.calibrated_offset = float(offset)
         self.calibrated = True
+        if self.degradation is not None:
+            # Re-impose any degradation already accumulated: stuck
+            # tiles and dead DACs survive a (re)calibration pass.
+            self.degradation.apply(self)
+
+    def recalibrate(self, config: Optional[CalibrationConfig] = None) -> None:
+        """Re-trim the board mid-life: re-null accumulated drift.
+
+        The trim DACs re-measure and re-correct each component, so the
+        drift random walk restarts from the calibrated baseline;
+        hardware faults (stuck tiles, dead DAC channels) are beyond
+        what trim codes can fix and persist.
+        """
+        if self.executing:
+            raise RuntimeError("exec_stop() before recalibrating")
+        if self.degradation is not None:
+            self.degradation.reset()
+        self.calibrate(config)
 
     def allocate_tiles(self, count: int, owner: str) -> List[Tile]:
-        """Claim ``count`` free tiles for a problem."""
+        """Claim ``count`` free tiles for a problem.
+
+        Quarantined tiles are never handed out; when quarantine has
+        eaten the capacity a problem needs, the error says so — the
+        caller-facing accounting distinguishes "board too small" from
+        "board too degraded".
+        """
         if self.executing:
             raise RuntimeError("cannot allocate while executing")
         free = self.free_tiles()
         if len(free) < count:
+            quarantined = sum(
+                tile.quarantined for chip in self.chips for tile in chip.tiles
+            )
+            detail = f" ({quarantined} quarantined)" if quarantined else ""
             raise FabricCapacityError(
-                f"problem needs {count} tiles but only {len(free)} of {self.num_tiles} are free"
+                f"problem needs {count} tiles but only {len(free)} of "
+                f"{self.num_tiles} are free{detail}"
             )
         chosen = free[:count]
         for tile in chosen:
@@ -249,9 +298,16 @@ class Fabric:
         self.committed = True
 
     def exec_start(self) -> None:
-        """Release the integrators: continuous dynamics begin."""
+        """Release the integrators: continuous dynamics begin.
+
+        Each start ages the board by one degradation step (when a
+        schedule is attached): drift accumulates with *use*, exactly
+        between the calibration and the run it distorts.
+        """
         if not self.committed:
             raise RuntimeError("cfg_commit() before exec_start()")
+        if self.degradation is not None:
+            self.degradation.advance(self)
         self.executing = True
 
     def exec_stop(self) -> None:

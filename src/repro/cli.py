@@ -16,7 +16,11 @@ across worker processes and adds per-run linear-kernel accounting.
 fault-tolerant solve runtime (:mod:`repro.runtime`) — deadlines,
 retries, degradation ladder — and prints the per-request outcomes;
 ``--faults`` injects seeded chaos (worker crashes, analog spikes,
-solver hangs) to exercise the recovery paths.
+solver hangs, analog degradation) to exercise the recovery paths, and
+``--degradation`` ages every attempt's analog board. ``health-report``
+runs one persistent board through a sequence of solves and renders the
+analog health layer's verdict (tile statistics, seed-gate rejections,
+quarantines, recalibrations).
 
 The solver-backed figures (7/8/9) and ``sweep`` accept ``--trace PATH``
 to record a structured JSONL trace of the run — a run manifest (grid,
@@ -45,6 +49,7 @@ from repro.experiments import (
     run_table5,
 )
 from repro.experiments.parallel import SWEEP_RUNNERS, run_parallel_sweep
+from repro.analog.health import DegradationModel
 from repro.runtime import (
     FAULT_KINDS,
     FaultInjector,
@@ -52,6 +57,7 @@ from repro.runtime import (
     RetryPolicy,
     Runtime,
     SolveRequest,
+    run_health_report,
 )
 from repro.trace import Tracer, summarize_trace_file, write_trace
 
@@ -64,6 +70,15 @@ def _parse_floats(text: str) -> tuple:
 
 def _parse_ints(text: str) -> tuple:
     return tuple(int(v) for v in text.split(","))
+
+
+def _parse_degradation(text: str) -> DegradationModel:
+    """Parse the ``--degradation`` spec into a model (see
+    :meth:`repro.analog.health.DegradationModel.from_spec`)."""
+    try:
+        return DegradationModel.from_spec(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
 
 
 def _parse_fault_rates(text: str) -> dict:
@@ -176,6 +191,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="inject chaos faults, e.g. worker_crash=0.1,analog_spike=0.2 "
         "(kinds: " + ",".join(FAULT_KINDS) + ")",
     )
+    serve.add_argument(
+        "--degradation",
+        type=_parse_degradation,
+        default=None,
+        metavar="KEY=VALUE,...",
+        help="age every attempt's analog board, e.g. "
+        "offset_drift_sigma=0.2,gain_drift_sigma=0.02 "
+        "(lists ';'-separated: stuck_tiles=chip0.tile1;chip0.tile3)",
+    )
+
+    health = sub.add_parser(
+        "health-report",
+        help="age one analog board across solves and report its health",
+        parents=[traceable],
+    )
+    health.add_argument("--solves", type=int, default=8, help="number of ladder solves")
+    health.add_argument("--grid", type=int, default=2, help="Burgers grid size")
+    health.add_argument("--reynolds", type=float, default=1.0)
+    health.add_argument("--seed", type=int, default=0, help="die + problem seed")
+    health.add_argument(
+        "--degradation",
+        type=_parse_degradation,
+        default=None,
+        metavar="KEY=VALUE,...",
+        help="degradation model spec (same syntax as serve-batch --degradation)",
+    )
+    health.add_argument(
+        "--analog-time-limit", type=float, default=60.0, help="analog settle budget per solve"
+    )
 
     summary = sub.add_parser("trace-summary", help="render a per-phase summary of a trace file")
     summary.add_argument("path", help="JSONL trace written by --trace")
@@ -202,6 +246,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("figures: figure2 figure3 figure6 figure7 figure8 figure9")
         print("sweeps:  sweep (parallel: " + " ".join(sorted(SWEEP_RUNNERS)) + ")")
         print("runtime: serve-batch (fault-tolerant batch solving)")
+        print("         health-report (analog board aging + health monitor)")
         print("tools:   trace-summary")
         return 0
     if command == "trace-summary":
@@ -298,8 +343,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                 if args.faults
                 else None
             ),
+            degradation=args.degradation,
         )
         result = runtime.run_batch(requests, tracer=tracer)
+    elif command == "health-report":
+        tracer = _make_tracer(
+            args.trace,
+            command,
+            solves=args.solves,
+            grid=args.grid,
+            reynolds=args.reynolds,
+            seed=args.seed,
+        )
+        result = run_health_report(
+            solves=args.solves,
+            grid_n=args.grid,
+            reynolds=args.reynolds,
+            seed=args.seed,
+            degradation=args.degradation,
+            analog_time_limit=args.analog_time_limit,
+            tracer=tracer,
+        )
     else:  # pragma: no cover - argparse guards this
         raise SystemExit(f"unknown command {command}")
     if tracer is not None:

@@ -167,10 +167,26 @@ class HybridSolver:
                 time_limit=analog_time_limit,
                 tracer=tracer,
             )
-            seed = analog.solution if analog.converged else guess
+            rejected = analog.converged and not analog.seed_accepted
+            seed = analog.solution if analog.converged and not rejected else guess
             solver = self._solver()
-            digital = newton_solve(system, seed, self.polish_options, solver, tracer=tracer)
-            if not digital.converged:
+            if rejected:
+                # The seed gate refused the settled analog solution: it
+                # is *worse* than the naive guess (degraded board), so
+                # undamped Newton from it would burn a doomed polish.
+                # Go straight to the damped recovery from the guess.
+                tracer.counter("hybrid_recoveries")
+                digital = damped_recovery(
+                    system,
+                    seed,
+                    self.polish_options,
+                    self.fallback_options,
+                    solver,
+                    tracer=tracer,
+                )
+            else:
+                digital = newton_solve(system, seed, self.polish_options, solver, tracer=tracer)
+            if not digital.converged and not rejected:
                 # The seed was not good enough (rare: an unsettled analog
                 # run). Recover with the damped baseline under its own
                 # relaxed options — the tight polish tolerance may be
@@ -191,6 +207,7 @@ class HybridSolver:
                 converged=digital.converged,
                 digital_iterations=digital.iterations,
                 analog_settle_time_units=analog.settle_time_units,
+                seed_accepted=analog.seed_accepted,
             )
         return HybridResult(
             u=digital.u,

@@ -36,11 +36,14 @@ from repro.runtime.ladder import (
     RungAttempt,
     damped_recovery,
 )
+from repro.runtime.health_report import HealthReportResult, run_health_report
 from repro.runtime.runtime import AttemptReport, BatchResult, Runtime
 
 __all__ = [
     "AttemptReport",
     "BatchResult",
+    "HealthReportResult",
+    "run_health_report",
     "DEFAULT_RUNGS",
     "Deadline",
     "DeadlineExceeded",

@@ -47,7 +47,7 @@ __all__ = [
     "InjectedWorkerCrash",
 ]
 
-FAULT_KINDS = ("analog_spike", "solver_hang", "worker_crash")
+FAULT_KINDS = ("analog_spike", "solver_hang", "worker_crash", "degrade_analog")
 
 _DEFAULT_MAGNITUDES = {
     # Spike amplitude in solution units (the dynamic range is +-3).
@@ -57,6 +57,12 @@ _DEFAULT_MAGNITUDES = {
     "solver_hang": 0.5,
     # Worker exit code (visible in pool diagnostics).
     "worker_crash": 17.0,
+    # Offset-drift sigma per degradation step, in full-scale units.
+    # Large enough that a single step already yields a gate-rejectable
+    # seed (the per-attempt accelerator only ages one step), small
+    # enough that the drifted continuous-Newton flow still settles
+    # quickly instead of wandering a root-free landscape.
+    "degrade_analog": 0.3,
 }
 
 
@@ -187,6 +193,32 @@ class FaultInjector:
             return result
 
         return corrupt
+
+    def degradation_schedule(
+        self, request_id: str, attempt: int, log: List[str]
+    ):
+        """A :class:`repro.analog.health.DegradationSchedule`, or None.
+
+        When a ``degrade_analog`` fault fires, the attempt's accelerator
+        runs on a board whose components drift (offset walk of
+        ``magnitude`` full-scale units per step, plus a tenth of that in
+        gain) — the drift-induced bad seed the health layer must catch:
+        gate rejection, ladder demotion to ``damped_newton``, and
+        eventually tile quarantine.
+        """
+        spec = self._first("degrade_analog", request_id, attempt)
+        if spec is None:
+            return None
+        from repro.analog.health import DegradationModel, DegradationSchedule
+
+        magnitude = spec.effective_magnitude
+        model = DegradationModel(
+            gain_drift_sigma=0.1 * magnitude,
+            offset_drift_sigma=magnitude,
+            seed=stable_seed(self.seed, request_id, attempt, "degrade_analog"),
+        )
+        log.append("degrade_analog")
+        return DegradationSchedule(model)
 
     def iteration_hook(
         self, request_id: str, attempt: int, log: List[str]

@@ -1,0 +1,99 @@
+"""The ``health-report`` driver: watch one board age across solves.
+
+Runs a sequence of Burgers problems through a :class:`DegradationLadder`
+whose accelerator carries an (optional) degradation model, and renders
+what the health layer saw: per-solve ladder verdicts alongside the
+:class:`~repro.analog.health.HealthMonitor`'s tile statistics,
+quarantine decisions, and reconciliation counters. With no degradation
+the report is the healthy-board baseline (every solve on the hybrid
+rung, no flags); with drift it is the full story the chaos tier
+asserts — gate rejections, ladder demotions, quarantines, and the
+recalibration that restores hybrid-rung service.
+
+Everything is seeded, so the report is bitwise reproducible — the CLI's
+golden-file test pins it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analog.engine import AnalogAccelerator
+from repro.analog.health import DegradationModel
+from repro.reporting import ascii_table
+from repro.runtime.api import ProblemSpec
+from repro.runtime.ladder import DegradationLadder
+from repro.trace.tracer import TracerLike, as_tracer
+
+__all__ = ["HealthReportResult", "run_health_report"]
+
+
+@dataclass
+class HealthReportResult:
+    """Per-solve ladder verdicts plus the monitor's final report."""
+
+    rows: List[dict]
+    health_report: str
+    solves: int
+    degradation_active: bool
+
+    def render(self) -> str:
+        header = (
+            f"health report: {self.solves} solve(s), degradation "
+            f"{'on' if self.degradation_active else 'off'}"
+        )
+        return "\n\n".join([header, ascii_table(self.rows), self.health_report])
+
+
+def run_health_report(
+    solves: int = 8,
+    grid_n: int = 2,
+    reynolds: float = 1.0,
+    seed: int = 0,
+    degradation: Optional[DegradationModel] = None,
+    analog_time_limit: float = 60.0,
+    tracer: Optional[TracerLike] = None,
+) -> HealthReportResult:
+    """Age one board across ``solves`` Burgers solves and report.
+
+    The accelerator (die seeded by ``seed``) persists across the whole
+    sequence, so the monitor's EWMAs, quarantine and recalibration
+    state accumulate exactly as they would in a long-lived service.
+    """
+    if solves < 1:
+        raise ValueError("solves must be at least 1")
+    tracer = as_tracer(tracer)
+    accelerator = AnalogAccelerator(seed=seed, degradation=degradation)
+    ladder = DegradationLadder(accelerator=accelerator)
+    monitor = accelerator.health
+    rows: List[dict] = []
+    with tracer.span("health_report", solves=solves, grid_n=grid_n):
+        for index in range(solves):
+            system, guess = ProblemSpec.burgers(
+                grid_n=grid_n, reynolds=reynolds, seed=seed + index
+            ).build()
+            result = ladder.solve(
+                system,
+                initial_guess=guess,
+                analog_time_limit=analog_time_limit,
+                tracer=tracer,
+            )
+            rows.append(
+                {
+                    "solve": index,
+                    "rung": result.rung or "-",
+                    "converged": "yes" if result.converged else "no",
+                    "rungs tried": ">".join(result.rungs_tried),
+                    "residual": f"{result.residual_norm:.1e}",
+                    "rejected": monitor.seeds_rejected,
+                    "quarantined": len(monitor.quarantined),
+                    "recals": monitor.recalibrations,
+                }
+            )
+    return HealthReportResult(
+        rows=rows,
+        health_report=monitor.render_report(),
+        solves=solves,
+        degradation_active=degradation is not None and degradation.active,
+    )

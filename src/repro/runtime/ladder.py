@@ -316,6 +316,20 @@ class DegradationLadder:
             time_limit=analog_time_limit,
             tracer=tracer,
         )
+        if analog.converged and not analog.seed_accepted:
+            # The seed gate refused the settled analog solution (it is
+            # worse than the naive guess — a degraded board). Fail the
+            # rung *without* burning the doomed undamped polish; the
+            # ladder falls straight to damped_newton from the guess.
+            quality = analog.seed_quality
+            detail = f" (quality {quality.quality:.3g} > {quality.threshold:.3g})" if quality else ""
+            attempt = RungAttempt(
+                rung="hybrid",
+                converged=False,
+                residual_norm=float(analog.residual_norm),
+                error=f"analog seed rejected by quality gate{detail}",
+            )
+            return attempt, guess
         seed = analog.solution if analog.converged else guess
         solver = LinearKernel()
         polish = newton_solve(

@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analog.engine import AnalogAccelerator
+from repro.analog.health import DegradationModel, DegradationSchedule
 from repro.reporting import ascii_table
 from repro.runtime.api import (
     Deadline,
@@ -106,6 +107,7 @@ def _execute_attempt(
     traced: bool,
     allow_process_exit: bool,
     ladder_kwargs: Optional[Dict[str, Any]] = None,
+    degradation: Optional[DegradationModel] = None,
 ) -> AttemptReport:
     """Run one solve attempt; top-level so the pool can pickle it.
 
@@ -114,6 +116,11 @@ def _execute_attempt(
     and the degradation ladder, then descends it under the cooperative
     deadline. Injected worker crashes escape (that is their job);
     everything else becomes a structured report.
+
+    ``degradation`` is the runtime-level aging model applied to each
+    attempt's board (its schedule seeded per attempt so any worker
+    reproduces it bitwise); a ``degrade_analog`` fault for this attempt
+    takes precedence.
     """
     t0 = time.perf_counter()
     fault_log: List[str] = []
@@ -129,6 +136,16 @@ def _execute_attempt(
     rungs_tried: Tuple[str, ...] = ()
     try:
         system, guess = request.problem.build()
+        schedule = (
+            faults.degradation_schedule(request.request_id, attempt, fault_log)
+            if faults is not None
+            else None
+        )
+        if schedule is None and degradation is not None:
+            schedule = DegradationSchedule(
+                degradation,
+                seed=stable_seed(runtime_seed, request.request_id, attempt, "degradation"),
+            )
         accelerator = AnalogAccelerator(
             seed=stable_seed(runtime_seed, request.request_id, attempt, "die") % (2**31),
             fault_hook=(
@@ -136,6 +153,7 @@ def _execute_attempt(
                 if faults is not None
                 else None
             ),
+            degradation=schedule,
         )
         ladder = DegradationLadder(accelerator=accelerator, **(ladder_kwargs or {}))
         deadline = (
@@ -287,6 +305,12 @@ class Runtime:
         Forwarded to each attempt's
         :class:`~repro.runtime.ladder.DegradationLadder` (options,
         schedule, rung order). Must be picklable.
+    degradation:
+        Optional :class:`~repro.analog.health.DegradationModel` aging
+        every attempt's analog board (schedules are seeded per
+        ``(seed, request, attempt)`` so worker count never changes the
+        drift). A ``degrade_analog`` fault takes precedence for the
+        attempts it fires on.
     """
 
     def __init__(
@@ -298,6 +322,7 @@ class Runtime:
         faults: Optional[FaultInjector] = None,
         ladder_kwargs: Optional[Dict[str, Any]] = None,
         poll_interval: float = 0.02,
+        degradation: Optional[DegradationModel] = None,
     ):
         if queue_limit < 1:
             raise ValueError("queue_limit must be at least 1")
@@ -308,6 +333,7 @@ class Runtime:
         self.faults = faults
         self.ladder_kwargs = ladder_kwargs
         self.poll_interval = float(poll_interval)
+        self.degradation = degradation
         self._queue: deque = deque()
 
     # -- admission ------------------------------------------------------
@@ -341,9 +367,10 @@ class Runtime:
             raise ValueError("request_ids within a batch must be unique")
         counts: Dict[str, float] = {}
 
-        def bump(name: str, value: float = 1) -> None:
+        def bump(name: str, value: float = 1, tracer_too: bool = True) -> None:
             counts[name] = counts.get(name, 0) + value
-            tracer.counter(name, value)
+            if tracer_too:
+                tracer.counter(name, value)
 
         t0 = time.perf_counter()
         mode = "serial"
@@ -416,6 +443,13 @@ class Runtime:
             state.faults.append("worker_crash")
         if report.faults:
             bump("runtime_faults", len(report.faults))
+        # Health-layer counters emitted inside the worker reconcile into
+        # the manifest/BatchResult totals; absorb() below already merges
+        # them into the tracer's counters, so skip the double count.
+        for name in ("seeds_rejected", "tiles_quarantined", "recalibrations"):
+            value = report.counters.get(name, 0)
+            if value:
+                bump(name, value, tracer_too=False)
         will_retry = (
             report.status != "converged"
             and state.attempts_started < self.retry.max_attempts
@@ -496,6 +530,7 @@ class Runtime:
                         getattr(tracer, "active", False),
                         allow_process_exit=False,
                         ladder_kwargs=self.ladder_kwargs,
+                        degradation=self.degradation,
                     )
                 except InjectedWorkerCrash:
                     report = AttemptReport(
@@ -591,6 +626,7 @@ class Runtime:
                     traced,
                     allow_process_exit=False,
                     ladder_kwargs=self.ladder_kwargs,
+                    degradation=self.degradation,
                 )
             except InjectedWorkerCrash:
                 report = AttemptReport(
@@ -622,6 +658,7 @@ class Runtime:
                         traced,
                         True,
                         self.ladder_kwargs,
+                        self.degradation,
                     )
                 except concurrent.futures.BrokenExecutor:
                     # The pool broke between polls; this submission is

@@ -261,6 +261,193 @@ class TestLadderExhaustion:
         assert outcome.rungs_tried == ("hybrid",)
 
 
+class TestAnalogDegradation:
+    """The health layer's acceptance story, exercised end to end.
+
+    A drifting board must be *caught* (gate rejection), *contained*
+    (ladder demotion without a wasted hybrid polish, tile quarantine)
+    and *repaired* (recalibration restoring hybrid-rung service), with
+    the three reconciliation counters agreeing exactly with the trace
+    spans and attempt histories.
+    """
+
+    # Constants tuned so the story unfolds within a handful of solves:
+    # 0.07 full-scale offset drift per step accumulates past the gate's
+    # relative-residual threshold of 1.0 after a couple of exec_starts,
+    # while the drifted continuous-Newton flow still settles within a
+    # 20-unit budget (larger walks can leave the flow root-free).
+    DRIFT = dict(offset_drift_sigma=0.07, seed=5)
+    SOLVES = 6
+    TIME_LIMIT = 20.0
+
+    def _run_ladder_story(self):
+        from repro.analog.engine import AnalogAccelerator
+        from repro.analog.health import DegradationModel
+        from repro.runtime.ladder import DegradationLadder
+
+        system, guess = ProblemSpec.burgers(2, 1.0, seed=0).build()
+        accelerator = AnalogAccelerator(
+            seed=1, degradation=DegradationModel(**self.DRIFT)
+        )
+        ladder = DegradationLadder(accelerator=accelerator)
+        tracer = Tracer()
+        results = []
+        for _ in range(self.SOLVES):
+            results.append(
+                ladder.solve(
+                    system,
+                    initial_guess=guess,
+                    analog_time_limit=self.TIME_LIMIT,
+                    tracer=tracer,
+                )
+            )
+        return accelerator, results, tracer
+
+    def test_drift_reject_quarantine_recalibrate_restore(self):
+        """The full loop on one long-lived board: drift accumulates, a
+        seed is rejected, the ladder lands on damped_newton *without*
+        burning a hybrid polish, tiles are quarantined, recalibration
+        fires, and the next solve is back on the hybrid rung."""
+        accelerator, results, tracer = self._run_ladder_story()
+        monitor = accelerator.health
+
+        # Every solve converged; the board never took the batch down.
+        assert all(r.converged for r in results)
+        # The first solve ran on a freshly calibrated board: hybrid.
+        assert results[0].rung == "hybrid"
+
+        # At least one later seed was rejected by the gate, and that
+        # solve fell to damped_newton without trying homotopy — the
+        # hybrid attempt records the gate's verdict, not a wasted
+        # polish (0 iterations).
+        rejected = [
+            r
+            for r in results
+            if r.attempts and "seed rejected" in (r.attempts[0].error or "")
+        ]
+        assert rejected, "no solve was gate-rejected"
+        for r in rejected:
+            assert r.rung == "damped_newton"
+            assert r.rungs_tried == ("hybrid", "damped_newton")
+            assert r.attempts[0].iterations == 0
+            assert "quality" in r.attempts[0].error
+
+        # Containment and repair happened.
+        assert monitor.seeds_rejected >= 1
+        assert monitor.tiles_quarantined >= 1
+        assert monitor.recalibrations >= 1
+        assert accelerator.degradation.resets == monitor.recalibrations
+
+        # Restoration: recalibration fired (visible in the span
+        # stream), and after the first rejected solve — which is also
+        # where quarantine pressure triggered the recalibration in this
+        # scenario — a later solve runs on the hybrid rung again.
+        recal_spans = [
+            s for s in tracer.spans_named("analog_health") if s.attrs.get("recalibrated")
+        ]
+        assert recal_spans
+        first_rejected = next(
+            i
+            for i, r in enumerate(results)
+            if "seed rejected" in (r.attempts[0].error or "")
+        )
+        assert any(
+            r.rung == "hybrid" for r in results[first_rejected + 1 :]
+        ), "recalibration never restored hybrid-rung service"
+
+    def test_counters_reconcile_with_spans_and_attempts(self):
+        """seeds_rejected == rejected hybrid attempts == rejected
+        analog_health spans; tiles_quarantined and recalibrations
+        reconcile the same way. No double counting, no dropped events."""
+        accelerator, results, tracer = self._run_ladder_story()
+        monitor = accelerator.health
+        spans = tracer.spans_named("analog_health")
+        assert len(spans) == self.SOLVES  # one per accelerator run
+
+        span_rejections = sum(1 for s in spans if s.attrs["seed_rejected"])
+        attempt_rejections = sum(
+            1
+            for r in results
+            if r.attempts and "seed rejected" in (r.attempts[0].error or "")
+        )
+        assert (
+            monitor.seeds_rejected
+            == tracer.counters["seeds_rejected"]
+            == span_rejections
+            == attempt_rejections
+        )
+        assert monitor.tiles_quarantined == tracer.counters["tiles_quarantined"] == sum(
+            s.attrs["newly_quarantined"] for s in spans
+        )
+        assert monitor.recalibrations == tracer.counters["recalibrations"] == sum(
+            1 for s in spans if s.attrs["recalibrated"]
+        )
+        # The degradation clock advanced once per accelerator run.
+        assert spans[-1].attrs["degradation_step"] == self.SOLVES
+        # Ladder fallbacks: exactly one per gate-rejected solve (no
+        # other rung ever failed in this scenario).
+        assert tracer.counters["ladder_fallbacks"] == span_rejections
+        tracer.check_closed()
+
+    def test_degrade_analog_fault_demotes_one_attempt(self):
+        """The runtime seam: a ``degrade_analog`` fault ages one
+        attempt's board enough that its seed is gate-rejected, the
+        ladder absorbs it on damped_newton, and the fault plus the
+        health counters survive into the outcome and manifest."""
+        faults = FaultInjector(
+            specs=(FaultSpec(kind="degrade_analog", request_id="g-0", attempt=0),)
+        )
+        tracer = Tracer()
+        runtime = Runtime(seed=5, faults=faults, retry=RetryPolicy(max_attempts=1))
+        result = runtime.run_batch(
+            [
+                SolveRequest(
+                    "g-0",
+                    ProblemSpec.burgers(2, 2.0, seed=7),
+                    analog_time_limit=20.0,
+                )
+            ],
+            tracer=tracer,
+        )
+        outcome = result.outcomes[0]
+        assert outcome.status == "converged"
+        assert outcome.rung == "damped_newton"
+        assert outcome.rungs_tried == ("hybrid", "damped_newton")
+        assert "degrade_analog" in outcome.faults
+        assert tracer.counters["seeds_rejected"] == 1
+        assert tracer.manifest["runtime"]["seeds_rejected"] == 1
+        assert result.counters.get("seeds_rejected") == 1
+        tracer.check_closed()
+
+    def test_degraded_batch_every_request_terminal(self):
+        """Runtime-level degradation on *every* attempt's board (the
+        constructor knob): all requests still end terminal, and the
+        health counters in the manifest equal the tracer's."""
+        from repro.analog.health import DegradationModel
+
+        tracer = Tracer()
+        runtime = Runtime(
+            seed=9,
+            degradation=DegradationModel(offset_drift_sigma=0.3, seed=2),
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.05),
+        )
+        requests = [
+            SolveRequest(
+                f"deg-{i}",
+                ProblemSpec.burgers(2, 1.0, seed=30 + i),
+                analog_time_limit=20.0,
+            )
+            for i in range(3)
+        ]
+        result = runtime.run_batch(requests, tracer=tracer)
+        assert all(o.status in TERMINAL_STATUSES for o in result.outcomes)
+        assert all(o.ok for o in result.outcomes)
+        for name in ("seeds_rejected", "tiles_quarantined", "recalibrations"):
+            manifest_value = tracer.manifest["runtime"].get(name, 0)
+            assert manifest_value == tracer.counters.get(name, 0), name
+        tracer.check_closed()
+
+
 class TestMixedChaosBatch:
     def test_every_request_ends_terminal_under_mixed_faults(self):
         """Rate-based chaos across a pooled batch: whatever fires, every

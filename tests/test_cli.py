@@ -61,6 +61,47 @@ def test_list_mentions_sweep(capsys):
     assert "sweep" in capsys.readouterr().out
 
 
+def test_health_report_healthy_board(capsys):
+    assert main(["health-report", "--solves", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "degradation off" in out
+    assert "analog health report" in out
+    assert "seeds_rejected" in out
+
+
+def test_health_report_rejects_bad_degradation_spec():
+    with pytest.raises(SystemExit):
+        main(["health-report", "--degradation", "not_a_knob=1.0"])
+
+
+def test_list_mentions_health_report(capsys):
+    assert main(["list"]) == 0
+    assert "health-report" in capsys.readouterr().out
+
+
+def test_serve_batch_with_degradation(capsys):
+    assert (
+        main(
+            [
+                "serve-batch",
+                "--requests",
+                "2",
+                "--workers",
+                "1",
+                "--seed",
+                "3",
+                "--analog-time-limit",
+                "1e-3",
+                "--degradation",
+                "offset_drift_sigma=0.05,seed=2",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "outcome" in out or "converged" in out
+
+
 def test_requires_command(capsys):
     with pytest.raises(SystemExit):
         main([])

@@ -136,6 +136,139 @@ class TestRuntimeConcurrencyDeterminism:
         assert histogram(serial_tracer) == histogram(pooled_tracer)
 
 
+class TestProcessVariationDeterminism:
+    """One seed is one die — in this process, in any process.
+
+    Die sampling feeds every analog result; if a fresh interpreter drew
+    different mismatch for the same seed, figure reruns and the pooled
+    runtime would silently disagree with serial runs.
+    """
+
+    _DRAW_SNIPPET = (
+        "import hashlib, numpy as np\n"
+        "from repro.analog.calibration import CalibrationConfig, ProcessVariation\n"
+        "from repro.analog.noise import NoiseModel\n"
+        "v = ProcessVariation(NoiseModel(), seed={seed})\n"
+        "g = v.draw_gain_errors(64)\n"
+        "r = v.calibrate(g, CalibrationConfig())\n"
+        "o = v.residual_offsets(64)\n"
+        "print(hashlib.sha256(g.tobytes() + r.tobytes() + o.tobytes()).hexdigest())\n"
+    )
+
+    @staticmethod
+    def _digest_in_this_process(seed):
+        import hashlib
+
+        from repro.analog.calibration import CalibrationConfig, ProcessVariation
+        from repro.analog.noise import NoiseModel
+
+        variation = ProcessVariation(NoiseModel(), seed=seed)
+        gains = variation.draw_gain_errors(64)
+        residuals = variation.calibrate(gains, CalibrationConfig())
+        offsets = variation.residual_offsets(64)
+        return hashlib.sha256(
+            gains.tobytes() + residuals.tobytes() + offsets.tobytes()
+        ).hexdigest()
+
+    def test_same_seed_identical_draws_across_processes(self):
+        """A fresh interpreter reproduces this process's die bitwise."""
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        for seed in (0, 7):
+            child = subprocess.run(
+                [sys.executable, "-c", self._DRAW_SNIPPET.format(seed=seed)],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            assert child.stdout.strip() == self._digest_in_this_process(seed)
+
+    def test_different_seeds_are_different_dies(self):
+        assert self._digest_in_this_process(0) != self._digest_in_this_process(1)
+
+    def test_degradation_walk_is_schedule_order_independent(self):
+        """The drift walk is keyed by (seed, purpose, step, component),
+        so two schedules reach identical state even when one of them
+        ages two boards alternately — process and interleaving are
+        never inputs to the walk."""
+        from repro.analog.fabric import Fabric
+        from repro.analog.health import DegradationModel, DegradationSchedule
+
+        model = DegradationModel(gain_drift_sigma=0.01, offset_drift_sigma=0.02, seed=21)
+
+        def fresh_fabric(schedule):
+            fabric = Fabric(num_chips=2, seed=0, degradation=schedule)
+            fabric.calibrate()
+            return fabric
+
+        straight = DegradationSchedule(model)
+        board = fresh_fabric(straight)
+        for _ in range(4):
+            straight.advance(board)
+
+        interleaved = DegradationSchedule(model)
+        board_a = fresh_fabric(interleaved)
+        board_b = fresh_fabric(interleaved)
+        for step in range(4):
+            interleaved.advance(board_a if step % 2 == 0 else board_b)
+
+        assert straight.gain_drift == interleaved.gain_drift
+        assert straight.offset_drift == interleaved.offset_drift
+
+
+class TestDegradedRuntimeConcurrencyDeterminism:
+    """Degradation must not break the workers=1 == workers=4 guarantee.
+
+    Each attempt's :class:`DegradationSchedule` is seeded by
+    ``stable_seed(runtime_seed, request_id, attempt, "degradation")``
+    and lives inside the attempt, so pooled and serial batches age
+    their boards identically.
+    """
+
+    @staticmethod
+    def _batch(workers):
+        from repro.analog.health import DegradationModel
+
+        requests = [
+            SolveRequest(
+                f"drift-{i}",
+                ProblemSpec.burgers(2, 1.0, seed=60 + i),
+                analog_time_limit=1e-3,
+            )
+            for i in range(4)
+        ]
+        tracer = Tracer()
+        runtime = Runtime(
+            workers=workers,
+            seed=77,
+            degradation=DegradationModel(offset_drift_sigma=0.05, seed=3),
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.05),
+        )
+        return runtime.run_batch(requests, tracer=tracer), tracer
+
+    def test_degraded_outcomes_bitwise_identical_across_worker_counts(self):
+        serial, serial_tracer = self._batch(workers=1)
+        pooled, pooled_tracer = self._batch(workers=4)
+        for a, b in zip(serial.outcomes, pooled.outcomes):
+            assert (a.request_id, a.status, a.rung, a.attempt_history) == (
+                b.request_id,
+                b.status,
+                b.rung,
+                b.attempt_history,
+            )
+            assert a.residual_norm == b.residual_norm
+            assert np.array_equal(a.solution, b.solution)
+        for key in ("seeds_rejected", "tiles_quarantined", "recalibrations"):
+            assert serial_tracer.counters.get(key, 0) == pooled_tracer.counters.get(
+                key, 0
+            ), key
+
+
 class TestSeedInTraceManifest:
     def test_cli_trace_records_seed_and_settings(self, tmp_path, capsys):
         path = tmp_path / "trace.jsonl"

@@ -46,6 +46,31 @@ class TestGoldenCli:
     def test_table1_structure_matches_golden(self, capsys, golden):
         golden("table1", _mask_measured_times(_run_cli(["table1"], capsys)))
 
+    def test_health_report_matches_golden(self, capsys, golden):
+        """The degraded-board aging story is fully seeded (die, drift
+        walk, per-solve problems), so the rendered report — ladder
+        verdicts, gate rejections, quarantine and recalibration
+        counters — is pinned byte for byte."""
+        golden(
+            "health_report",
+            _normalize(
+                _run_cli(
+                    [
+                        "health-report",
+                        "--solves",
+                        "4",
+                        "--seed",
+                        "1",
+                        "--degradation",
+                        "offset_drift_sigma=0.1,seed=5",
+                        "--analog-time-limit",
+                        "20",
+                    ],
+                    capsys,
+                )
+            ),
+        )
+
     def test_consecutive_same_seed_runs_identical(self, capsys):
         """Two figure2 runs at the same settings render byte-identically
         (the golden files above are meaningful only if this holds)."""
