@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Kill-and-resume smoke for CI: die mid-run, resume, demand identity.
+
+Two scenarios, both end to end through the CLI in real subprocesses:
+
+* ``serve-batch`` — a journaled batch is killed after N committed
+  outcomes (the ``--crash-after-outcomes`` seam is an ``os._exit``,
+  the same teardown a SIGKILL delivers, at a deterministic point),
+  then resumed with ``--resume``. The resumed run's rendered output
+  must match the never-killed reference byte for byte (elapsed time
+  masked), and the two journals must commit identical outcome records.
+* ``trajectory`` — a checkpointed integration is killed mid-step via
+  ``--crash-at-step`` and resumed; the states hash (a SHA-256 of the
+  raw trajectory bytes) must match the reference.
+
+Exit status 0 means both resumes were bitwise-faithful; any drift
+prints a diff and exits 1.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def run_cli(*argv, expect=0):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    if proc.returncode != expect:
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+        raise SystemExit(
+            f"FAIL: repro {' '.join(argv)} exited {proc.returncode}, expected {expect}"
+        )
+    return proc.stdout
+
+
+def mask(text):
+    return re.sub(r"\d+\.\d+s", "X.XXs", text)
+
+
+def fail(title, expected, actual):
+    print(f"FAIL: {title}")
+    print("--- expected ---")
+    print(expected)
+    print("--- actual ---")
+    print(actual)
+    raise SystemExit(1)
+
+
+def outcome_records(journal_path):
+    """request_id -> committed outcome record (sha-validated lines)."""
+    outcomes = {}
+    for line in Path(journal_path).read_text().splitlines():
+        record = json.loads(line)
+        if record["kind"] == "outcome_committed":
+            outcome = dict(record["outcome"])
+            outcome.pop("elapsed_seconds", None)  # wall clock, legitimately varies
+            outcomes[outcome["request_id"]] = outcome
+    return outcomes
+
+
+def batch_scenario(workdir):
+    args = (
+        "--requests", "50", "--grids", "2", "--seed", "3",
+        "--analog-time-limit", "1e-3",
+    )
+    ref_journal = workdir / "reference.journal"
+    reference = run_cli("serve-batch", *args, "--journal", str(ref_journal))
+
+    victim_journal = workdir / "victim.journal"
+    run_cli(
+        "serve-batch", *args,
+        "--journal", str(victim_journal),
+        "--crash-after-outcomes", "17",
+        expect=9,
+    )
+    resumed = run_cli("serve-batch", "--resume", str(victim_journal))
+
+    if "[17 replayed from journal]" not in resumed:
+        fail("resume did not replay 17 outcomes", "[17 replayed from journal]", resumed)
+    actual = mask(resumed).replace(" [17 replayed from journal]", "")
+    if actual != mask(reference):
+        fail("resumed batch output drifted from reference", mask(reference), actual)
+
+    ref_outcomes = outcome_records(ref_journal)
+    res_outcomes = outcome_records(victim_journal)
+    if set(ref_outcomes) != set(res_outcomes):
+        fail(
+            "journals committed different request sets",
+            sorted(ref_outcomes),
+            sorted(res_outcomes),
+        )
+    for request_id in sorted(ref_outcomes):
+        if ref_outcomes[request_id] != res_outcomes[request_id]:
+            fail(
+                f"outcome record for {request_id} differs",
+                json.dumps(ref_outcomes[request_id], indent=2, sort_keys=True),
+                json.dumps(res_outcomes[request_id], indent=2, sort_keys=True),
+            )
+    print(f"serve-batch kill/resume: {len(ref_outcomes)} outcomes bitwise identical")
+
+
+def trajectory_scenario(workdir):
+    # figure7-scale grid (the paper's largest, 16x16 -> 512 unknowns)
+    args = ("--nx", "16", "--steps", "50", "--checkpoint-every", "10")
+    reference = run_cli(
+        "trajectory", *args, "--checkpoint-dir", str(workdir / "ref-ck")
+    )
+    victim_dir = str(workdir / "victim-ck")
+    run_cli(
+        "trajectory", *args,
+        "--checkpoint-dir", victim_dir,
+        "--crash-at-step", "37",
+        expect=9,
+    )
+    resumed = run_cli("trajectory", *args, "--checkpoint-dir", victim_dir, "--resume")
+
+    def fingerprint(text):
+        return [
+            line
+            for line in text.splitlines()
+            if not line.startswith(("checkpoints:", "resumed from"))
+        ]
+
+    if "resumed from checkpoint" not in resumed:
+        fail("trajectory did not resume from a checkpoint", "resumed from ...", resumed)
+    if fingerprint(resumed) != fingerprint(reference):
+        fail(
+            "resumed trajectory drifted from reference",
+            "\n".join(fingerprint(reference)),
+            "\n".join(fingerprint(resumed)),
+        )
+    print("trajectory kill/resume: states hash bitwise identical")
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="kill-resume-smoke-") as tmp:
+        workdir = Path(tmp)
+        batch_scenario(workdir)
+        trajectory_scenario(workdir)
+    print("kill-and-resume smoke: PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -204,6 +204,33 @@ class DegradationSchedule:
     def __setstate__(self, state):
         self.__dict__.update(state)
 
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-able snapshot of the mutable wear state (the model's
+        parameters live in ``self.model`` and are serialized by the
+        runtime config, not here). Sets become sorted lists so the
+        encoding — and any content hash over it — is deterministic."""
+        return {
+            "seed": self.seed,
+            "step": self.step,
+            "gain_drift": {name: self.gain_drift[name] for name in sorted(self.gain_drift)},
+            "offset_drift": {name: self.offset_drift[name] for name in sorted(self.offset_drift)},
+            "stuck_tiles": sorted(self.stuck_tiles),
+            "dead_dacs": sorted(self.dead_dacs),
+            "resets": self.resets,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Reinstall wear state captured by :meth:`state_dict` (the
+        checkpoint-resume path: a restored board has the same drift
+        walks, stuck tiles, dead DACs and step count as the original)."""
+        self.seed = int(state["seed"])
+        self.step = int(state["step"])
+        self.gain_drift = dict(state.get("gain_drift") or {})
+        self.offset_drift = dict(state.get("offset_drift") or {})
+        self.stuck_tiles = set(state.get("stuck_tiles") or ())
+        self.dead_dacs = set(state.get("dead_dacs") or ())
+        self.resets = int(state.get("resets", 0))
+
     def _draw(self, purpose: str, name: str) -> np.random.Generator:
         return np.random.default_rng(_stable_seed(self.seed, purpose, self.step, name))
 

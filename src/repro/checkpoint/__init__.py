@@ -1,0 +1,74 @@
+"""Durability layer: snapshots, write-ahead journals, graceful shutdown.
+
+Three pieces, one discipline (never lose more than one interval of
+work, never resume from a torn file):
+
+* :mod:`repro.checkpoint.atomic` — crash-safe write primitives and
+  bitwise array/hash codecs;
+* :mod:`repro.checkpoint.snapshot` — periodic trajectory snapshots and
+  :func:`resume_trajectory` (bitwise-identical resume of an
+  interrupted :class:`~repro.pde.timestepping.ImplicitStepper` run);
+* :mod:`repro.checkpoint.journal` — the batch runtime's write-ahead
+  journal and :func:`read_journal` replay;
+* :mod:`repro.checkpoint.signals` — SIGTERM/SIGINT -> checkpointed
+  ``interrupted`` exit instead of a crash.
+
+Exports resolve lazily (PEP 562): :mod:`repro.trace.exporter` imports
+the atomic helpers from here, and eagerly importing the snapshot and
+journal modules (which reach back into the PDE/runtime layers, which
+import trace) would close an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.checkpoint.atomic import (
+    atomic_write_bytes,
+    atomic_write_text,
+    decode_array,
+    encode_array,
+    fsync_directory,
+    payload_digest,
+)
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "decode_array",
+    "encode_array",
+    "fsync_directory",
+    "payload_digest",
+    "GracefulShutdown",
+    "RunInterrupted",
+    "SnapshotError",
+    "TrajectoryCheckpointer",
+    "TrajectorySnapshot",
+    "resume_trajectory",
+    "BatchJournal",
+    "JournalError",
+    "JournalReplay",
+    "read_journal",
+]
+
+_LAZY = {
+    "GracefulShutdown": "repro.checkpoint.signals",
+    "RunInterrupted": "repro.checkpoint.signals",
+    "SnapshotError": "repro.checkpoint.snapshot",
+    "TrajectoryCheckpointer": "repro.checkpoint.snapshot",
+    "TrajectorySnapshot": "repro.checkpoint.snapshot",
+    "resume_trajectory": "repro.checkpoint.snapshot",
+    "BatchJournal": "repro.checkpoint.journal",
+    "JournalError": "repro.checkpoint.journal",
+    "JournalReplay": "repro.checkpoint.journal",
+    "read_journal": "repro.checkpoint.journal",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,128 @@
+"""Crash-safe file primitives for the durability layer.
+
+Every durable artifact in this repo — trajectory snapshots, trace
+exports, golden reference files — is written with the same discipline:
+serialize to a temporary file in the *same directory*, ``fsync`` it,
+then ``os.replace`` onto the final name. On POSIX the rename is atomic,
+so a reader (or a resumed run) only ever sees either the old complete
+file or the new complete file, never a torn half-write. The directory
+is fsynced too where the platform allows, so the rename itself survives
+a power cut.
+
+Append-only journals cannot be renamed into place; for those the
+defense is different: each record is one flushed+fsynced JSON line, and
+the *reader* treats a torn trailing line as "the crash happened here"
+rather than as corruption (see :mod:`repro.checkpoint.journal` and
+:func:`repro.trace.exporter.read_trace`).
+
+Numpy arrays are round-tripped bitwise through base64 of their raw
+little-endian bytes — JSON's shortest-roundtrip float repr would also
+work for scalars, but raw bytes are compact, unambiguous, and make the
+content hash independent of any formatting choice.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_directory",
+    "encode_array",
+    "decode_array",
+    "payload_digest",
+]
+
+PathLike = Union[str, Path]
+
+
+def fsync_directory(directory: PathLike) -> None:
+    """Flush a directory's metadata (the rename) to stable storage.
+
+    Best-effort: some platforms/filesystems refuse ``open`` on a
+    directory; durability then rests on the file-level fsync alone.
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically (tmp + fsync + rename)."""
+    path = Path(path)
+    directory = path.parent
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=str(directory)
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, str(path))
+    except BaseException:
+        # Never leave the temp file behind — a crash mid-write must be
+        # invisible, not a stray .tmp that a directory scan could trip on.
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    fsync_directory(directory)
+    return path
+
+
+def atomic_write_text(path: PathLike, text: str, encoding: str = "utf-8") -> Path:
+    """Write ``text`` to ``path`` atomically."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def encode_array(array: np.ndarray) -> Dict[str, Any]:
+    """Encode a numpy array as a JSON-able dict, bitwise-exact.
+
+    The bytes are the array's C-order little-endian raw buffer, so
+    decode -> encode round trips to the identical base64 string and the
+    snapshot content hash is stable across platforms.
+    """
+    array = np.ascontiguousarray(array)
+    little = array.astype(array.dtype.newbyteorder("<"), copy=False)
+    return {
+        "dtype": little.dtype.str,
+        "shape": list(array.shape),
+        "data": base64.b64encode(little.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(record: Dict[str, Any]) -> np.ndarray:
+    """Inverse of :func:`encode_array`."""
+    raw = base64.b64decode(record["data"])
+    array = np.frombuffer(raw, dtype=np.dtype(record["dtype"]))
+    return array.reshape(tuple(record["shape"])).copy()
+
+
+def payload_digest(payload: Any) -> str:
+    """Canonical SHA-256 content hash of a JSON-able payload.
+
+    The payload is re-serialized with sorted keys and no whitespace, so
+    the digest is a function of the *content* only; validation re-runs
+    the same canonicalization on the parsed payload (JSON floats use
+    shortest-roundtrip repr, so parse -> dump is a fixed point).
+    """
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -1,0 +1,449 @@
+"""Trajectory snapshots: periodic, atomic, hash-validated, resumable.
+
+An :class:`~repro.pde.timestepping.ImplicitStepper` integration is the
+longest-running thing this library does (the Figure 7/8 trajectories
+run hundreds of implicit steps, each a full Newton solve), and before
+this module a crash at step 199 of 200 cost the whole run. The
+:class:`TrajectoryCheckpointer` makes the cost one checkpoint interval:
+
+* every ``every`` steps (and at the final step) it serializes the
+  complete integration state — current level ``y``, elapsed model time
+  ``t``, the BDF2 history level, the per-step Newton records, the
+  aggregated linear stats, the *linear kernel's cached preconditioner*
+  (pickled; without it a resumed run would refactorize from a later
+  Jacobian and diverge in the low bits), and the tracer-counter deltas
+  accumulated so far;
+* each snapshot is one JSON file written atomically (tmp + fsync +
+  rename, :mod:`repro.checkpoint.atomic`) and carries a SHA-256
+  content hash of its payload, so a torn or bit-flipped file is
+  *detected*, counted (``checkpoints_rejected``), and skipped — resume
+  falls back to the newest snapshot that validates;
+* :func:`resume_trajectory` restores the stepper and trajectory from
+  the last valid snapshot and continues via
+  :meth:`~repro.pde.timestepping.ImplicitStepper.continue_run`. The
+  guarantee (enforced by the chaos tier): a run killed at a random
+  step and resumed is bitwise identical to the uninterrupted run —
+  states, Newton records, kernel accounting, trace counters.
+
+Trust note: snapshots embed a pickle of the kernel's preconditioner,
+so — like any pickle — they must only be loaded from directories the
+run itself writes. The content hash defends against *corruption*, not
+against an adversary who can already write to the checkpoint dir.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import re
+from dataclasses import fields as dataclass_fields
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.checkpoint.atomic import (
+    atomic_write_text,
+    decode_array,
+    encode_array,
+    payload_digest,
+)
+from repro.checkpoint.signals import GracefulShutdown, RunInterrupted
+from repro.linalg.kernel import LinearSolverStats
+from repro.nonlinear.newton import NewtonResult
+from repro.pde.timestepping import ImplicitStepper, TrajectoryResult
+from repro.trace.tracer import TracerLike, as_tracer
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "SnapshotError",
+    "TrajectorySnapshot",
+    "TrajectoryCheckpointer",
+    "resume_trajectory",
+]
+
+SNAPSHOT_SCHEMA = 1
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{8})\.json$")
+
+
+class SnapshotError(ValueError):
+    """A snapshot file failed validation (torn write, corruption,
+    schema mismatch). Resume treats this as "skip and fall back"."""
+
+
+def _stats_to_dict(stats: LinearSolverStats) -> Dict[str, int]:
+    return {f.name: getattr(stats, f.name) for f in dataclass_fields(stats)}
+
+
+def _stats_from_dict(record: Dict[str, int]) -> LinearSolverStats:
+    return LinearSolverStats(**record)
+
+
+def _newton_result_to_dict(result: NewtonResult) -> Dict[str, Any]:
+    return {
+        "u": encode_array(result.u),
+        "converged": bool(result.converged),
+        "iterations": int(result.iterations),
+        "residual_norm": float(result.residual_norm),
+        "residual_history": [float(v) for v in result.residual_history],
+        "damping_used": float(result.damping_used),
+        "restarts": int(result.restarts),
+        "total_iterations_including_restarts": int(
+            result.total_iterations_including_restarts
+        ),
+        "linear_stats": _stats_to_dict(result.linear_stats),
+        "total_linear_stats": (
+            None
+            if result.total_linear_stats is None
+            else _stats_to_dict(result.total_linear_stats)
+        ),
+        "failure_reason": result.failure_reason,
+    }
+
+
+def _newton_result_from_dict(record: Dict[str, Any]) -> NewtonResult:
+    return NewtonResult(
+        u=decode_array(record["u"]),
+        converged=record["converged"],
+        iterations=record["iterations"],
+        residual_norm=record["residual_norm"],
+        residual_history=list(record["residual_history"]),
+        damping_used=record["damping_used"],
+        restarts=record["restarts"],
+        total_iterations_including_restarts=record[
+            "total_iterations_including_restarts"
+        ],
+        linear_stats=_stats_from_dict(record["linear_stats"]),
+        total_linear_stats=(
+            None
+            if record["total_linear_stats"] is None
+            else _stats_from_dict(record["total_linear_stats"])
+        ),
+        failure_reason=record["failure_reason"],
+    )
+
+
+class TrajectorySnapshot:
+    """One validated snapshot, parsed back into live state."""
+
+    def __init__(self, payload: Dict[str, Any], path: Optional[Path] = None):
+        self.payload = payload
+        self.path = path
+
+    # -- capture --------------------------------------------------------
+
+    @classmethod
+    def capture(
+        cls,
+        stepper: ImplicitStepper,
+        trajectory: TrajectoryResult,
+        step: int,
+        steps: int,
+        counters: Dict[str, float],
+    ) -> "TrajectorySnapshot":
+        history = stepper.history
+        payload: Dict[str, Any] = {
+            "kind": "trajectory_snapshot",
+            "schema": SNAPSHOT_SCHEMA,
+            "step": int(step),
+            "steps": int(steps),
+            "t": float(step * stepper.dt),
+            "dt": float(stepper.dt),
+            "scheme": stepper.scheme,
+            "dimension": int(stepper.operator.dimension),
+            "y": encode_array(trajectory.states[step]),
+            "states": encode_array(trajectory.states[: step + 1]),
+            "bdf2_history": None if history is None else encode_array(history),
+            "newton_results": [
+                _newton_result_to_dict(result)
+                for result in trajectory.newton_results[:step]
+            ],
+            "linear_stats": _stats_to_dict(trajectory.linear_stats),
+            "kernel_state": base64.b64encode(
+                pickle.dumps(stepper.kernel.checkpoint_state(), protocol=2)
+            ).decode("ascii"),
+            "counters": {name: float(value) for name, value in counters.items()},
+        }
+        return cls(payload)
+
+    # -- persistence ----------------------------------------------------
+
+    def write(self, path: Path) -> Path:
+        envelope = {
+            "schema": SNAPSHOT_SCHEMA,
+            "kind": "trajectory_snapshot",
+            "sha256": payload_digest(self.payload),
+            "payload": self.payload,
+        }
+        atomic_write_text(path, json.dumps(envelope, allow_nan=True) + "\n")
+        self.path = path
+        return path
+
+    @classmethod
+    def load(cls, path: Path) -> "TrajectorySnapshot":
+        """Parse and validate one snapshot file; raises
+        :class:`SnapshotError` on any torn/corrupt/mismatched content."""
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+            envelope = json.loads(text)
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SnapshotError(f"{path}: unreadable snapshot ({exc})") from exc
+        if not isinstance(envelope, dict) or envelope.get("kind") != "trajectory_snapshot":
+            raise SnapshotError(f"{path}: not a trajectory snapshot")
+        if envelope.get("schema") != SNAPSHOT_SCHEMA:
+            raise SnapshotError(
+                f"{path}: snapshot schema {envelope.get('schema')!r} != {SNAPSHOT_SCHEMA}"
+            )
+        payload = envelope.get("payload")
+        expected = envelope.get("sha256")
+        if not isinstance(payload, dict) or not isinstance(expected, str):
+            raise SnapshotError(f"{path}: malformed snapshot envelope")
+        actual = payload_digest(payload)
+        if actual != expected:
+            raise SnapshotError(
+                f"{path}: content hash mismatch (stored {expected[:12]}..., "
+                f"recomputed {actual[:12]}...)"
+            )
+        return cls(payload, path=Path(path))
+
+    # -- restoration ----------------------------------------------------
+
+    @property
+    def step(self) -> int:
+        return int(self.payload["step"])
+
+    @property
+    def counters(self) -> Dict[str, float]:
+        return dict(self.payload.get("counters", {}))
+
+    def restore_stepper(self, stepper: ImplicitStepper) -> None:
+        """Reinstall stepper-side state (scheme compatibility checked)."""
+        if stepper.scheme != self.payload["scheme"]:
+            raise SnapshotError(
+                f"snapshot was taken with scheme {self.payload['scheme']!r}, "
+                f"stepper uses {stepper.scheme!r}"
+            )
+        if stepper.operator.dimension != self.payload["dimension"]:
+            raise SnapshotError(
+                f"snapshot dimension {self.payload['dimension']} != "
+                f"operator dimension {stepper.operator.dimension}"
+            )
+        if abs(stepper.dt - self.payload["dt"]) > 0.0:
+            raise SnapshotError(
+                f"snapshot dt {self.payload['dt']} != stepper dt {stepper.dt}"
+            )
+        history = self.payload["bdf2_history"]
+        stepper.restore_history(None if history is None else decode_array(history))
+        kernel_state = pickle.loads(base64.b64decode(self.payload["kernel_state"]))
+        stepper.kernel.restore_checkpoint_state(kernel_state)
+
+    def restore_trajectory(self, steps: int) -> TrajectoryResult:
+        """Rebuild the trajectory prefix into a full-size result."""
+        prefix = decode_array(self.payload["states"])
+        if steps < self.step:
+            raise SnapshotError(
+                f"snapshot is at step {self.step}, cannot resume a {steps}-step run"
+            )
+        states = np.empty((steps + 1, prefix.shape[1]))
+        states[: self.step + 1] = prefix
+        return TrajectoryResult(
+            states=states,
+            newton_results=[
+                _newton_result_from_dict(record)
+                for record in self.payload["newton_results"]
+            ],
+            linear_stats=_stats_from_dict(self.payload["linear_stats"]),
+        )
+
+
+class TrajectoryCheckpointer:
+    """Periodic snapshot writer + resume reader for one checkpoint dir.
+
+    Parameters
+    ----------
+    directory:
+        Where snapshots live (created on first save). One trajectory
+        per directory.
+    every:
+        Snapshot every N completed steps; the final step is always
+        snapshotted so a completed run leaves a terminal snapshot.
+    keep:
+        Retain the newest ``keep`` snapshots (older ones are pruned
+        after each successful save). Keeping more than one is the
+        defense in depth behind hash validation: if the newest file is
+        corrupt, resume falls back to the one before it.
+    shutdown:
+        Optional :class:`~repro.checkpoint.signals.GracefulShutdown`;
+        when a SIGTERM/SIGINT has been received, the checkpointer
+        flushes a final snapshot after the current step and raises
+        :class:`~repro.checkpoint.signals.RunInterrupted`.
+    crash_at_step:
+        Chaos seam: ``os._exit(9)`` at the *start* of this step's
+        bookkeeping, simulating a SIGKILL at a deterministic point
+        (used by the kill-and-resume suites; never set in production).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        every: int = 10,
+        keep: int = 3,
+        shutdown: Optional[GracefulShutdown] = None,
+        crash_at_step: Optional[int] = None,
+    ):
+        if every < 1:
+            raise ValueError("every must be at least 1")
+        if keep < 1:
+            raise ValueError("keep must be at least 1")
+        self.directory = Path(directory)
+        self.every = int(every)
+        self.keep = int(keep)
+        self.shutdown = shutdown
+        self.crash_at_step = crash_at_step
+        self.saved = 0
+        self.rejected = 0
+        self._baseline_counters: Dict[str, float] = {}
+
+    # -- write side -----------------------------------------------------
+
+    def begin(self, tracer: TracerLike) -> None:
+        """Record the tracer-counter baseline so snapshots carry only
+        the deltas accumulated by *this* trajectory."""
+        self._baseline_counters = dict(getattr(tracer, "counters", {}) or {})
+
+    def _counter_delta(self, tracer: TracerLike) -> Dict[str, float]:
+        current = getattr(tracer, "counters", {}) or {}
+        delta = {}
+        for name, value in current.items():
+            base = self._baseline_counters.get(name, 0)
+            if value != base:
+                delta[name] = value - base
+        return delta
+
+    def snapshot_path(self, step: int) -> Path:
+        return self.directory / f"snapshot-{step:08d}.json"
+
+    def after_step(
+        self,
+        stepper: ImplicitStepper,
+        trajectory: TrajectoryResult,
+        step: int,
+        steps: int,
+        tracer: TracerLike,
+    ) -> None:
+        """Called by the stepper after every completed step."""
+        if self.crash_at_step is not None and step >= self.crash_at_step:
+            os._exit(9)  # chaos seam: a SIGKILL would land exactly here
+        interrupted = self.shutdown is not None and self.shutdown.requested
+        if step % self.every == 0 or step == steps or interrupted:
+            self.save(stepper, trajectory, step, steps, tracer)
+        if interrupted:
+            exc = RunInterrupted(
+                f"shutdown requested; trajectory checkpointed at step {step}/{steps}"
+            )
+            # Give the caller what it needs to report the partial run
+            # without re-reading the snapshot it just flushed.
+            exc.step = step
+            exc.trajectory = trajectory
+            raise exc
+
+    def save(
+        self,
+        stepper: ImplicitStepper,
+        trajectory: TrajectoryResult,
+        step: int,
+        steps: int,
+        tracer: Optional[TracerLike] = None,
+    ) -> Path:
+        tracer = as_tracer(tracer)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        # Bump before capture: the count rides inside the snapshot's own
+        # counter delta, so a resumed run's checkpoints_written equals
+        # the uninterrupted run's (snapshot steps are deterministic).
+        tracer.counter("checkpoints_written")
+        snapshot = TrajectorySnapshot.capture(
+            stepper, trajectory, step, steps, self._counter_delta(tracer)
+        )
+        path = snapshot.write(self.snapshot_path(step))
+        self.saved += 1
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        existing = self.list_snapshots()
+        for _step, path in existing[: -self.keep]:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # -- read side ------------------------------------------------------
+
+    def list_snapshots(self) -> List[Tuple[int, Path]]:
+        """(step, path) pairs, ascending by step."""
+        if not self.directory.is_dir():
+            return []
+        found = []
+        for entry in self.directory.iterdir():
+            match = _SNAPSHOT_RE.match(entry.name)
+            if match:
+                found.append((int(match.group(1)), entry))
+        return sorted(found)
+
+    def load_latest(
+        self, tracer: Optional[TracerLike] = None
+    ) -> Optional[TrajectorySnapshot]:
+        """Newest snapshot that validates; torn/corrupt files are
+        counted (``checkpoints_rejected``) and skipped, never fatal."""
+        tracer = as_tracer(tracer)
+        for _step, path in reversed(self.list_snapshots()):
+            try:
+                return TrajectorySnapshot.load(path)
+            except SnapshotError:
+                self.rejected += 1
+                tracer.counter("checkpoints_rejected")
+        return None
+
+
+_UNLOADED = object()  # sentinel: resume_trajectory should load the snapshot itself
+
+
+def resume_trajectory(
+    stepper: ImplicitStepper,
+    y0: np.ndarray,
+    steps: int,
+    checkpoint: TrajectoryCheckpointer,
+    tracer: Optional[TracerLike] = None,
+    snapshot: Any = _UNLOADED,
+) -> TrajectoryResult:
+    """Run (or resume) a trajectory against a checkpoint directory.
+
+    With no valid snapshot present this is exactly ``stepper.run``;
+    otherwise the stepper and trajectory are restored from the newest
+    valid snapshot (its tracer-counter deltas re-applied, so resumed
+    counters match an uninterrupted run) and the integration continues
+    from the following step. Either way the result is bitwise identical
+    to a never-interrupted ``stepper.run(y0, steps)``.
+
+    Callers that already called ``checkpoint.load_latest`` (to report
+    the resume point, say) pass the result as ``snapshot`` — including
+    ``None`` for "nothing valid" — so corrupt files are not re-counted
+    by a second scan.
+    """
+    tracer = as_tracer(tracer)
+    if snapshot is _UNLOADED:
+        snapshot = checkpoint.load_latest(tracer)
+    if snapshot is None:
+        return stepper.run(y0, steps, tracer=tracer, checkpoint=checkpoint)
+    snapshot.restore_stepper(stepper)
+    trajectory = snapshot.restore_trajectory(steps)
+    if getattr(tracer, "active", False) and snapshot.counters:
+        tracer.absorb([], counters=snapshot.counters)
+    checkpoint.begin(tracer)
+    if snapshot.step >= steps:
+        return trajectory
+    return stepper.continue_run(
+        trajectory, snapshot.step + 1, steps, tracer=tracer, checkpoint=checkpoint
+    )

@@ -7,6 +7,10 @@
     python -m repro figure7 --nx 20 --trace /tmp/figure7.jsonl
     python -m repro sweep --experiments figure7,figure8 --workers 2
     python -m repro serve-batch --requests 8 --workers 4 --trace /tmp/batch.jsonl
+    python -m repro serve-batch --requests 50 --journal /tmp/batch.journal
+    python -m repro serve-batch --resume /tmp/batch.journal
+    python -m repro trajectory --nx 8 --steps 40 --checkpoint-dir /tmp/ck
+    python -m repro trajectory --nx 8 --steps 40 --checkpoint-dir /tmp/ck --resume
     python -m repro trace-summary /tmp/batch.jsonl
 
 Each command runs the corresponding experiment driver and prints the
@@ -22,6 +26,17 @@ runs one persistent board through a sequence of solves and renders the
 analog health layer's verdict (tile statistics, seed-gate rejections,
 quarantines, recalibrations).
 
+Durability (:mod:`repro.checkpoint`): ``serve-batch --journal PATH``
+appends a write-ahead journal of the batch — accepted requests,
+started attempts, committed outcomes — and ``serve-batch --resume
+PATH`` replays a killed run's completed outcomes without re-solving
+and re-enqueues whatever was in flight, bitwise identical to a run
+that was never killed. ``trajectory`` integrates a Burgers trajectory
+with periodic atomic snapshots (``--checkpoint-dir``) and the matching
+``--resume``. Both commands trap SIGTERM/SIGINT and shut down
+gracefully: a final snapshot/journal record is flushed and the trace
+manifest marks the run ``interrupted``.
+
 The solver-backed figures (7/8/9) and ``sweep`` accept ``--trace PATH``
 to record a structured JSONL trace of the run — a run manifest (grid,
 Reynolds, seed, code version) followed by every solver span and counter
@@ -34,6 +49,8 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+import numpy as np
 
 from repro.experiments import (
     run_figure2,
@@ -49,7 +66,9 @@ from repro.experiments import (
     run_table5,
 )
 from repro.experiments.parallel import SWEEP_RUNNERS, run_parallel_sweep
+from repro.experiments.trajectory import run_trajectory
 from repro.analog.health import DegradationModel
+from repro.checkpoint import BatchJournal, GracefulShutdown, read_journal
 from repro.runtime import (
     FAULT_KINDS,
     FaultInjector,
@@ -201,6 +220,64 @@ def _build_parser() -> argparse.ArgumentParser:
         "(lists ';'-separated: stuck_tiles=chip0.tile1;chip0.tile3)",
     )
 
+    serve.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="append a write-ahead journal of the batch to PATH; a "
+        "killed run can be resumed with --resume PATH",
+    )
+    serve.add_argument(
+        "--resume",
+        metavar="JOURNAL",
+        default=None,
+        help="resume a killed batch from its journal: completed "
+        "outcomes are replayed without re-solving, in-flight requests "
+        "are re-enqueued, and the runtime (seed, faults, degradation) "
+        "is rebuilt from the journal's recorded configuration",
+    )
+    serve.add_argument(
+        "--crash-after-outcomes", type=int, default=None, help=argparse.SUPPRESS
+    )
+
+    traj = sub.add_parser(
+        "trajectory",
+        help="integrate a checkpointed Burgers trajectory (resumable)",
+        parents=[traceable],
+    )
+    traj.add_argument("--nx", type=int, default=8, help="grid size (nx x nx)")
+    traj.add_argument("--steps", type=int, default=40, help="implicit time steps")
+    traj.add_argument("--dt", type=float, default=0.05)
+    traj.add_argument(
+        "--scheme", choices=("crank-nicolson", "implicit-euler", "bdf2"), default="bdf2"
+    )
+    traj.add_argument("--reynolds", type=float, default=1.0)
+    traj.add_argument("--seed", type=int, default=0, help="boundary + initial-state seed")
+    traj.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="snapshot the integration state into DIR (atomic, hash-validated)",
+    )
+    traj.add_argument(
+        "--checkpoint-every", type=int, default=10, help="snapshot every N steps"
+    )
+    traj.add_argument(
+        "--keep", type=int, default=3, help="retain the newest N snapshots"
+    )
+    traj.add_argument(
+        "--resume",
+        action="store_true",
+        help="restart from the newest valid snapshot in --checkpoint-dir",
+    )
+    traj.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="save the trajectory states array to PATH (numpy .npy)",
+    )
+    traj.add_argument("--crash-at-step", type=int, default=None, help=argparse.SUPPRESS)
+
     health = sub.add_parser(
         "health-report",
         help="age one analog board across solves and report its health",
@@ -245,8 +322,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("tables:  table1 table2 table3 table4 table5")
         print("figures: figure2 figure3 figure6 figure7 figure8 figure9")
         print("sweeps:  sweep (parallel: " + " ".join(sorted(SWEEP_RUNNERS)) + ")")
-        print("runtime: serve-batch (fault-tolerant batch solving)")
+        print("runtime: serve-batch (fault-tolerant batch solving; --journal/--resume)")
         print("         health-report (analog board aging + health monitor)")
+        print("         trajectory (checkpointed, crash-resumable integration)")
         print("tools:   trace-summary")
         return 0
     if command == "trace-summary":
@@ -311,41 +389,105 @@ def main(argv: Optional[List[str]] = None) -> int:
             names=args.experiments, max_workers=args.workers, trace_path=args.trace
         )
     elif command == "serve-batch":
+        if args.resume is not None and args.journal is not None:
+            raise SystemExit(
+                "--journal starts a new journal, --resume continues one; "
+                "pass only --resume (it keeps appending to the same file)"
+            )
+        replay = None
+        if args.resume is not None:
+            replay = read_journal(args.resume)
+            runtime = replay.build_runtime(
+                journal=BatchJournal.resume(replay),
+                crash_after_outcomes=args.crash_after_outcomes,
+            )
+            requests = replay.requests
+            tracer = _make_tracer(
+                args.trace,
+                command,
+                requests=len(requests),
+                seed=runtime.seed,
+                resumed_from=str(args.resume),
+            )
+        else:
+            tracer = _make_tracer(
+                args.trace,
+                command,
+                requests=args.requests,
+                grids=list(args.grids),
+                reynolds=args.reynolds,
+                workers=args.workers,
+                seed=args.seed,
+            )
+            requests = [
+                SolveRequest(
+                    request_id=f"req-{index:04d}",
+                    problem=ProblemSpec.burgers(
+                        grid_n=args.grids[index % len(args.grids)],
+                        reynolds=args.reynolds,
+                        seed=args.seed + index,
+                    ),
+                    deadline_seconds=args.deadline,
+                    analog_time_limit=args.analog_time_limit,
+                )
+                for index in range(args.requests)
+            ]
+            runtime = Runtime(
+                workers=args.workers,
+                queue_limit=max(256, args.requests),
+                retry=RetryPolicy(max_attempts=args.max_attempts),
+                seed=args.seed,
+                faults=(
+                    FaultInjector.from_rates(args.faults, seed=args.seed)
+                    if args.faults
+                    else None
+                ),
+                degradation=args.degradation,
+                journal=(BatchJournal(args.journal) if args.journal else None),
+                crash_after_outcomes=args.crash_after_outcomes,
+            )
+        try:
+            with GracefulShutdown() as shutdown:
+                result = runtime.run_batch(
+                    requests, tracer=tracer, resume=replay, shutdown=shutdown
+                )
+        finally:
+            if runtime.journal is not None:
+                runtime.journal.close()
+    elif command == "trajectory":
         tracer = _make_tracer(
             args.trace,
             command,
-            requests=args.requests,
-            grids=list(args.grids),
+            nx=args.nx,
+            steps=args.steps,
+            dt=args.dt,
+            scheme=args.scheme,
             reynolds=args.reynolds,
-            workers=args.workers,
             seed=args.seed,
         )
-        requests = [
-            SolveRequest(
-                request_id=f"req-{index:04d}",
-                problem=ProblemSpec.burgers(
-                    grid_n=args.grids[index % len(args.grids)],
-                    reynolds=args.reynolds,
-                    seed=args.seed + index,
-                ),
-                deadline_seconds=args.deadline,
-                analog_time_limit=args.analog_time_limit,
+        with GracefulShutdown() as shutdown:
+            result = run_trajectory(
+                nx=args.nx,
+                steps=args.steps,
+                dt=args.dt,
+                scheme=args.scheme,
+                reynolds=args.reynolds,
+                seed=args.seed,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+                keep=args.keep,
+                resume=args.resume,
+                tracer=tracer,
+                shutdown=shutdown,
+                crash_at_step=args.crash_at_step,
             )
-            for index in range(args.requests)
-        ]
-        runtime = Runtime(
-            workers=args.workers,
-            queue_limit=max(256, args.requests),
-            retry=RetryPolicy(max_attempts=args.max_attempts),
-            seed=args.seed,
-            faults=(
-                FaultInjector.from_rates(args.faults, seed=args.seed)
-                if args.faults
-                else None
-            ),
-            degradation=args.degradation,
-        )
-        result = runtime.run_batch(requests, tracer=tracer)
+        if tracer is not None:
+            tracer.manifest["status"] = (
+                "interrupted" if result.interrupted_at is not None else "completed"
+            )
+        if args.out is not None:
+            completed = len(result.trajectory.newton_results)
+            np.save(args.out, result.trajectory.states[: completed + 1])
     elif command == "health-report":
         tracer = _make_tracer(
             args.trace,

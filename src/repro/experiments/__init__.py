@@ -19,6 +19,7 @@ from repro.experiments.figure7 import run_figure7
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.figure9 import run_figure9
 from repro.experiments.parallel import run_parallel_sweep
+from repro.experiments.trajectory import run_trajectory
 
 __all__ = [
     "run_table1",
@@ -33,4 +34,5 @@ __all__ = [
     "run_figure8",
     "run_figure9",
     "run_parallel_sweep",
+    "run_trajectory",
 ]

@@ -27,8 +27,9 @@ is now a thin adapter over this class.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+import hashlib
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -103,12 +104,20 @@ class LinearSolverStats:
 
 
 def _pattern_key(matrix: CsrMatrix) -> Tuple:
-    """Fingerprint of the CSR symbolic structure (shape + positions)."""
+    """Fingerprint of the CSR symbolic structure (shape + positions).
+
+    Uses content digests rather than Python's builtin ``hash`` so the
+    key is stable across interpreter restarts (``hash(bytes)`` is
+    salted per process): a kernel state restored from a checkpoint in a
+    fresh process must recognize the same sparsity pattern, or the
+    cached factorization would be silently discarded and the resumed
+    trajectory would diverge bitwise from the uninterrupted one.
+    """
     return (
         matrix.shape,
         matrix.nnz,
-        hash(matrix.indptr.tobytes()),
-        hash(matrix.indices.tobytes()),
+        hashlib.sha1(matrix.indptr.tobytes()).digest(),
+        hashlib.sha1(matrix.indices.tobytes()).digest(),
     )
 
 
@@ -193,6 +202,43 @@ class LinearKernel:
         self._preconditioner = None
         self._pattern = None
         self._reference_iterations = None
+
+    # -- checkpointing ----------------------------------------------------
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        """Everything a resumed run needs to continue *bitwise* where
+        this kernel left off: the cached preconditioner (its
+        factorization arrays), the symbolic pattern it was built for,
+        the reuse-gate reference, and all accounting. Picklable; the
+        trajectory snapshot embeds the pickled bytes.
+        """
+        return {
+            "preconditioner": self._preconditioner,
+            "pattern": self._pattern,
+            "reference_iterations": self._reference_iterations,
+            "factorizations": self.factorizations,
+            "reuses": self.reuses,
+            "refreshes": self.refreshes,
+            "stats": {
+                f.name: getattr(self.stats, f.name)
+                for f in dataclass_fields(self.stats)
+            },
+        }
+
+    def restore_checkpoint_state(self, state: Dict[str, Any]) -> None:
+        """Install a :meth:`checkpoint_state` capture on this kernel.
+
+        The lifetime ``stats`` object is updated *in place* (it may be
+        a sink shared with a driver), never replaced.
+        """
+        self._preconditioner = state["preconditioner"]
+        self._pattern = state["pattern"]
+        self._reference_iterations = state["reference_iterations"]
+        self.factorizations = int(state["factorizations"])
+        self.reuses = int(state["reuses"])
+        self.refreshes = int(state["refreshes"])
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, value)
 
     def _build_preconditioner(self, jacobian: CsrMatrix) -> Optional[Preconditioner]:
         try:

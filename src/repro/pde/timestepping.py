@@ -24,7 +24,7 @@ aggregated inner-solve statistics are available for the cost models.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Union
+from typing import Any, Callable, List, Optional, Union
 
 import numpy as np
 
@@ -44,6 +44,10 @@ __all__ = [
 ]
 
 JacobianLike = Union[np.ndarray, CsrMatrix]
+
+# Duck-typed checkpointer protocol (``begin`` / ``after_step``); kept
+# untyped so the PDE layer never imports the checkpoint package above it.
+TrajectoryCheckpointerLike = Any
 
 
 class SpatialOperator:
@@ -252,6 +256,17 @@ class ImplicitStepper:
         """Forget the BDF2 history level (restart the bootstrap)."""
         self._previous = None
 
+    @property
+    def history(self) -> Optional[np.ndarray]:
+        """The BDF2 history level ``y_{n-1}`` (None before any step)."""
+        return None if self._previous is None else self._previous.copy()
+
+    def restore_history(self, previous: Optional[np.ndarray]) -> None:
+        """Reinstall a checkpointed BDF2 history level."""
+        self._previous = (
+            None if previous is None else np.asarray(previous, dtype=float).copy()
+        )
+
     def _step_system(self, y: np.ndarray) -> NonlinearSystem:
         if self.scheme == "implicit-euler":
             return ImplicitEulerSystem(self.operator, y, self.dt)
@@ -280,9 +295,21 @@ class ImplicitStepper:
         return result
 
     def run(
-        self, y0: np.ndarray, steps: int, tracer: Optional[TracerLike] = None
+        self,
+        y0: np.ndarray,
+        steps: int,
+        tracer: Optional[TracerLike] = None,
+        checkpoint: Optional["TrajectoryCheckpointerLike"] = None,
     ) -> TrajectoryResult:
-        """Integrate ``steps`` time steps from ``y0``."""
+        """Integrate ``steps`` time steps from ``y0``.
+
+        ``checkpoint`` (duck-typed; see
+        :class:`repro.checkpoint.TrajectoryCheckpointer`) periodically
+        snapshots the integration state — current level, BDF2 history,
+        kernel factorization, per-step solver records — so a killed run
+        can be resumed bitwise-identically from the last valid snapshot
+        via :func:`repro.checkpoint.resume_trajectory`.
+        """
         if steps <= 0:
             raise ValueError("steps must be positive")
         tracer = as_tracer(tracer)
@@ -290,10 +317,34 @@ class ImplicitStepper:
         states = np.empty((steps + 1, y.shape[0]))
         states[0] = y
         trajectory = TrajectoryResult(states=states)
-        for index in range(1, steps + 1):
+        if checkpoint is not None:
+            checkpoint.begin(tracer)
+        return self.continue_run(trajectory, 1, steps, tracer=tracer, checkpoint=checkpoint)
+
+    def continue_run(
+        self,
+        trajectory: TrajectoryResult,
+        start_index: int,
+        steps: int,
+        tracer: Optional[TracerLike] = None,
+        checkpoint: Optional["TrajectoryCheckpointerLike"] = None,
+    ) -> TrajectoryResult:
+        """Advance an in-flight trajectory from step ``start_index``.
+
+        The resume path: ``trajectory.states[:start_index]`` and the
+        stepper's BDF2 history/kernel state must already reflect the
+        completed prefix (restored from a snapshot), and the loop picks
+        up exactly where the interrupted run left off.
+        """
+        tracer = as_tracer(tracer)
+        states = trajectory.states
+        y = np.asarray(states[start_index - 1], dtype=float)
+        for index in range(start_index, steps + 1):
             result = self.step(y, tracer=tracer)
             trajectory.newton_results.append(result)
             trajectory.linear_stats.merge(result.linear_stats)
             y = result.u
             states[index] = y
+            if checkpoint is not None:
+                checkpoint.after_step(self, trajectory, index, steps, tracer)
         return trajectory

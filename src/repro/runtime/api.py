@@ -220,6 +220,11 @@ class SolveOutcome:
     iterations: int = 0
     attempt_history: List[str] = field(default_factory=list)
     """Per-attempt statuses in order, e.g. ``["timeout", "converged"]``."""
+    health: Optional[Dict[str, Any]] = None
+    """Final attempt's analog board state
+    (:meth:`~repro.analog.health.DegradationSchedule.state_dict`) when a
+    degradation model was active; rides into the batch journal so a
+    resumed run restores identical board wear."""
 
     def __post_init__(self) -> None:
         if self.status not in TERMINAL_STATUSES:

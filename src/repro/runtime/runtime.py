@@ -44,6 +44,7 @@ returned outcomes.
 from __future__ import annotations
 
 import concurrent.futures
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -51,6 +52,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analog.engine import AnalogAccelerator
 from repro.analog.health import DegradationModel, DegradationSchedule
+from repro.checkpoint.signals import GracefulShutdown, RunInterrupted
 from repro.reporting import ascii_table
 from repro.runtime.api import (
     Deadline,
@@ -97,6 +99,7 @@ class AttemptReport:
     counters: Dict[str, float] = field(default_factory=dict)
     gauges: Dict[str, float] = field(default_factory=dict)
     elapsed: float = 0.0
+    health: Optional[Dict[str, Any]] = None
 
 
 def _execute_attempt(
@@ -134,6 +137,7 @@ def _execute_attempt(
     solution = None
     error: Optional[str] = None
     rungs_tried: Tuple[str, ...] = ()
+    health: Optional[Dict[str, Any]] = None
     try:
         system, guess = request.problem.build()
         schedule = (
@@ -179,6 +183,8 @@ def _execute_attempt(
         rungs_tried = result.rungs_tried
         norm = float(result.residual_norm)
         solution = result.u
+        if schedule is not None:
+            health = schedule.state_dict()
         if result.converged:
             status, rung = "converged", result.rung
             iterations = sum(a.iterations for a in result.attempts)
@@ -210,13 +216,31 @@ def _execute_attempt(
         counters=dict(worker_tracer.counters) if worker_tracer else {},
         gauges=dict(worker_tracer.gauges) if worker_tracer else {},
         elapsed=time.perf_counter() - t0,
+        health=health,
     )
 
 
 class _RequestState:
-    """Parent-side bookkeeping for one request across its attempts."""
+    """Parent-side bookkeeping for one request across its attempts.
 
-    __slots__ = ("request", "attempts_started", "history", "faults", "last_report")
+    ``batch_counters`` / ``trace_counters`` / ``trace_gauges`` attribute
+    every counter bump and absorbed worker metric to the request that
+    caused it — the write-ahead journal commits them with the outcome,
+    so a resumed batch replays each completed request's exact
+    contribution and its totals stay bitwise-identical to an
+    uninterrupted run's.
+    """
+
+    __slots__ = (
+        "request",
+        "attempts_started",
+        "history",
+        "faults",
+        "last_report",
+        "batch_counters",
+        "trace_counters",
+        "trace_gauges",
+    )
 
     def __init__(self, request: SolveRequest):
         self.request = request
@@ -224,17 +248,29 @@ class _RequestState:
         self.history: List[str] = []
         self.faults: List[str] = []
         self.last_report: Optional[AttemptReport] = None
+        self.batch_counters: Dict[str, float] = {}
+        self.trace_counters: Dict[str, float] = {}
+        self.trace_gauges: Dict[str, float] = {}
 
 
 @dataclass
 class BatchResult:
-    """All outcomes of one batch plus how it was executed."""
+    """All outcomes of one batch plus how it was executed.
+
+    ``replayed`` counts outcomes restored from a write-ahead journal
+    rather than re-solved; ``interrupted`` marks a batch cut short by
+    SIGTERM/Ctrl-C — its ``outcomes`` then hold only the requests that
+    reached a terminal state before the shutdown point.
+    """
 
     outcomes: List[SolveOutcome]
     mode: str  # "parallel" or "serial"
     workers: int
     elapsed_seconds: float
     counters: Dict[str, float] = field(default_factory=dict)
+    replayed: int = 0
+    interrupted: bool = False
+    total_requests: Optional[int] = None
 
     def outcome_for(self, request_id: str) -> Optional[SolveOutcome]:
         for outcome in self.outcomes:
@@ -265,10 +301,18 @@ class BatchResult:
         ]
 
     def render(self) -> str:
-        parts = [
+        headline = (
             f"batch of {len(self.outcomes)} request(s), {self.mode} execution "
             f"({self.workers} worker(s)), {self.completed} converged / "
-            f"{self.failed} not, {self.elapsed_seconds:.2f}s",
+            f"{self.failed} not, {self.elapsed_seconds:.2f}s"
+        )
+        if self.replayed:
+            headline += f" [{self.replayed} replayed from journal]"
+        if self.interrupted:
+            total = self.total_requests if self.total_requests is not None else "?"
+            headline += f" [INTERRUPTED: {len(self.outcomes)}/{total} requests terminal]"
+        parts = [
+            headline,
             ascii_table(self.summary_rows()),
         ]
         if self.counters:
@@ -311,6 +355,18 @@ class Runtime:
         ``(seed, request, attempt)`` so worker count never changes the
         drift). A ``degrade_analog`` fault takes precedence for the
         attempts it fires on.
+    journal:
+        Optional write-ahead journal (duck-typed;
+        :class:`repro.checkpoint.BatchJournal`). When set, the runtime
+        appends ``batch_started`` / ``request_accepted`` /
+        ``attempt_started`` / ``outcome_committed`` records around the
+        work it does, so a killed batch resumes via
+        :func:`repro.checkpoint.read_journal` without re-solving
+        completed requests.
+    crash_after_outcomes:
+        Chaos seam: ``os._exit(9)`` immediately after this many
+        outcomes have been journal-committed, simulating a SIGKILL at
+        a deterministic point (kill-and-resume tests only).
     """
 
     def __init__(
@@ -323,6 +379,8 @@ class Runtime:
         ladder_kwargs: Optional[Dict[str, Any]] = None,
         poll_interval: float = 0.02,
         degradation: Optional[DegradationModel] = None,
+        journal: Optional[Any] = None,
+        crash_after_outcomes: Optional[int] = None,
     ):
         if queue_limit < 1:
             raise ValueError("queue_limit must be at least 1")
@@ -334,6 +392,9 @@ class Runtime:
         self.ladder_kwargs = ladder_kwargs
         self.poll_interval = float(poll_interval)
         self.degradation = degradation
+        self.journal = journal
+        self.crash_after_outcomes = crash_after_outcomes
+        self._outcomes_committed = 0
         self._queue: deque = deque()
 
     # -- admission ------------------------------------------------------
@@ -352,12 +413,28 @@ class Runtime:
         self,
         requests: Optional[Sequence[SolveRequest]] = None,
         tracer: Optional[TracerLike] = None,
+        resume: Optional[Any] = None,
+        shutdown: Optional[GracefulShutdown] = None,
     ) -> BatchResult:
         """Run requests (given, plus any previously submitted) to completion.
 
         Every request yields exactly one
         :class:`~repro.runtime.api.SolveOutcome`, in submission order.
         Oversized batches are admitted in queue-bound-sized windows.
+
+        ``resume`` is a :class:`repro.checkpoint.JournalReplay` from a
+        prior run's journal: requests with a committed outcome are
+        *replayed* (outcome, counter deltas and health state restored
+        from the journal, no re-solve); the rest run normally — and
+        because every random stream is keyed by
+        ``stable_seed(seed, request, attempt, ...)``, the combined
+        result is bitwise-identical to the uninterrupted batch.
+
+        ``shutdown`` is a :class:`repro.checkpoint.GracefulShutdown`
+        latch polled between attempts; when it trips, the batch stops
+        at the next safe point, journals ``batch_interrupted``, and
+        returns a partial result with ``interrupted=True`` (Ctrl-C
+        lands on the same path).
         """
         tracer = as_tracer(tracer)
         all_requests = list(self._queue) + list(requests or [])
@@ -375,51 +452,110 @@ class Runtime:
         t0 = time.perf_counter()
         mode = "serial"
         outcomes: Dict[str, SolveOutcome] = {}
+        replayed = 0
+        interrupted = False
+        interrupt_reason: Optional[str] = None
+
+        # Write-ahead: accept everything into the journal before acting.
+        if self.journal is not None:
+            if resume is None:
+                self.journal.batch_started(
+                    self, f"seed{self.seed}-n{len(all_requests)}", len(all_requests)
+                )
+                accepted_ids: set = set()
+            else:
+                accepted_ids = {request.request_id for request in resume.requests}
+            for request in all_requests:
+                if request.request_id not in accepted_ids:
+                    self.journal.request_accepted(request)
+
+        # Replay committed outcomes from the journal: no re-solve, and
+        # their counter deltas restore both BatchResult.counters and the
+        # tracer's totals to what the uninterrupted run would report.
+        if resume is not None:
+            for request in all_requests:
+                entry = resume.replayed_outcome(request.request_id)
+                if entry is None:
+                    continue
+                outcome, batch_counters, trace_counters, trace_gauges = entry
+                outcomes[request.request_id] = outcome
+                for name, value in batch_counters.items():
+                    counts[name] = counts.get(name, 0) + value
+                tracer.absorb([], counters=trace_counters, gauges=trace_gauges)
+                replayed += 1
+            if self.journal is not None:
+                self.journal.batch_resumed(replayed, len(all_requests) - replayed)
+
         with tracer.span(
             "runtime_batch",
             requests=len(all_requests),
             workers=self.workers,
             queue_limit=self.queue_limit,
         ) as batch_span:
-            remaining = list(all_requests)
-            while remaining:
-                window = remaining[: self.queue_limit]
-                remaining = remaining[self.queue_limit :]
-                if self.workers > 1:
-                    window_outcomes, window_mode = self._run_pooled_window(
-                        window, tracer, bump
-                    )
-                else:
-                    window_outcomes, window_mode = self._run_serial_window(
-                        window, tracer, bump
-                    ), "serial"
-                if window_mode == "parallel":
-                    mode = "parallel"
-                outcomes.update(window_outcomes)
+            remaining = [
+                request
+                for request in all_requests
+                if request.request_id not in outcomes
+            ]
+            try:
+                while remaining:
+                    window = remaining[: self.queue_limit]
+                    remaining = remaining[self.queue_limit :]
+                    if self.workers > 1:
+                        window_mode = self._run_pooled_window(
+                            window, tracer, bump, outcomes, shutdown
+                        )
+                    else:
+                        self._run_serial_window(
+                            window, tracer, bump, outcomes, shutdown
+                        )
+                        window_mode = "serial"
+                    if window_mode == "parallel":
+                        mode = "parallel"
+            except (KeyboardInterrupt, RunInterrupted) as exc:
+                interrupted = True
+                interrupt_reason = str(exc) or type(exc).__name__
             batch_span.update(
                 completed=sum(1 for o in outcomes.values() if o.ok),
                 failed=sum(1 for o in outcomes.values() if not o.ok),
                 mode=mode,
             )
+            if interrupted:
+                batch_span.update(interrupted=True)
+            if replayed:
+                batch_span.update(replayed=replayed)
         elapsed = time.perf_counter() - t0
-        ordered = [outcomes[request_id] for request_id in ids]
+        ordered = [outcomes[request_id] for request_id in ids if request_id in outcomes]
+        if self.journal is not None:
+            if interrupted:
+                self.journal.batch_interrupted(interrupt_reason or "interrupted")
+            else:
+                self.journal.batch_completed(
+                    sum(1 for o in ordered if o.ok),
+                    sum(1 for o in ordered if not o.ok),
+                )
         # The failure story survives into the trace manifest: fault and
         # crash totals are what a post-mortem reads first.
         if isinstance(tracer, Tracer):
-            tracer.manifest.setdefault("runtime", {}).update(
-                {
-                    "mode": mode,
-                    "workers": self.workers,
-                    "requests": len(ordered),
-                    **{name: counts[name] for name in sorted(counts)},
-                }
-            )
+            manifest_entry = {
+                "mode": mode,
+                "workers": self.workers,
+                "requests": len(ordered),
+                "status": "interrupted" if interrupted else "completed",
+                **{name: counts[name] for name in sorted(counts)},
+            }
+            if replayed:
+                manifest_entry["replayed"] = replayed
+            tracer.manifest.setdefault("runtime", {}).update(manifest_entry)
         return BatchResult(
             outcomes=ordered,
             mode=mode,
             workers=self.workers if mode == "parallel" else 1,
             elapsed_seconds=elapsed,
             counters=counts,
+            replayed=replayed,
+            interrupted=interrupted,
+            total_requests=len(all_requests),
         )
 
     # -- attempt bookkeeping -------------------------------------------
@@ -431,25 +567,39 @@ class Runtime:
         tracer: TracerLike,
         bump,
     ) -> Tuple[Optional[SolveOutcome], float]:
-        """Record one attempt; returns (terminal outcome | None, retry delay)."""
+        """Record one attempt; returns (terminal outcome | None, retry delay).
+
+        Every bump is mirrored into the request's own counter deltas
+        (``state.batch_counters`` / ``state.trace_counters``) so the
+        journal can commit, per outcome, exactly what this request
+        contributed to the batch totals — the replay path re-applies
+        those deltas instead of re-solving.
+        """
         state.history.append(report.status)
         state.faults.extend(report.faults)
         state.last_report = report
-        bump("runtime_attempts")
+
+        def record(name: str, value: float = 1, tracer_too: bool = True) -> None:
+            bump(name, value, tracer_too)
+            state.batch_counters[name] = state.batch_counters.get(name, 0) + value
+            if tracer_too:
+                state.trace_counters[name] = state.trace_counters.get(name, 0) + value
+
+        record("runtime_attempts")
         if report.status == "timeout":
-            bump("runtime_timeouts")
+            record("runtime_timeouts")
         if report.status == "crashed":
-            bump("worker_crashes")
+            record("worker_crashes")
             state.faults.append("worker_crash")
         if report.faults:
-            bump("runtime_faults", len(report.faults))
+            record("runtime_faults", len(report.faults))
         # Health-layer counters emitted inside the worker reconcile into
         # the manifest/BatchResult totals; absorb() below already merges
         # them into the tracer's counters, so skip the double count.
         for name in ("seeds_rejected", "tiles_quarantined", "recalibrations"):
             value = report.counters.get(name, 0)
             if value:
-                bump(name, value, tracer_too=False)
+                record(name, value, tracer_too=False)
         will_retry = (
             report.status != "converged"
             and state.attempts_started < self.retry.max_attempts
@@ -465,11 +615,15 @@ class Runtime:
         ) as attempt_span:
             if report.spans or report.counters:
                 tracer.absorb(report.spans, report.counters, report.gauges)
+                for name, value in report.counters.items():
+                    state.trace_counters[name] = state.trace_counters.get(name, 0) + value
+                for name, value in report.gauges.items():
+                    state.trace_gauges[name] = float(value)
             if will_retry:
                 delay = self.retry.delay_for(
                     self.seed, state.request.request_id, state.attempts_started
                 )
-                bump("runtime_retries")
+                record("runtime_retries")
                 with tracer.span(
                     "retry",
                     request=state.request.request_id,
@@ -480,9 +634,10 @@ class Runtime:
                 attempt_span.update(retry_scheduled=True)
         if will_retry:
             return None, delay
-        return self._finalize(state, report, bump), 0.0
+        return self._commit(state, report, record), 0.0
 
-    def _finalize(self, state: _RequestState, report: AttemptReport, bump) -> SolveOutcome:
+    def _commit(self, state: _RequestState, report: AttemptReport, record) -> SolveOutcome:
+        """Finalize the outcome and (when journaling) commit it durably."""
         status = report.status
         error = report.error
         if status == "crashed":
@@ -501,26 +656,55 @@ class Runtime:
             elapsed_seconds=report.elapsed,
             iterations=report.iterations,
             attempt_history=list(state.history),
+            health=report.health,
         )
         if outcome.ok:
-            bump("requests_completed")
+            record("requests_completed")
         else:
-            bump("requests_failed")
+            record("requests_failed")
             if outcome.status == "timeout":
-                bump("requests_timed_out")
+                record("requests_timed_out")
+        if self.journal is not None:
+            self.journal.outcome_committed(
+                outcome, state.batch_counters, state.trace_counters, state.trace_gauges
+            )
+        self._outcomes_committed += 1
+        if (
+            self.crash_after_outcomes is not None
+            and self._outcomes_committed >= self.crash_after_outcomes
+        ):
+            os._exit(9)  # chaos seam: SIGKILL right after a commit
         return outcome
+
+    # -- durability hooks ----------------------------------------------
+
+    def _journal_attempt(self, request_id: str, attempt: int) -> None:
+        """Write-ahead: record the attempt before any work happens."""
+        if self.journal is not None:
+            self.journal.attempt_started(request_id, attempt)
+
+    @staticmethod
+    def _check_shutdown(shutdown: Optional[GracefulShutdown]) -> None:
+        if shutdown is not None and shutdown.requested:
+            raise RunInterrupted("shutdown requested")
 
     # -- serial execution ----------------------------------------------
 
     def _run_serial_window(
-        self, window: List[SolveRequest], tracer: TracerLike, bump
+        self,
+        window: List[SolveRequest],
+        tracer: TracerLike,
+        bump,
+        outcomes: Dict[str, SolveOutcome],
+        shutdown: Optional[GracefulShutdown] = None,
     ) -> Dict[str, SolveOutcome]:
-        outcomes: Dict[str, SolveOutcome] = {}
         for request in window:
             state = _RequestState(request)
             while True:
+                self._check_shutdown(shutdown)
                 attempt = state.attempts_started
                 state.attempts_started += 1
+                self._journal_attempt(request.request_id, attempt)
                 try:
                     report = _execute_attempt(
                         request,
@@ -547,20 +731,38 @@ class Runtime:
     # -- pooled execution ----------------------------------------------
 
     def _run_pooled_window(
-        self, window: List[SolveRequest], tracer: TracerLike, bump
-    ) -> Tuple[Dict[str, SolveOutcome], str]:
+        self,
+        window: List[SolveRequest],
+        tracer: TracerLike,
+        bump,
+        outcomes: Dict[str, SolveOutcome],
+        shutdown: Optional[GracefulShutdown] = None,
+    ) -> str:
         """Fan a window over a process pool; degrade to serial if denied.
 
         Sandboxes without fork/semaphores refuse pools (the same
         posture as :func:`repro.experiments.parallel.run_parallel_sweep`)
         — the window then runs serially with identical results.
+
+        A Ctrl-C or shutdown request mid-window terminates the pool's
+        worker processes before propagating: an interrupted parent must
+        never leave orphaned workers grinding on abandoned attempts.
         """
         try:
             executor = concurrent.futures.ProcessPoolExecutor(max_workers=self.workers)
         except Exception:
-            return self._run_serial_window(window, tracer, bump), "serial"
+            self._run_serial_window(window, tracer, bump, outcomes, shutdown)
+            return "serial"
         try:
-            return self._pooled_loop(window, executor, tracer, bump), "parallel"
+            self._pooled_loop(window, executor, tracer, bump, outcomes, shutdown)
+            return "parallel"
+        except (KeyboardInterrupt, RunInterrupted):
+            for process in list(getattr(executor, "_processes", {}).values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+            raise
         finally:
             # wait=False: abandoned (hung) attempts may still be
             # sleeping; their processes exit once they finish.
@@ -572,6 +774,8 @@ class Runtime:
         executor: concurrent.futures.ProcessPoolExecutor,
         tracer: TracerLike,
         bump,
+        outcomes: Dict[str, SolveOutcome],
+        shutdown: Optional[GracefulShutdown] = None,
     ) -> Dict[str, SolveOutcome]:
         """Supervise one window on the pool until every request is terminal.
 
@@ -589,7 +793,6 @@ class Runtime:
         # (request_id, ready_at) admission list, submission order.
         pending: List[Tuple[str, float]] = [(request.request_id, 0.0) for request in window]
         in_flight: Dict[concurrent.futures.Future, Tuple[str, int, Optional[float]]] = {}
-        outcomes: Dict[str, SolveOutcome] = {}
         traced = getattr(tracer, "active", False)
         pooled = True  # flips False once the pool breaks
 
@@ -635,6 +838,7 @@ class Runtime:
             handle(state, report)
 
         while pending or in_flight:
+            self._check_shutdown(shutdown)
             now = time.monotonic()
             # Admit ready work up to pool width (or inline once degraded).
             still_waiting: List[Tuple[str, float]] = []
@@ -645,6 +849,7 @@ class Runtime:
                 state = states[request_id]
                 attempt = state.attempts_started
                 state.attempts_started += 1
+                self._journal_attempt(request_id, attempt)
                 if not pooled:
                     run_in_process(state, attempt)
                     continue

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro.checkpoint.atomic import atomic_write_text
 from repro.trace.tracer import Tracer
 
 __all__ = ["SCHEMA_VERSION", "TraceFile", "write_trace", "read_trace", "merge_traces"]
@@ -51,12 +52,19 @@ def _json_default(value: Any) -> Any:
 
 @dataclass
 class TraceFile:
-    """A parsed trace: manifest plus raw span/counter/gauge records."""
+    """A parsed trace: manifest plus raw span/counter/gauge records.
+
+    ``truncated`` flags a torn trailing line — the signature of a
+    process killed mid-write. The complete records before it are still
+    trustworthy and are returned; tools should surface the flag rather
+    than pretend the file is whole.
+    """
 
     manifest: Dict[str, Any] = field(default_factory=dict)
     spans: List[Dict[str, Any]] = field(default_factory=list)
     counters: Dict[str, float] = field(default_factory=dict)
     gauges: Dict[str, float] = field(default_factory=dict)
+    truncated: bool = False
 
     def spans_named(self, name: str) -> List[Dict[str, Any]]:
         return [span for span in self.spans if span.get("name") == name]
@@ -72,7 +80,12 @@ def write_trace(
     manifest_extra: Optional[Dict[str, Any]] = None,
     check_closed: bool = True,
 ) -> Path:
-    """Export a tracer's records as JSONL; returns the written path."""
+    """Export a tracer's records as JSONL; returns the written path.
+
+    The file is written atomically (tmp + fsync + rename): a crash or
+    SIGKILL mid-export leaves the previous trace (or no file), never a
+    half-written one that a later ``trace-summary`` would choke on.
+    """
     if check_closed:
         tracer.check_closed()
     from repro import __version__
@@ -88,56 +101,65 @@ def write_trace(
         manifest.update(manifest_extra)
 
     path = Path(path)
-    with path.open("w", encoding="utf-8") as handle:
-        handle.write(json.dumps(manifest, default=_json_default) + "\n")
-        for record in tracer.spans:
-            line = dict(record.to_record())
-            line["type"] = "span"
-            handle.write(json.dumps(line, default=_json_default) + "\n")
-        for name in sorted(tracer.counters):
-            handle.write(
-                json.dumps(
-                    {"type": "counter", "name": name, "value": tracer.counters[name]},
-                    default=_json_default,
-                )
-                + "\n"
+    lines = [json.dumps(manifest, default=_json_default)]
+    for record in tracer.spans:
+        line = dict(record.to_record())
+        line["type"] = "span"
+        lines.append(json.dumps(line, default=_json_default))
+    for name in sorted(tracer.counters):
+        lines.append(
+            json.dumps(
+                {"type": "counter", "name": name, "value": tracer.counters[name]},
+                default=_json_default,
             )
-        for name in sorted(tracer.gauges):
-            handle.write(
-                json.dumps(
-                    {"type": "gauge", "name": name, "value": tracer.gauges[name]},
-                    default=_json_default,
-                )
-                + "\n"
+        )
+    for name in sorted(tracer.gauges):
+        lines.append(
+            json.dumps(
+                {"type": "gauge", "name": name, "value": tracer.gauges[name]},
+                default=_json_default,
             )
+        )
+    atomic_write_text(path, "\n".join(lines) + "\n")
     return path
 
 
 def read_trace(path: PathLike) -> TraceFile:
-    """Parse a JSONL trace file (as written by :func:`write_trace`)."""
+    """Parse a JSONL trace file (as written by :func:`write_trace`).
+
+    A torn *final* line — what a kill mid-append leaves behind — is
+    tolerated and reported via ``TraceFile.truncated``; invalid JSON
+    anywhere earlier is real corruption and still raises.
+    """
     trace = TraceFile()
-    with Path(path).open("r", encoding="utf-8") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{line_number}: not valid JSON: {exc}") from exc
-            kind = record.get("type")
-            if kind == "manifest":
-                trace.manifest = record
-            elif kind == "span":
-                trace.spans.append(record)
-            elif kind == "counter":
-                trace.counters[record["name"]] = (
-                    trace.counters.get(record["name"], 0) + record["value"]
-                )
-            elif kind == "gauge":
-                trace.gauges[record["name"]] = record["value"]
-            else:
-                raise ValueError(f"{path}:{line_number}: unknown record type {kind!r}")
+    lines = [
+        (number, line.strip())
+        for number, line in enumerate(
+            Path(path).read_text(encoding="utf-8").splitlines(), start=1
+        )
+        if line.strip()
+    ]
+    for position, (line_number, line) in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if position == len(lines) - 1:
+                trace.truncated = True
+                break
+            raise ValueError(f"{path}:{line_number}: not valid JSON: {exc}") from exc
+        kind = record.get("type")
+        if kind == "manifest":
+            trace.manifest = record
+        elif kind == "span":
+            trace.spans.append(record)
+        elif kind == "counter":
+            trace.counters[record["name"]] = (
+                trace.counters.get(record["name"], 0) + record["value"]
+            )
+        elif kind == "gauge":
+            trace.gauges[record["name"]] = record["value"]
+        else:
+            raise ValueError(f"{path}:{line_number}: unknown record type {kind!r}")
     return trace
 
 
@@ -179,19 +201,18 @@ def merge_traces(paths: Sequence[PathLike], out_path: PathLike) -> TraceFile:
         for name, value in shard.gauges.items():
             merged.gauges[name] = value
 
-    with Path(out_path).open("w", encoding="utf-8") as handle:
-        handle.write(json.dumps(merged.manifest, default=_json_default) + "\n")
-        for span in merged.spans:
-            line = dict(span)
-            line["type"] = "span"
-            handle.write(json.dumps(line, default=_json_default) + "\n")
-        for name in sorted(merged.counters):
-            handle.write(
-                json.dumps({"type": "counter", "name": name, "value": merged.counters[name]})
-                + "\n"
-            )
-        for name in sorted(merged.gauges):
-            handle.write(
-                json.dumps({"type": "gauge", "name": name, "value": merged.gauges[name]}) + "\n"
-            )
+    lines = [json.dumps(merged.manifest, default=_json_default)]
+    for span in merged.spans:
+        line = dict(span)
+        line["type"] = "span"
+        lines.append(json.dumps(line, default=_json_default))
+    for name in sorted(merged.counters):
+        lines.append(
+            json.dumps({"type": "counter", "name": name, "value": merged.counters[name]})
+        )
+    for name in sorted(merged.gauges):
+        lines.append(
+            json.dumps({"type": "gauge", "name": name, "value": merged.gauges[name]})
+        )
+    atomic_write_text(Path(out_path), "\n".join(lines) + "\n")
     return merged

@@ -66,6 +66,12 @@ def render_trace_summary(trace: TraceFile) -> str:
         parts.append(f"manifest: {fields}")
     if trace.manifest.get("shards"):
         parts.append(f"merged from {len(trace.manifest['shards'])} shard trace(s)")
+    if trace.truncated:
+        parts.append(
+            "WARNING: trace file ends in a torn partial line (the writer "
+            "was killed mid-record); totals below cover the complete "
+            "records only"
+        )
 
     if trace.spans:
         parts.append("per-phase breakdown:\n" + ascii_table(phase_rows(trace)))

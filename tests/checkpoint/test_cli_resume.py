@@ -1,0 +1,93 @@
+"""CLI resume flows in-process, with golden output for the resumed batch."""
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+
+
+def _run_cli(argv, capsys):
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+def _normalize(text):
+    masked = re.sub(r"\d+\.\d+s", "X.XXs", text)
+    return "\n".join(line.rstrip() for line in masked.splitlines()) + "\n"
+
+
+def _truncate_after_outcomes(path, keep):
+    lines = path.read_text().splitlines()
+    positions = [
+        i for i, line in enumerate(lines) if json.loads(line)["kind"] == "outcome_committed"
+    ]
+    cut = positions[keep]
+    path.write_text("\n".join(lines[:cut]) + "\n" + lines[cut][:40] + "\n")
+
+
+BATCH = ["serve-batch", "--requests", "5", "--grids", "2", "--analog-time-limit", "0.001"]
+
+
+class TestServeBatchResumeCli:
+    def test_resumed_batch_output_matches_golden(self, tmp_path, capsys, golden):
+        """The full rendered output of a crash-resumed batch is pinned:
+        headline with the replay tag, every outcome row re-solved or
+        replayed bitwise, and the counter table."""
+        journal = tmp_path / "batch.journal"
+        _run_cli(BATCH + ["--journal", str(journal)], capsys)
+        _truncate_after_outcomes(journal, keep=3)
+        resumed = _run_cli(["serve-batch", "--resume", str(journal)], capsys)
+        assert "[3 replayed from journal]" in resumed
+        golden("serve_batch_resume", _normalize(resumed))
+
+    def test_resume_matches_uninterrupted_output(self, tmp_path, capsys):
+        reference = _run_cli(BATCH + ["--journal", str(tmp_path / "a.journal")], capsys)
+        journal = tmp_path / "b.journal"
+        _run_cli(BATCH + ["--journal", str(journal)], capsys)
+        _truncate_after_outcomes(journal, keep=2)
+        resumed = _run_cli(["serve-batch", "--resume", str(journal)], capsys)
+        assert _normalize(resumed).replace(" [2 replayed from journal]", "") == _normalize(
+            reference
+        )
+
+    def test_journal_and_resume_together_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["serve-batch", "--journal", "a", "--resume", "b"])
+
+
+class TestTrajectoryCli:
+    def test_trajectory_output_matches_golden(self, tmp_path, capsys, golden):
+        """The trajectory report is wall-clock-free by design, states
+        hash included, so it is pinned without masking."""
+        out = _run_cli(
+            [
+                "trajectory",
+                "--nx",
+                "4",
+                "--steps",
+                "12",
+                "--checkpoint-every",
+                "4",
+                "--checkpoint-dir",
+                str(tmp_path / "ck"),
+            ],
+            capsys,
+        )
+        golden("trajectory", _normalize(out))
+
+    def test_resume_without_checkpoint_dir_fails(self):
+        with pytest.raises(ValueError, match="checkpoint directory"):
+            main(["trajectory", "--nx", "2", "--steps", "2", "--resume"])
+
+    def test_out_saves_states(self, tmp_path, capsys):
+        import numpy as np
+
+        out_path = tmp_path / "states.npy"
+        _run_cli(
+            ["trajectory", "--nx", "3", "--steps", "4", "--out", str(out_path)],
+            capsys,
+        )
+        states = np.load(out_path)
+        assert states.shape == (5, 18)  # steps+1 rows, 2 * nx * nx columns

@@ -1,0 +1,86 @@
+"""Graceful interruption of the batch runtime (SIGTERM/Ctrl-C path).
+
+These run in-process with a pre-latched :class:`GracefulShutdown` —
+the signal plumbing itself is exercised by the subprocess suite in
+``test_kill_resume.py``; here we pin the runtime's behavior once the
+shutdown flag is up: stop admitting work, keep every already-committed
+outcome, render an INTERRUPTED batch, mark the trace manifest, and
+leave a journal a later ``--resume`` can pick up.
+"""
+
+import pytest
+
+from repro.checkpoint import BatchJournal, GracefulShutdown, read_journal
+from repro.runtime import ProblemSpec, RetryPolicy, Runtime, SolveRequest
+from repro.trace.tracer import Tracer
+
+
+def _requests(count=4):
+    return [
+        SolveRequest(
+            f"req-{i:04d}",
+            ProblemSpec.quadratic(rhs0=1.0 + 0.1 * i),
+            analog_time_limit=1e-3,
+        )
+        for i in range(count)
+    ]
+
+
+def _runtime(**kwargs):
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("seed", 5)
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=2, base_delay=0.001, max_delay=0.002))
+    return Runtime(**kwargs)
+
+
+class TestRuntimeInterrupt:
+    def test_pre_latched_shutdown_yields_interrupted_batch(self):
+        shutdown = GracefulShutdown()
+        shutdown.request()
+        result = _runtime().run_batch(_requests(), shutdown=shutdown)
+        assert result.interrupted
+        assert len(result.outcomes) == 0  # nothing reached a terminal state
+        assert "[INTERRUPTED: 0/4 requests terminal]" in result.render()
+
+    def test_interrupted_run_marks_trace_manifest(self):
+        shutdown = GracefulShutdown()
+        shutdown.request()
+        tracer = Tracer()
+        _runtime().run_batch(_requests(), tracer=tracer, shutdown=shutdown)
+        assert tracer.manifest["runtime"]["status"] == "interrupted"
+        tracer.check_closed()  # every span closed despite the interrupt
+
+    def test_completed_run_marks_trace_manifest_completed(self):
+        tracer = Tracer()
+        result = _runtime().run_batch(_requests(2), tracer=tracer)
+        assert not result.interrupted
+        assert tracer.manifest["runtime"]["status"] == "completed"
+
+    def test_interrupted_journal_is_resumable(self, tmp_path):
+        path = tmp_path / "b.journal"
+        reference = _runtime(journal=BatchJournal(path)).run_batch(_requests())
+        ref_journal = read_journal(path)
+        assert ref_journal.completed
+
+        # Interrupted run against a fresh journal: the interruption is
+        # recorded, and a resume finishes the remaining requests with
+        # outcomes identical to the uninterrupted reference.
+        path2 = tmp_path / "interrupted.journal"
+        shutdown = GracefulShutdown()
+        shutdown.request()
+        runtime = _runtime(journal=BatchJournal(path2))
+        partial = runtime.run_batch(_requests(), shutdown=shutdown)
+        runtime.journal.close()
+        assert partial.interrupted
+
+        replay = read_journal(path2)
+        assert replay.interrupted
+        assert not replay.completed
+        runtime2 = replay.build_runtime(journal=BatchJournal.resume(replay))
+        resumed = runtime2.run_batch(replay.requests, resume=replay)
+        runtime2.journal.close()
+        assert not resumed.interrupted
+        assert [o.residual_norm for o in resumed.outcomes] == [
+            o.residual_norm for o in reference.outcomes
+        ]
+        assert read_journal(path2).completed

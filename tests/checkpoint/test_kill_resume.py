@@ -1,0 +1,180 @@
+"""Kill-and-resume, end to end through the CLI in real subprocesses.
+
+The crash seams (``--crash-at-step`` / ``--crash-after-outcomes``)
+``os._exit(9)`` at a deterministic point — the same teardown a SIGKILL
+delivers (no atexit, no finally blocks, no flushes) without the races
+of signaling a live process. Each scenario then resumes from what the
+dead process left on disk and asserts the output is byte-identical to
+a run that was never killed.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.chaos
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _run_cli(*argv, check=True):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    if check and proc.returncode != 0:
+        raise AssertionError(
+            f"CLI {argv} failed ({proc.returncode}):\n{proc.stdout}\n{proc.stderr}"
+        )
+    return proc
+
+
+TRAJ_ARGS = ("--nx", "4", "--steps", "12", "--checkpoint-every", "4")
+
+
+def _traj_fingerprint(stdout):
+    """The deterministic lines of the trajectory report (everything
+    except the checkpoint bookkeeping, which legitimately differs)."""
+    return [
+        line
+        for line in stdout.splitlines()
+        if not line.startswith(("checkpoints:", "resumed from"))
+    ]
+
+
+class TestTrajectoryKillResume:
+    def test_sigkill_then_resume_is_bitwise_identical(self, tmp_path):
+        reference = _run_cli(
+            "trajectory", *TRAJ_ARGS, "--checkpoint-dir", str(tmp_path / "ref")
+        )
+
+        victim_dir = str(tmp_path / "victim")
+        crashed = _run_cli(
+            "trajectory",
+            *TRAJ_ARGS,
+            "--checkpoint-dir",
+            victim_dir,
+            "--crash-at-step",
+            "7",
+            check=False,
+        )
+        assert crashed.returncode == 9  # died mid-run, as instructed
+
+        resumed = _run_cli(
+            "trajectory", *TRAJ_ARGS, "--checkpoint-dir", victim_dir, "--resume"
+        )
+        assert "resumed from checkpoint at step 4" in resumed.stdout
+        # The headline guarantee: the resumed run's states hash (raw
+        # float bytes of the whole trajectory) matches uninterrupted.
+        assert _traj_fingerprint(resumed.stdout) == _traj_fingerprint(reference.stdout)
+
+    def test_resume_skips_a_corrupted_snapshot(self, tmp_path):
+        reference = _run_cli(
+            "trajectory", *TRAJ_ARGS, "--checkpoint-dir", str(tmp_path / "ref")
+        )
+        victim_dir = tmp_path / "victim"
+        crashed = _run_cli(
+            "trajectory",
+            *TRAJ_ARGS,
+            "--checkpoint-dir",
+            str(victim_dir),
+            "--crash-at-step",
+            "11",
+            check=False,
+        )
+        assert crashed.returncode == 9
+        # Corrupt the newest surviving snapshot: resume must fall back.
+        newest = sorted(victim_dir.glob("snapshot-*.json"))[-1]
+        newest.write_bytes(newest.read_bytes()[:128])
+        resumed = _run_cli(
+            "trajectory", *TRAJ_ARGS, "--checkpoint-dir", str(victim_dir), "--resume"
+        )
+        assert "resumed from checkpoint at step 4" in resumed.stdout
+        assert "1 rejected as corrupt" in resumed.stdout
+        assert _traj_fingerprint(resumed.stdout) == _traj_fingerprint(reference.stdout)
+
+
+BATCH_ARGS = ("--requests", "5", "--grids", "2", "--analog-time-limit", "0.001")
+
+
+def _mask_elapsed(text):
+    import re
+
+    return re.sub(r"\d+\.\d+s", "X.XXs", text)
+
+
+class TestBatchKillResume:
+    def test_crash_mid_batch_then_resume_matches_reference(self, tmp_path):
+        reference = _run_cli(
+            "serve-batch", *BATCH_ARGS, "--journal", str(tmp_path / "ref.journal")
+        )
+
+        journal = tmp_path / "victim.journal"
+        crashed = _run_cli(
+            "serve-batch",
+            *BATCH_ARGS,
+            "--journal",
+            str(journal),
+            "--crash-after-outcomes",
+            "2",
+            check=False,
+        )
+        assert crashed.returncode == 9
+        assert journal.exists()
+
+        resumed = _run_cli("serve-batch", "--resume", str(journal))
+        assert "[2 replayed from journal]" in resumed.stdout
+        expected = _mask_elapsed(reference.stdout)
+        actual = _mask_elapsed(resumed.stdout).replace(" [2 replayed from journal]", "")
+        assert actual == expected
+
+
+class TestGracefulSigterm:
+    def test_sigterm_flushes_snapshot_and_marks_interrupted(self, tmp_path):
+        """A real SIGTERM mid-trajectory: the run checkpoints what it
+        has, reports INTERRUPTED, and the follow-up --resume completes
+        to the exact uninterrupted result."""
+        # Long enough (~2 s) that a SIGTERM sent 1 s in lands mid-run.
+        slow_args = ("--nx", "10", "--steps", "300", "--checkpoint-every", "10")
+        reference = _run_cli(
+            "trajectory", *slow_args, "--checkpoint-dir", str(tmp_path / "ref")
+        )
+        victim_dir = str(tmp_path / "victim")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "trajectory",
+                *slow_args,
+                "--checkpoint-dir",
+                victim_dir,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        time.sleep(1.0)  # let it get past startup and into the stepping loop
+        proc.send_signal(signal.SIGTERM)
+        stdout, _ = proc.communicate(timeout=300)
+        if "INTERRUPTED" not in stdout:
+            pytest.skip("run finished before SIGTERM landed; nothing to interrupt")
+        assert list(Path(victim_dir).glob("snapshot-*.json"))  # flushed a snapshot
+
+        resumed = _run_cli(
+            "trajectory", *slow_args, "--checkpoint-dir", victim_dir, "--resume"
+        )
+        assert _traj_fingerprint(resumed.stdout) == _traj_fingerprint(reference.stdout)

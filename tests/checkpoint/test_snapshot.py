@@ -1,0 +1,223 @@
+"""Trajectory snapshots: save/load/prune, corruption fallback, and the
+headline guarantee — resume is bitwise identical to never crashing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import (
+    GracefulShutdown,
+    RunInterrupted,
+    SnapshotError,
+    TrajectoryCheckpointer,
+    TrajectorySnapshot,
+    resume_trajectory,
+)
+from repro.linalg.sparse import CooBuilder
+from repro.pde.timestepping import ImplicitStepper, SpatialOperator
+from repro.trace.tracer import Tracer
+
+
+def _operator(n=10, kappa=0.7):
+    """1D diffusion with a cubic reaction term (sparse Jacobian)."""
+
+    def apply(y):
+        out = np.empty_like(y)
+        for i in range(n):
+            left = y[i - 1] if i > 0 else 0.0
+            right = y[i + 1] if i < n - 1 else 0.0
+            out[i] = kappa * (2.0 * y[i] - left - right) + y[i] ** 3
+        return out
+
+    def jacobian(y):
+        builder = CooBuilder(n, n)
+        for i in range(n):
+            builder.add(i, i, 2.0 * kappa + 3.0 * y[i] ** 2)
+            if i > 0:
+                builder.add(i, i - 1, -kappa)
+            if i < n - 1:
+                builder.add(i, i + 1, -kappa)
+        return builder.to_csr()
+
+    return SpatialOperator(n, apply=apply, jacobian=jacobian)
+
+
+def _stepper(scheme="bdf2"):
+    return ImplicitStepper(_operator(), dt=0.03, scheme=scheme)
+
+
+Y0 = np.linspace(-0.4, 0.6, 10)
+STEPS = 14
+
+
+def _assert_bitwise_equal(a, b):
+    """Trajectories equal down to the last float bit."""
+    assert a.states.tobytes() == b.states.tobytes()
+    assert len(a.newton_results) == len(b.newton_results)
+    for ra, rb in zip(a.newton_results, b.newton_results):
+        assert ra.u.tobytes() == rb.u.tobytes()
+        assert ra.converged == rb.converged
+        assert ra.iterations == rb.iterations
+        assert ra.residual_norm == rb.residual_norm
+        assert ra.residual_history == rb.residual_history
+        assert ra.linear_stats == rb.linear_stats
+    assert a.linear_stats == b.linear_stats
+
+
+class TestSnapshotLifecycle:
+    def test_periodic_saves_and_final_snapshot(self, tmp_path):
+        checkpoint = TrajectoryCheckpointer(tmp_path, every=4, keep=10)
+        _stepper().run(Y0, STEPS, checkpoint=checkpoint)
+        steps = [step for step, _ in checkpoint.list_snapshots()]
+        assert steps == [4, 8, 12, 14]  # every 4th, plus the final step
+
+    def test_prune_keeps_newest(self, tmp_path):
+        checkpoint = TrajectoryCheckpointer(tmp_path, every=2, keep=3)
+        _stepper().run(Y0, STEPS, checkpoint=checkpoint)
+        steps = [step for step, _ in checkpoint.list_snapshots()]
+        assert steps == [10, 12, 14]
+
+    def test_counters_ride_in_snapshot(self, tmp_path):
+        tracer = Tracer()
+        checkpoint = TrajectoryCheckpointer(tmp_path, every=5, keep=10)
+        _stepper().run(Y0, STEPS, tracer=tracer, checkpoint=checkpoint)
+        snapshot = checkpoint.load_latest()
+        # The snapshot's delta includes its own checkpoints_written bump,
+        # so a resumed run reconstructs the full count.
+        assert snapshot.counters["checkpoints_written"] == checkpoint.saved
+        assert tracer.counters["checkpoints_written"] == checkpoint.saved
+
+    def test_scheme_mismatch_is_rejected(self, tmp_path):
+        checkpoint = TrajectoryCheckpointer(tmp_path, every=5)
+        _stepper("bdf2").run(Y0, STEPS, checkpoint=checkpoint)
+        snapshot = checkpoint.load_latest()
+        with pytest.raises(SnapshotError, match="scheme"):
+            snapshot.restore_stepper(_stepper("implicit-euler"))
+
+
+class TestResumeBitwiseIdentity:
+    @pytest.mark.parametrize("crash_step", [3, 7, 13])
+    @pytest.mark.parametrize("scheme", ["crank-nicolson", "bdf2"])
+    def test_resume_equals_uninterrupted(self, tmp_path, scheme, crash_step):
+        """Kill at any step, resume, and nothing differs — states,
+        Newton records, kernel accounting, trace counters."""
+        tracer_ref = Tracer()
+        reference = _stepper(scheme).run(
+            Y0,
+            STEPS,
+            tracer=tracer_ref,
+            checkpoint=TrajectoryCheckpointer(tmp_path / "ref", every=4, keep=10),
+        )
+
+        # Crashed run: snapshots only exist up to the crash point. Its
+        # tracer dies with it — the snapshots carry the counter deltas.
+        victim_dir = tmp_path / "victim"
+        victim = TrajectoryCheckpointer(victim_dir, every=4, keep=10)
+        _stepper(scheme).run(Y0, STEPS, tracer=Tracer(), checkpoint=victim)
+        for step, path in victim.list_snapshots():
+            if step > crash_step:
+                path.unlink()
+
+        tracer_res = Tracer()
+        resumed = resume_trajectory(
+            _stepper(scheme),
+            Y0,
+            STEPS,
+            TrajectoryCheckpointer(victim_dir, every=4, keep=10),
+            tracer=tracer_res,
+        )
+        _assert_bitwise_equal(reference, resumed)
+        assert tracer_ref.counters == tracer_res.counters
+
+    def test_resume_with_no_snapshot_runs_from_scratch(self, tmp_path):
+        reference = _stepper().run(Y0, STEPS)
+        resumed = resume_trajectory(
+            _stepper(), Y0, STEPS, TrajectoryCheckpointer(tmp_path / "empty", every=4)
+        )
+        _assert_bitwise_equal(reference, resumed)
+
+    def test_resume_of_completed_run_replays_without_stepping(self, tmp_path):
+        checkpoint = TrajectoryCheckpointer(tmp_path, every=4, keep=10)
+        reference = _stepper().run(Y0, STEPS, checkpoint=checkpoint)
+        resumed = resume_trajectory(
+            _stepper(), Y0, STEPS, TrajectoryCheckpointer(tmp_path, every=4, keep=10)
+        )
+        _assert_bitwise_equal(reference, resumed)
+
+
+class TestCorruptionFallback:
+    def _checkpointed_run(self, tmp_path):
+        checkpoint = TrajectoryCheckpointer(tmp_path, every=4, keep=10)
+        reference = _stepper().run(Y0, STEPS, checkpoint=checkpoint)
+        return reference, checkpoint
+
+    def test_truncated_snapshot_is_skipped(self, tmp_path):
+        reference, checkpoint = self._checkpointed_run(tmp_path)
+        newest = checkpoint.list_snapshots()[-1][1]
+        newest.write_text(newest.read_text()[: 200])  # torn write
+        tracer = Tracer()
+        fresh = TrajectoryCheckpointer(tmp_path, every=4, keep=10)
+        snapshot = fresh.load_latest(tracer)
+        assert snapshot.step == 12  # fell back past the torn step-14 file
+        assert fresh.rejected == 1
+        assert tracer.counters["checkpoints_rejected"] == 1
+
+    def test_bitflipped_snapshot_fails_hash_and_is_skipped(self, tmp_path):
+        reference, checkpoint = self._checkpointed_run(tmp_path)
+        newest = checkpoint.list_snapshots()[-1][1]
+        envelope = json.loads(newest.read_text())
+        data = envelope["payload"]["y"]["data"]
+        flipped = ("A" if data[10] != "A" else "B") + data[11:]
+        envelope["payload"]["y"]["data"] = data[:10] + flipped
+        newest.write_text(json.dumps(envelope))
+        fresh = TrajectoryCheckpointer(tmp_path, every=4, keep=10)
+        snapshot = fresh.load_latest()
+        assert snapshot.step == 12
+        assert fresh.rejected == 1
+
+    def test_resume_after_corruption_still_bitwise_identical(self, tmp_path):
+        reference, checkpoint = self._checkpointed_run(tmp_path)
+        for _step, path in checkpoint.list_snapshots()[-2:]:
+            path.write_bytes(path.read_bytes()[:100])
+        tracer = Tracer()
+        resumed = resume_trajectory(
+            _stepper(), Y0, STEPS, TrajectoryCheckpointer(tmp_path, every=4, keep=10),
+            tracer=tracer,
+        )
+        _assert_bitwise_equal(reference, resumed)
+        assert tracer.counters["checkpoints_rejected"] == 2
+
+    def test_all_snapshots_corrupt_restarts_from_scratch(self, tmp_path):
+        reference, checkpoint = self._checkpointed_run(tmp_path)
+        for _step, path in checkpoint.list_snapshots():
+            path.write_text("{not json")
+        resumed = resume_trajectory(
+            _stepper(), Y0, STEPS, TrajectoryCheckpointer(tmp_path, every=4, keep=10)
+        )
+        _assert_bitwise_equal(reference, resumed)
+
+
+class TestGracefulShutdown:
+    def test_shutdown_flushes_snapshot_and_interrupts(self, tmp_path):
+        shutdown = GracefulShutdown()
+        shutdown.request()  # as if SIGTERM already arrived
+        checkpoint = TrajectoryCheckpointer(tmp_path, every=100, shutdown=shutdown)
+        with pytest.raises(RunInterrupted):
+            _stepper().run(Y0, STEPS, checkpoint=checkpoint)
+        # Interrupted after the very first step, with a snapshot flushed
+        # even though the periodic interval never elapsed.
+        assert [step for step, _ in checkpoint.list_snapshots()] == [1]
+
+    def test_interrupted_run_resumes_to_identical_result(self, tmp_path):
+        reference = _stepper().run(Y0, STEPS)
+        shutdown = GracefulShutdown()
+        shutdown.request()
+        with pytest.raises(RunInterrupted):
+            _stepper().run(
+                Y0, STEPS, checkpoint=TrajectoryCheckpointer(tmp_path, shutdown=shutdown)
+            )
+        resumed = resume_trajectory(
+            _stepper(), Y0, STEPS, TrajectoryCheckpointer(tmp_path, every=4, keep=10)
+        )
+        _assert_bitwise_equal(reference, resumed)

@@ -179,8 +179,16 @@ class TestExporter:
         write_trace(tracer, tmp_path / "t.jsonl", check_closed=False)
 
     def test_read_rejects_garbage(self, tmp_path):
+        # An invalid *final* line reads as a torn tail (the writer was
+        # killed mid-append) — flagged, not fatal...
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text("not json\n")
+        trace = read_trace(torn)
+        assert trace.truncated
+        assert not trace.spans
+        # ...but invalid JSON anywhere earlier is real corruption.
         bad = tmp_path / "bad.jsonl"
-        bad.write_text("not json\n")
+        bad.write_text('not json\n{"type": "manifest"}\n')
         with pytest.raises(ValueError, match="not valid JSON"):
             read_trace(bad)
         unknown = tmp_path / "unknown.jsonl"

@@ -1,0 +1,69 @@
+"""Trace files vs dying writers: atomic export, torn-tail tolerance."""
+
+import pytest
+
+from repro.cli import main
+from repro.trace.exporter import read_trace, write_trace
+from repro.trace.tracer import Tracer
+
+
+def _sample_trace(tmp_path):
+    tracer = Tracer(manifest={"command": "test"})
+    with tracer.span("outer"):
+        with tracer.span("inner", iterations=3):
+            pass
+    tracer.counter("solves", 2)
+    tracer.gauge("residual", 1e-9)
+    return write_trace(tracer, tmp_path / "t.jsonl")
+
+
+class TestAtomicExport:
+    def test_no_temp_litter(self, tmp_path):
+        _sample_trace(tmp_path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["t.jsonl"]
+
+    def test_rewrite_replaces_whole_file(self, tmp_path):
+        path = _sample_trace(tmp_path)
+        first = path.read_text()
+        tracer = Tracer(manifest={"command": "second"})
+        tracer.counter("other")
+        write_trace(tracer, path)
+        second = path.read_text()
+        assert second != first
+        assert not read_trace(path).truncated
+
+
+class TestTornTail:
+    def test_torn_final_line_is_tolerated_and_flagged(self, tmp_path):
+        path = _sample_trace(tmp_path)
+        text = path.read_text()
+        lines = text.splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2])
+        trace = read_trace(path)
+        assert trace.truncated
+        # The complete records before the tear are still trusted.
+        assert trace.counters["solves"] == 2
+        assert len(trace.spans) == 2
+
+    def test_corruption_before_the_tail_still_raises(self, tmp_path):
+        path = _sample_trace(tmp_path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:10]  # mangle an interior record
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_trace(path)
+
+    def test_trace_summary_cli_reports_torn_tail(self, tmp_path, capsys):
+        path = _sample_trace(tmp_path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][:7])
+        assert main(["trace-summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "WARNING" in out
+        assert "torn partial line" in out
+        assert "per-phase breakdown" in out  # complete records still summarized
+
+    def test_intact_summary_has_no_warning(self, tmp_path, capsys):
+        path = _sample_trace(tmp_path)
+        assert main(["trace-summary", str(path)]) == 0
+        assert "WARNING" not in capsys.readouterr().out
