@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""CI perf regression gate over two ``BENCH_<n>.json`` reports.
+
+    python scripts/check_bench_regression.py BASELINE.json CANDIDATE.json
+    python scripts/check_bench_regression.py BENCH_5.json BENCH_6.json --work-only
+
+Thin wrapper over :func:`repro.bench.compare_reports` so CI can gate a
+fresh run against the committed trajectory snapshot without invoking
+the full CLI. ``--work-only`` restricts the gate to the deterministic
+work metrics (Newton iterations, linear solves, modeled speedup) —
+wall-clock comparisons against a snapshot committed from different
+hardware are noise, but the work metrics are bitwise reproducible at
+fixed seed and scale.
+
+``--inject-slowdown BENCH:METRIC:FACTOR`` multiplies one candidate
+metric before comparing — the self-test seam CI uses to prove the gate
+actually fails on a seeded regression (a gate that cannot fail is not
+a gate).
+
+Exit codes: 0 ok, 1 regression (or invalid report), 2 reports not
+comparable (scale/seed mismatch).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import (  # noqa: E402  (path bootstrap above)
+    BenchReport,
+    ScaleMismatch,
+    compare_reports,
+)
+from repro.bench.compare import (  # noqa: E402
+    DEFAULT_TIME_TOLERANCE,
+    DEFAULT_WORK_TOLERANCE,
+)
+
+
+def _inject_slowdown(report: BenchReport, spec: str) -> None:
+    """Multiply one metric in place: ``benchmark:metric:factor``."""
+    try:
+        bench_name, metric, factor_text = spec.split(":")
+        factor = float(factor_text)
+    except ValueError:
+        raise SystemExit(f"bad --inject-slowdown spec {spec!r}; want BENCH:METRIC:FACTOR")
+    bench = report.benchmarks.get(bench_name)
+    if bench is None:
+        raise SystemExit(f"--inject-slowdown: no benchmark {bench_name!r} in candidate")
+    if metric == "wall_seconds":
+        bench.wall_seconds *= factor
+        return
+    group, _, key = metric.partition(".")
+    table = {
+        "span_seconds": bench.span_seconds,
+        "span_counts": bench.span_counts,
+        "counters": bench.counters,
+        "work": bench.work,
+    }.get(group)
+    if table is None or key not in table:
+        raise SystemExit(f"--inject-slowdown: no metric {metric!r} on {bench_name!r}")
+    table[key] = type(table[key])(table[key] * factor)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="previous BENCH_<n>.json")
+    parser.add_argument("candidate", help="fresh BENCH_<n>.json to gate")
+    parser.add_argument("--time-tolerance", type=float, default=DEFAULT_TIME_TOLERANCE)
+    parser.add_argument("--work-tolerance", type=float, default=DEFAULT_WORK_TOLERANCE)
+    parser.add_argument(
+        "--work-only",
+        action="store_true",
+        help="gate only deterministic work metrics (cross-machine CI mode)",
+    )
+    parser.add_argument(
+        "--inject-slowdown",
+        metavar="BENCH:METRIC:FACTOR",
+        default=None,
+        help="self-test seam: scale one candidate metric before comparing",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = BenchReport.load(args.baseline)
+        candidate = BenchReport.load(args.candidate)
+    except ValueError as exc:
+        print(f"invalid bench report: {exc}", file=sys.stderr)
+        return 1
+    if args.inject_slowdown:
+        _inject_slowdown(candidate, args.inject_slowdown)
+        print(f"[self-test] injected slowdown: {args.inject_slowdown}")
+    try:
+        comparison = compare_reports(
+            baseline,
+            candidate,
+            time_tolerance=args.time_tolerance,
+            work_tolerance=args.work_tolerance,
+            work_only=args.work_only,
+            baseline_label=args.baseline,
+            candidate_label=args.candidate,
+        )
+    except ScaleMismatch as exc:
+        print(f"bench compare refused: {exc}", file=sys.stderr)
+        return 2
+    print(comparison.render())
+    return 0 if comparison.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""repro.bench: the performance scoreboard (ROADMAP item 3).
+
+Machine-readable benchmark reports plus the regression gate that makes
+"measurably faster" enforceable:
+
+* :mod:`repro.bench.schema` — schema-versioned ``BENCH_<n>.json``
+  reports (wall-clock, :mod:`repro.trace` span sums, counter totals,
+  deterministic work metrics, peak RSS) and the numbered-trajectory
+  file conventions;
+* :mod:`repro.bench.suite` — the fixed suite ``repro bench`` runs: a
+  figure7-scale Burgers trajectory, the figure8 seeding comparison, a
+  ``serve-batch`` soak through :mod:`repro.runtime`, and a
+  ``LinearKernel``/stencil microbench;
+* :mod:`repro.bench.compare` — the hot-path comparator behind
+  ``repro bench --compare`` and ``scripts/check_bench_regression.py``.
+"""
+
+from repro.bench.compare import (
+    DEFAULT_TIME_TOLERANCE,
+    DEFAULT_WORK_TOLERANCE,
+    HOT_PATHS,
+    ComparisonResult,
+    HotPath,
+    MetricComparison,
+    ScaleMismatch,
+    compare_reports,
+)
+from repro.bench.schema import (
+    BENCH_SCHEMA_VERSION,
+    BenchReport,
+    BenchmarkResult,
+    bench_index,
+    latest_bench_path,
+    list_bench_files,
+    next_bench_path,
+    validate_report,
+)
+from repro.bench.suite import (
+    BENCHMARK_NAMES,
+    DEFAULT_SCALE,
+    SCALES,
+    run_bench_suite,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BENCHMARK_NAMES",
+    "DEFAULT_SCALE",
+    "DEFAULT_TIME_TOLERANCE",
+    "DEFAULT_WORK_TOLERANCE",
+    "HOT_PATHS",
+    "SCALES",
+    "BenchReport",
+    "BenchmarkResult",
+    "ComparisonResult",
+    "HotPath",
+    "MetricComparison",
+    "ScaleMismatch",
+    "bench_index",
+    "compare_reports",
+    "latest_bench_path",
+    "list_bench_files",
+    "next_bench_path",
+    "run_bench_suite",
+    "validate_report",
+]

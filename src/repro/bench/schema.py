@@ -1,0 +1,278 @@
+"""Schema-versioned benchmark reports (``BENCH_<n>.json``).
+
+The repo's performance trajectory is a sequence of numbered JSON
+reports at the repository root: ``BENCH_1.json``, ``BENCH_2.json``, …
+— one per PR that cares about speed. Each report is one JSON document:
+
+* ``bench_schema`` — integer version of *this* layout;
+* ``manifest`` — provenance, stamped by the same
+  :func:`repro.trace.exporter.build_manifest` that stamps every trace
+  header (``repro_version``, ``created_unix``, plus the bench command
+  line: scale, seed);
+* ``scale`` / ``seed`` — the suite parameters (reports are only
+  comparable at equal scale and seed);
+* ``benchmarks`` — name → :class:`BenchmarkResult`: wall-clock,
+  per-span-name duration sums and counts from :mod:`repro.trace`,
+  tracer counter totals, deterministic *work* metrics (Newton
+  iterations, linear solves — bitwise reproducible at fixed seed, the
+  cross-machine regression signal), and peak RSS from
+  ``resource.getrusage``.
+
+:func:`validate_report` is the contract the comparator and CI enforce;
+it returns a list of human-readable problems (empty = valid) rather
+than raising, so a gate can show everything wrong at once.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BENCH_FILE_PATTERN",
+    "BenchmarkResult",
+    "BenchReport",
+    "validate_report",
+    "bench_index",
+    "list_bench_files",
+    "latest_bench_path",
+    "next_bench_path",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+# BENCH_<n>.json with a positive integer index.
+BENCH_FILE_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class BenchmarkResult:
+    """One benchmark's measurements.
+
+    ``span_seconds``/``span_counts`` are per-span-name duration sums
+    and record counts from the benchmark's tracer (``linear_solve``,
+    ``analog_settle``, …). ``work`` holds deterministic effort metrics
+    — identical across machines at fixed seed — while ``wall_seconds``
+    and ``span_seconds`` are machine-local timings.
+    """
+
+    name: str
+    wall_seconds: float
+    span_seconds: Dict[str, float] = field(default_factory=dict)
+    span_counts: Dict[str, int] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+    work: Dict[str, float] = field(default_factory=dict)
+    peak_rss_kb: int = 0
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "span_seconds": dict(self.span_seconds),
+            "span_counts": dict(self.span_counts),
+            "counters": dict(self.counters),
+            "work": dict(self.work),
+            "peak_rss_kb": self.peak_rss_kb,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "BenchmarkResult":
+        return cls(
+            name=str(doc["name"]),
+            wall_seconds=float(doc["wall_seconds"]),
+            span_seconds={k: float(v) for k, v in doc.get("span_seconds", {}).items()},
+            span_counts={k: int(v) for k, v in doc.get("span_counts", {}).items()},
+            counters={k: float(v) for k, v in doc.get("counters", {}).items()},
+            work={k: float(v) for k, v in doc.get("work", {}).items()},
+            peak_rss_kb=int(doc.get("peak_rss_kb", 0)),
+            params=dict(doc.get("params", {})),
+        )
+
+    def metric(self, name: str) -> Optional[float]:
+        """Look up one metric by dotted path: ``wall_seconds``,
+        ``span_seconds.linear_solve``, ``work.newton_iterations``,
+        ``counters.runtime_attempts``; None when absent."""
+        if name == "wall_seconds":
+            return float(self.wall_seconds)
+        if name == "peak_rss_kb":
+            return float(self.peak_rss_kb)
+        group, _, key = name.partition(".")
+        table = {
+            "span_seconds": self.span_seconds,
+            "span_counts": self.span_counts,
+            "counters": self.counters,
+            "work": self.work,
+        }.get(group)
+        if table is None or key not in table:
+            return None
+        return float(table[key])
+
+
+@dataclass
+class BenchReport:
+    """One full suite run: manifest plus every benchmark's result."""
+
+    scale: str
+    seed: int
+    manifest: Dict[str, Any] = field(default_factory=dict)
+    benchmarks: Dict[str, BenchmarkResult] = field(default_factory=dict)
+    bench_schema: int = BENCH_SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bench_schema": self.bench_schema,
+            "scale": self.scale,
+            "seed": self.seed,
+            "manifest": dict(self.manifest),
+            "benchmarks": {
+                name: self.benchmarks[name].to_dict()
+                for name in sorted(self.benchmarks)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "BenchReport":
+        problems = validate_report(doc)
+        if problems:
+            raise ValueError("invalid bench report: " + "; ".join(problems))
+        return cls(
+            scale=str(doc["scale"]),
+            seed=int(doc["seed"]),
+            manifest=dict(doc.get("manifest", {})),
+            benchmarks={
+                name: BenchmarkResult.from_dict(bench_doc)
+                for name, bench_doc in doc["benchmarks"].items()
+            },
+            bench_schema=int(doc["bench_schema"]),
+        )
+
+    def save(self, path: PathLike) -> Path:
+        from repro.checkpoint.atomic import atomic_write_text
+
+        path = Path(path)
+        atomic_write_text(
+            path, json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n"
+        )
+        return path
+
+    def render(self) -> str:
+        """Human-readable summary table (the ``repro bench`` output)."""
+        from repro.reporting import ascii_table
+
+        rows = []
+        for name in sorted(self.benchmarks):
+            bench = self.benchmarks[name]
+            rows.append(
+                {
+                    "benchmark": name,
+                    "wall (s)": f"{bench.wall_seconds:.3f}",
+                    "linear_solve (s)": f"{bench.span_seconds.get('linear_solve', 0.0):.3f}",
+                    "analog_settle (s)": f"{bench.span_seconds.get('analog_settle', 0.0):.3f}",
+                    "newton iters": int(bench.work.get("newton_iterations", 0)),
+                    "linear solves": int(bench.work.get("linear_solves", 0)),
+                    "peak RSS (MiB)": f"{bench.peak_rss_kb / 1024:.1f}",
+                }
+            )
+        header = (
+            f"bench suite: scale={self.scale} seed={self.seed} "
+            f"schema={self.bench_schema} repro={self.manifest.get('repro_version', '?')}"
+        )
+        return f"{header}\n\n{ascii_table(rows)}"
+
+    @classmethod
+    def load(cls, path: PathLike) -> "BenchReport":
+        try:
+            doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+        try:
+            return cls.from_dict(doc)
+        except ValueError as exc:
+            raise ValueError(f"{path}: {exc}") from exc
+
+
+def validate_report(doc: Any) -> List[str]:
+    """Structural validation of a bench-report dict; [] when valid."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"report must be a JSON object, got {type(doc).__name__}"]
+    schema = doc.get("bench_schema")
+    if not isinstance(schema, int):
+        problems.append("missing integer 'bench_schema'")
+    elif schema > BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"bench_schema {schema} is newer than this reader "
+            f"({BENCH_SCHEMA_VERSION}); upgrade repro"
+        )
+    if not isinstance(doc.get("scale"), str):
+        problems.append("missing string 'scale'")
+    if not isinstance(doc.get("seed"), int):
+        problems.append("missing integer 'seed'")
+    manifest = doc.get("manifest")
+    if not isinstance(manifest, dict):
+        problems.append("missing object 'manifest'")
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, dict) or not benchmarks:
+        problems.append("missing non-empty object 'benchmarks'")
+        return problems
+    for name, bench_doc in benchmarks.items():
+        if not isinstance(bench_doc, dict):
+            problems.append(f"benchmarks[{name!r}] must be an object")
+            continue
+        if bench_doc.get("name") != name:
+            problems.append(f"benchmarks[{name!r}]: 'name' field disagrees with key")
+        wall = bench_doc.get("wall_seconds")
+        if not isinstance(wall, (int, float)) or wall < 0:
+            problems.append(f"benchmarks[{name!r}]: missing non-negative 'wall_seconds'")
+        for group in ("span_seconds", "span_counts", "counters", "work", "params"):
+            value = bench_doc.get(group, {})
+            if not isinstance(value, dict):
+                problems.append(f"benchmarks[{name!r}]: {group!r} must be an object")
+        for group in ("span_seconds", "span_counts", "counters", "work"):
+            value = bench_doc.get(group, {})
+            if isinstance(value, dict):
+                for key, number in value.items():
+                    if not isinstance(number, (int, float)):
+                        problems.append(
+                            f"benchmarks[{name!r}]: {group}.{key} is not numeric"
+                        )
+    return problems
+
+
+# -- trajectory file management ---------------------------------------
+
+
+def bench_index(path: PathLike) -> Optional[int]:
+    """The ``<n>`` of a ``BENCH_<n>.json`` filename; None otherwise."""
+    match = BENCH_FILE_PATTERN.match(Path(path).name)
+    return int(match.group(1)) if match else None
+
+
+def list_bench_files(root: PathLike = ".") -> List[Tuple[int, Path]]:
+    """All ``BENCH_<n>.json`` files under ``root``, ordered by index."""
+    found = []
+    for path in Path(root).glob("BENCH_*.json"):
+        index = bench_index(path)
+        if index is not None:
+            found.append((index, path))
+    return sorted(found)
+
+
+def latest_bench_path(root: PathLike = ".") -> Optional[Path]:
+    files = list_bench_files(root)
+    return files[-1][1] if files else None
+
+
+def next_bench_path(root: PathLike = ".") -> Path:
+    """The next free slot in the trajectory (``BENCH_<latest+1>.json``)."""
+    files = list_bench_files(root)
+    next_index = files[-1][0] + 1 if files else 1
+    return Path(root) / f"BENCH_{next_index}.json"

@@ -1,0 +1,334 @@
+"""The fixed benchmark suite behind ``repro bench``.
+
+Four benchmarks, each exercising one layer the roadmap's speed work
+lands in, each traced with its own :class:`repro.trace.Tracer` so the
+report can separate *where the time went* (``linear_solve`` /
+``analog_settle`` span sums) from *how much work was done* (Newton
+iterations, linear solves — deterministic at fixed seed):
+
+* ``trajectory`` — a figure7-scale implicit Burgers trajectory through
+  :func:`repro.experiments.trajectory.run_trajectory` (the method-of-
+  lines path every speed PR must not regress);
+* ``figure8_seeding`` — the paper's baseline-vs-analog-seeded
+  comparison (:func:`repro.experiments.figure8.run_figure8`), whose
+  modeled speedup is the headline claim;
+* ``serve_batch`` — a batch soak through the fault-tolerant
+  :class:`repro.runtime.Runtime` (admission, ladder, absorbed worker
+  traces);
+* ``kernel_micro`` — the hot-loop microbench: ``csr_from_triplets``
+  stencil assembly, CSR matvec, and cached-preconditioner
+  :class:`~repro.linalg.kernel.LinearKernel` solves.
+
+Scales (``--scale``): ``smoke`` is the committed-trajectory /
+CI-comparable size (tens of seconds); ``full`` is the deeper local
+size. Reports are only comparable at equal scale and seed.
+
+Peak RSS comes from ``resource.getrusage(RUSAGE_SELF)`` — a
+process-lifetime high-water mark, so per-benchmark values are
+non-decreasing in suite order; the last benchmark's value is the
+suite's peak.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from repro.bench.schema import BENCH_SCHEMA_VERSION, BenchReport, BenchmarkResult
+from repro.trace.exporter import build_manifest
+from repro.trace.tracer import Tracer
+
+try:  # POSIX only; Windows gets peak_rss_kb = 0 rather than a crash.
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX
+    resource = None  # type: ignore[assignment]
+
+__all__ = ["SCALES", "DEFAULT_SCALE", "BENCHMARK_NAMES", "run_bench_suite"]
+
+DEFAULT_SCALE = "smoke"
+
+# Per-benchmark parameters at each scale. "smoke" is what the committed
+# BENCH_<n>.json trajectory and the CI gate run; "full" is the deeper
+# local suite (same benchmarks, bigger grids / more repetitions).
+SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
+    "smoke": {
+        "trajectory": {"nx": 8, "steps": 24, "dt": 0.05, "scheme": "bdf2", "reynolds": 1.0},
+        "figure8_seeding": {"grid_n": 8, "reynolds": (0.25, 1.0), "trials": 2},
+        "serve_batch": {
+            "requests": 6,
+            "grids": (2, 4),
+            "reynolds": 1.0,
+            "max_attempts": 2,
+            "analog_time_limit": 20.0,
+        },
+        "kernel_micro": {"grid_n": 16, "assemblies": 100, "solves": 100},
+    },
+    "full": {
+        "trajectory": {"nx": 16, "steps": 20, "dt": 0.05, "scheme": "bdf2", "reynolds": 1.0},
+        "figure8_seeding": {"grid_n": 16, "reynolds": (0.25, 1.0, 2.0), "trials": 3},
+        "serve_batch": {
+            "requests": 16,
+            "grids": (2, 4, 8),
+            "reynolds": 1.0,
+            "max_attempts": 2,
+            "analog_time_limit": 60.0,
+        },
+        "kernel_micro": {"grid_n": 24, "assemblies": 200, "solves": 200},
+    },
+}
+
+BENCHMARK_NAMES = ("trajectory", "figure8_seeding", "serve_batch", "kernel_micro")
+
+
+def _peak_rss_kb() -> int:
+    """Process peak resident set size in KiB (0 where unavailable)."""
+    if resource is None:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux but bytes on macOS.
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        peak //= 1024
+    return int(peak)
+
+
+def _measure(
+    name: str,
+    params: Dict[str, Any],
+    seed: int,
+    body: Callable[[Tracer], Dict[str, float]],
+) -> BenchmarkResult:
+    """Run one benchmark body under a fresh tracer and package it.
+
+    The body receives the tracer, does the work, and returns its
+    deterministic ``work`` metrics; wall-clock, span sums/counts,
+    counter totals and peak RSS are collected here so every benchmark
+    reports the same shape.
+    """
+    tracer = Tracer(manifest={"benchmark": name})
+    t0 = time.perf_counter()
+    work = body(tracer)
+    wall = time.perf_counter() - t0
+    tracer.check_closed()
+    names = sorted({record.name for record in tracer.spans})
+    return BenchmarkResult(
+        name=name,
+        wall_seconds=wall,
+        span_seconds={span: tracer.total_duration(span) for span in names},
+        span_counts={span: len(tracer.spans_named(span)) for span in names},
+        counters=dict(tracer.counters),
+        work={key: float(value) for key, value in work.items()},
+        peak_rss_kb=_peak_rss_kb(),
+        params={**params, "seed": seed},
+    )
+
+
+# -- benchmark bodies -------------------------------------------------
+
+
+def _bench_trajectory(params: Dict[str, Any], seed: int) -> BenchmarkResult:
+    from repro.experiments.trajectory import run_trajectory
+
+    def body(tracer: Tracer) -> Dict[str, float]:
+        run = run_trajectory(
+            nx=params["nx"],
+            steps=params["steps"],
+            dt=params["dt"],
+            scheme=params["scheme"],
+            reynolds=params["reynolds"],
+            seed=seed,
+            tracer=tracer,
+        )
+        stats = run.trajectory.linear_stats
+        return {
+            "newton_iterations": run.trajectory.total_newton_iterations,
+            "linear_solves": stats.solves,
+            "inner_iterations": stats.inner_iterations,
+            "preconditioner_builds": stats.preconditioner_builds,
+            "steps_converged": sum(
+                1 for result in run.trajectory.newton_results if result.converged
+            ),
+        }
+
+    return _measure("trajectory", params, seed, body)
+
+
+def _bench_figure8(params: Dict[str, Any], seed: int) -> BenchmarkResult:
+    from repro.experiments.figure8 import run_figure8
+
+    def body(tracer: Tracer) -> Dict[str, float]:
+        result = run_figure8(
+            grid_n=params["grid_n"],
+            reynolds_values=tuple(params["reynolds"]),
+            trials=params["trials"],
+            seed=seed,
+            tracer=tracer,
+        )
+        stats = result.kernel_stats
+        rows = result.rows_data
+        baseline = float(np.mean([row["baseline digital (s)"] for row in rows])) if rows else 0.0
+        seeded = float(np.mean([row["seeded digital (s)"] for row in rows])) if rows else 0.0
+        return {
+            "linear_solves": stats.solves if stats else 0,
+            "inner_iterations": stats.inner_iterations if stats else 0,
+            "rows": len(rows),
+            # Cost-model outputs: deterministic functions of measured
+            # iteration counts, i.e. cross-machine comparable.
+            "modeled_baseline_s": baseline,
+            "modeled_seeded_s": seeded,
+            "modeled_speedup": baseline / seeded if seeded > 0 else 0.0,
+        }
+
+    return _measure("figure8_seeding", params, seed, body)
+
+
+def _bench_serve_batch(params: Dict[str, Any], seed: int) -> BenchmarkResult:
+    from repro.runtime import ProblemSpec, RetryPolicy, Runtime, SolveRequest
+
+    def body(tracer: Tracer) -> Dict[str, float]:
+        grids = tuple(params["grids"])
+        requests = [
+            SolveRequest(
+                request_id=f"bench-{index:04d}",
+                problem=ProblemSpec.burgers(
+                    grid_n=grids[index % len(grids)],
+                    reynolds=params["reynolds"],
+                    seed=seed + index,
+                ),
+                analog_time_limit=params["analog_time_limit"],
+            )
+            for index in range(params["requests"])
+        ]
+        runtime = Runtime(
+            workers=1,
+            retry=RetryPolicy(max_attempts=params["max_attempts"]),
+            seed=seed,
+        )
+        result = runtime.run_batch(requests, tracer=tracer)
+        return {
+            "requests_completed": result.completed,
+            "requests_failed": result.failed,
+            "runtime_attempts": result.counters.get("runtime_attempts", 0),
+            "newton_iterations": sum(
+                outcome.iterations for outcome in result.outcomes
+            ),
+        }
+
+    return _measure("serve_batch", params, seed, body)
+
+
+def _bench_kernel_micro(params: Dict[str, Any], seed: int) -> BenchmarkResult:
+    from repro.linalg.kernel import LinearKernel, LinearSolverStats
+    from repro.pde.burgers import random_burgers_system
+
+    def body(tracer: Tracer) -> Dict[str, float]:
+        rng = np.random.default_rng(seed)
+        system, guess = random_burgers_system(params["grid_n"], 1.0, rng)
+        jacobian = system.jacobian(guess)
+        rhs = -system.residual(guess)
+
+        # Hot path 1: stencil assembly (csr_from_triplets under the hood).
+        for _ in range(params["assemblies"]):
+            with tracer.span("stencil_assembly", dimension=system.dimension):
+                jacobian = system.jacobian(guess)
+
+        # Hot path 2: the CSR matvec every Krylov iteration pays for.
+        vector = guess.copy()
+        for _ in range(params["assemblies"]):
+            with tracer.span("csr_matvec"):
+                vector = jacobian.matvec(vector)
+            norm = np.linalg.norm(vector)
+            if norm > 0:
+                vector /= norm
+
+        # Hot path 3: cached-preconditioner kernel solves. One kernel,
+        # fixed sparsity pattern: the factorization is built once and
+        # reused, exactly the Newton-loop usage profile.
+        stats = LinearSolverStats()
+        kernel = LinearKernel(stats=stats)  # lifetime stats: charged once per solve
+        for _ in range(params["solves"]):
+            call_stats = LinearSolverStats()
+            with tracer.span("linear_solve") as span:
+                kernel.solve(jacobian, rhs, sink=call_stats)
+                span.update(
+                    inner_iterations=call_stats.inner_iterations,
+                    matvecs=call_stats.matvecs,
+                    preconditioner_builds=call_stats.preconditioner_builds,
+                )
+        return {
+            "nnz": jacobian.nnz,
+            "linear_solves": stats.solves,
+            "inner_iterations": stats.inner_iterations,
+            "matvecs": stats.matvecs,
+            "preconditioner_builds": stats.preconditioner_builds,
+        }
+
+    return _measure("kernel_micro", params, seed, body)
+
+
+_BENCH_RUNNERS: Dict[str, Callable[[Dict[str, Any], int], BenchmarkResult]] = {
+    "trajectory": _bench_trajectory,
+    "figure8_seeding": _bench_figure8,
+    "serve_batch": _bench_serve_batch,
+    "kernel_micro": _bench_kernel_micro,
+}
+
+
+def _warmup() -> None:
+    """Touch the hot code paths once, untimed, before the suite runs.
+
+    First-call costs (module imports, numpy's allocator growth, the
+    first preconditioner factorization) otherwise land entirely on
+    whichever benchmark happens to run first and show up as phantom
+    regressions between a cold and a warm process.
+    """
+    from repro.analog.engine import AnalogAccelerator
+    from repro.experiments.trajectory import run_trajectory
+    from repro.pde.burgers import random_burgers_system
+
+    run_trajectory(nx=2, steps=2, dt=0.05, scheme="implicit-euler", reynolds=1.0, seed=0)
+    rng = np.random.default_rng(0)
+    system, guess = random_burgers_system(2, 1.0, rng)
+    AnalogAccelerator(seed=0).solve(
+        system, initial_guess=guess, value_bound=3.0, time_limit=5.0
+    )
+
+
+def run_bench_suite(
+    scale: str = DEFAULT_SCALE,
+    seed: int = 0,
+    only: Optional[Any] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> BenchReport:
+    """Run the fixed suite at one scale; returns the full report.
+
+    ``only`` restricts to a subset of benchmark names (test/debug
+    seam); ``progress`` is called with each benchmark name as it
+    starts (the CLI prints these).
+    """
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
+    selected = tuple(only) if only else BENCHMARK_NAMES
+    unknown = [name for name in selected if name not in _BENCH_RUNNERS]
+    if unknown:
+        raise ValueError(f"unknown benchmark(s) {unknown}; choose from {BENCHMARK_NAMES}")
+    report = BenchReport(
+        scale=scale,
+        seed=seed,
+        manifest=build_manifest(
+            command="bench",
+            scale=scale,
+            seed=seed,
+            benchmarks=list(selected),
+            bench_schema=BENCH_SCHEMA_VERSION,
+        ),
+    )
+    _warmup()
+    for name in selected:
+        if progress is not None:
+            progress(name)
+        params = dict(SCALES[scale][name])
+        report.benchmarks[name] = _BENCH_RUNNERS[name](params, seed)
+    return report

@@ -12,6 +12,9 @@
     python -m repro trajectory --nx 8 --steps 40 --checkpoint-dir /tmp/ck
     python -m repro trajectory --nx 8 --steps 40 --checkpoint-dir /tmp/ck --resume
     python -m repro trace-summary /tmp/batch.jsonl
+    python -m repro bench
+    python -m repro bench --compare BENCH_5.json
+    python -m repro bench --scale full --out /tmp/bench_full.json
 
 Each command runs the corresponding experiment driver and prints the
 same rows/series the paper reports. ``sweep`` fans several experiments
@@ -36,6 +39,17 @@ with periodic atomic snapshots (``--checkpoint-dir``) and the matching
 ``--resume``. Both commands trap SIGTERM/SIGINT and shut down
 gracefully: a final snapshot/journal record is flushed and the trace
 manifest marks the run ``interrupted``.
+
+Performance (:mod:`repro.bench`): ``bench`` runs the fixed benchmark
+suite — a figure7-scale Burgers trajectory, the figure8 seeding
+comparison, a ``serve-batch`` soak, and a ``LinearKernel``/stencil
+microbench — and writes a schema-versioned ``BENCH_<n>.json`` report
+(wall-clock, span sums, counters, Newton iteration counts, peak RSS)
+into the current directory (auto-numbered continuation of the
+committed trajectory). ``--compare BASELINE.json`` additionally runs
+the hot-path regression gate and exits non-zero on a regression past
+tolerance; CI uses ``--work-only`` to gate on the deterministic work
+metrics that are comparable across machines.
 
 The solver-backed figures (7/8/9) and ``sweep`` accept ``--trace PATH``
 to record a structured JSONL trace of the run — a run manifest (grid,
@@ -300,6 +314,61 @@ def _build_parser() -> argparse.ArgumentParser:
 
     summary = sub.add_parser("trace-summary", help="render a per-phase summary of a trace file")
     summary.add_argument("path", help="JSONL trace written by --trace")
+
+    from repro.bench import BENCHMARK_NAMES, DEFAULT_SCALE, SCALES
+    from repro.bench.compare import DEFAULT_TIME_TOLERANCE, DEFAULT_WORK_TOLERANCE
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the fixed perf suite; emit a BENCH_<n>.json report",
+    )
+    bench.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=DEFAULT_SCALE,
+        help="suite size (smoke = committed-trajectory/CI size, full = deeper local run)",
+    )
+    bench.add_argument("--seed", type=int, default=0, help="suite seed (reports compare at equal seed)")
+    bench.add_argument(
+        "--only",
+        type=lambda text: tuple(text.split(",")),
+        default=None,
+        metavar="NAME,...",
+        help="run a subset of: " + ",".join(BENCHMARK_NAMES),
+    )
+    bench.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="report path (default: next free BENCH_<n>.json in the current directory)",
+    )
+    bench.add_argument(
+        "--no-out", action="store_true", help="run and print only; write no report file"
+    )
+    bench.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        default=None,
+        help="gate this run against a previous BENCH_<n>.json; exits 1 on "
+        "a hot-path regression past tolerance",
+    )
+    bench.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=DEFAULT_TIME_TOLERANCE,
+        help="allowed relative slowdown on time metrics (default 0.20)",
+    )
+    bench.add_argument(
+        "--work-tolerance",
+        type=float,
+        default=DEFAULT_WORK_TOLERANCE,
+        help="allowed relative growth on deterministic work metrics (default 0.01)",
+    )
+    bench.add_argument(
+        "--work-only",
+        action="store_true",
+        help="gate only the deterministic work metrics (cross-machine CI mode)",
+    )
     return parser
 
 
@@ -314,6 +383,57 @@ def _make_tracer(trace_path: Optional[str], command: str, **manifest) -> Optiona
     return Tracer(manifest={"command": command, **manifest})
 
 
+def _run_bench_command(args) -> int:
+    """Run the bench suite, write the report, optionally gate it.
+
+    Exit codes: 0 ok, 1 regression gate failed, 2 reports not
+    comparable (scale/seed mismatch).
+    """
+    from pathlib import Path
+
+    from repro.bench import (
+        BenchReport,
+        ScaleMismatch,
+        compare_reports,
+        next_bench_path,
+        run_bench_suite,
+    )
+
+    report = run_bench_suite(
+        scale=args.scale,
+        seed=args.seed,
+        only=args.only,
+        progress=lambda name: print(f"[bench] running {name} ({args.scale})", flush=True),
+    )
+    parts = [report.render()]
+    out_path: Optional[Path] = None
+    if not args.no_out:
+        out_path = Path(args.out) if args.out is not None else next_bench_path(".")
+        report.save(out_path)
+        parts.append(f"wrote {out_path}")
+    exit_code = 0
+    if args.compare is not None:
+        baseline = BenchReport.load(args.compare)
+        try:
+            comparison = compare_reports(
+                baseline,
+                report,
+                time_tolerance=args.time_tolerance,
+                work_tolerance=args.work_tolerance,
+                work_only=args.work_only,
+                baseline_label=str(args.compare),
+                candidate_label=str(out_path) if out_path is not None else "this run",
+            )
+        except ScaleMismatch as exc:
+            print("\n\n".join(parts))
+            print(f"\nbench compare refused: {exc}", file=sys.stderr)
+            return 2
+        parts.append(comparison.render())
+        exit_code = 0 if comparison.ok else 1
+    print("\n\n".join(parts))
+    return exit_code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     command = args.command
@@ -326,10 +446,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("         health-report (analog board aging + health monitor)")
         print("         trajectory (checkpointed, crash-resumable integration)")
         print("tools:   trace-summary")
+        print("perf:    bench (fixed suite -> BENCH_<n>.json; --compare gates regressions)")
         return 0
     if command == "trace-summary":
         print(summarize_trace_file(args.path))
         return 0
+    if command == "bench":
+        return _run_bench_command(args)
     if command == "table1":
         result = run_table1()
     elif command == "table2":

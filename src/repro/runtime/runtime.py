@@ -35,7 +35,10 @@ Tracing: the parent records ``runtime_batch`` > ``solve_attempt`` >
 ``retry`` spans and absorbs each worker's span stream (ladder rungs,
 Newton iterations, analog settles) under the corresponding
 ``solve_attempt`` via :meth:`repro.trace.Tracer.absorb`, so one trace
-file tells the whole batch's story; counters
+file tells the whole batch's story. Worker span timestamps are
+re-based onto the parent's ``perf_counter`` clock at absorb time —
+each process has its own clock origin, so raw worker timestamps would
+not be comparable to parent spans (durations are unaffected); counters
 (``runtime_retries``, ``runtime_timeouts``, ``runtime_faults``,
 ``worker_crashes``, ``requests_*``) reconcile exactly with the
 returned outcomes.

@@ -15,6 +15,7 @@ pipeline:
 from repro.trace.exporter import (
     SCHEMA_VERSION,
     TraceFile,
+    build_manifest,
     merge_traces,
     read_trace,
     write_trace,
@@ -40,6 +41,7 @@ __all__ = [
     "TraceNestingError",
     "SCHEMA_VERSION",
     "TraceFile",
+    "build_manifest",
     "write_trace",
     "read_trace",
     "merge_traces",

@@ -30,11 +30,49 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from repro.checkpoint.atomic import atomic_write_text
 from repro.trace.tracer import Tracer
 
-__all__ = ["SCHEMA_VERSION", "TraceFile", "write_trace", "read_trace", "merge_traces"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "TraceFile",
+    "build_manifest",
+    "write_trace",
+    "read_trace",
+    "merge_traces",
+]
 
 SCHEMA_VERSION = 1
 
 PathLike = Union[str, Path]
+
+
+def build_manifest(
+    *field_maps: Optional[Dict[str, Any]], **fields: Any
+) -> Dict[str, Any]:
+    """The one place a run manifest is stamped.
+
+    Every manifest-shaped header in this repo — the JSONL trace header,
+    the merged-shard header, the bench report's provenance block —
+    carries the same base fields (``type``/``schema``/``repro_version``/
+    ``created_unix``). Building them in one function means the fields
+    cannot drift between writers. Positional dicts are merged in order
+    (``None`` entries skipped), then keyword fields; later values win —
+    except the ``"type"`` tag, which readers dispatch on and which no
+    user field may clobber (a manifest line typed anything else would
+    make the whole trace unreadable).
+    """
+    from repro import __version__
+
+    manifest: Dict[str, Any] = {
+        "type": "manifest",
+        "schema": SCHEMA_VERSION,
+        "repro_version": __version__,
+        "created_unix": time.time(),
+    }
+    for field_map in field_maps:
+        if field_map:
+            manifest.update(field_map)
+    manifest.update(fields)
+    manifest["type"] = "manifest"
+    return manifest
 
 
 def _json_default(value: Any) -> Any:
@@ -88,17 +126,7 @@ def write_trace(
     """
     if check_closed:
         tracer.check_closed()
-    from repro import __version__
-
-    manifest: Dict[str, Any] = {
-        "type": "manifest",
-        "schema": SCHEMA_VERSION,
-        "repro_version": __version__,
-        "created_unix": time.time(),
-    }
-    manifest.update(tracer.manifest)
-    if manifest_extra:
-        manifest.update(manifest_extra)
+    manifest = build_manifest(tracer.manifest, manifest_extra)
 
     path = Path(path)
     lines = [json.dumps(manifest, default=_json_default)]
@@ -174,13 +202,10 @@ def merge_traces(paths: Sequence[PathLike], out_path: PathLike) -> TraceFile:
         raise ValueError("need at least one trace file to merge")
     shards = [read_trace(path) for path in paths]
     merged = TraceFile(
-        manifest={
-            "type": "manifest",
-            "schema": SCHEMA_VERSION,
-            "merged_from": len(shards),
-            "created_unix": time.time(),
-            "shards": [shard.manifest for shard in shards],
-        }
+        manifest=build_manifest(
+            merged_from=len(shards),
+            shards=[shard.manifest for shard in shards],
+        )
     )
     next_id = 1
     for shard_index, (path, shard) in enumerate(zip(paths, shards)):

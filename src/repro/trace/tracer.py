@@ -155,6 +155,7 @@ class NullTracer:
         counters: Optional[Dict[str, float]] = None,
         gauges: Optional[Dict[str, float]] = None,
         source: Optional[str] = None,
+        rebase: bool = True,
     ) -> None:
         pass
 
@@ -261,6 +262,7 @@ class Tracer:
         counters: Optional[Dict[str, float]] = None,
         gauges: Optional[Dict[str, float]] = None,
         source: Optional[str] = None,
+        rebase: bool = True,
     ) -> None:
         """Graft completed span records from another tracer into this one.
 
@@ -273,10 +275,26 @@ class Tracer:
         with no parent are attached to the currently innermost open
         span (the parent's ``solve_attempt``). Counters are summed;
         gauges take the absorbed value.
+
+        ``rebase`` (default on) re-bases the absorbed timestamps onto
+        *this* tracer's clock: ``time.perf_counter()`` has a
+        per-process origin, so a pool worker's raw ``t_start``/``t_end``
+        are not comparable to the parent's spans. The absorbed window
+        is shifted rigidly so its latest ``t_end`` lands at the parent
+        clock's *now* (the worker finished just before the parent
+        processed its report); durations are differences, so every span
+        and phase-sum duration is preserved exactly, while the merged
+        timeline becomes monotone on one clock. Pass ``rebase=False``
+        to keep raw foreign timestamps (e.g. when replaying records
+        already on this clock).
         """
         parent = self._stack[-1] if self._stack else None
         base_depth = len(self._stack)
         records = [span if isinstance(span, dict) else span.to_record() for span in spans]
+        offset = 0.0
+        if rebase and records:
+            latest_end = max(float(record.get("t_end", 0.0)) for record in records)
+            offset = self._clock() - latest_end
         id_map: Dict[int, int] = {}
         for record in records:
             id_map[record["id"]] = self._next_id
@@ -296,8 +314,8 @@ class Tracer:
                     parent_id=new_parent,
                     name=record["name"],
                     depth=base_depth + int(record.get("depth", 0)),
-                    t_start=float(record.get("t_start", 0.0)),
-                    t_end=float(record.get("t_end", 0.0)),
+                    t_start=float(record.get("t_start", 0.0)) + offset,
+                    t_end=float(record.get("t_end", 0.0)) + offset,
                     attrs=attrs,
                 )
             )

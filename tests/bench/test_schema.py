@@ -1,0 +1,151 @@
+"""BENCH_<n>.json schema: round-trips, validation, file numbering."""
+
+import json
+
+import pytest
+
+from repro.bench.schema import (
+    BENCH_SCHEMA_VERSION,
+    BenchReport,
+    BenchmarkResult,
+    bench_index,
+    latest_bench_path,
+    list_bench_files,
+    next_bench_path,
+    validate_report,
+)
+
+
+def make_result(name="kernel_micro", **overrides):
+    base = dict(
+        name=name,
+        wall_seconds=1.25,
+        span_seconds={"linear_solve": 0.75, "stencil_assembly": 0.25},
+        span_counts={"linear_solve": 40, "stencil_assembly": 40},
+        counters={"matvecs": 400.0},
+        work={"inner_iterations": 360.0, "preconditioner_builds": 1.0},
+        peak_rss_kb=131072,
+        params={"grid_n": 16, "seed": 0},
+    )
+    base.update(overrides)
+    return BenchmarkResult(**base)
+
+
+def make_report(**overrides):
+    fields = dict(
+        scale="smoke",
+        seed=0,
+        manifest={"type": "manifest", "command": "bench", "repro_version": "0.0"},
+        benchmarks={"kernel_micro": make_result()},
+    )
+    fields.update(overrides)
+    return BenchReport(**fields)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_lossless(self):
+        report = make_report()
+        doc = json.loads(json.dumps(report.to_dict()))
+        again = BenchReport.from_dict(doc)
+        assert again.to_dict() == report.to_dict()
+        assert again.scale == "smoke"
+        assert again.seed == 0
+        assert again.bench_schema == BENCH_SCHEMA_VERSION
+        bench = again.benchmarks["kernel_micro"]
+        assert bench.wall_seconds == pytest.approx(1.25)
+        assert bench.span_counts["linear_solve"] == 40
+        assert bench.peak_rss_kb == 131072
+
+    def test_save_load_round_trip(self, tmp_path):
+        report = make_report()
+        path = report.save(tmp_path / "BENCH_1.json")
+        assert path.exists()
+        again = BenchReport.load(path)
+        assert again.to_dict() == report.to_dict()
+
+    def test_load_rejects_broken_json(self, tmp_path):
+        path = tmp_path / "BENCH_1.json"
+        path.write_text('{"bench_schema": 1,')
+        with pytest.raises(ValueError, match="not valid JSON"):
+            BenchReport.load(path)
+
+    def test_metric_dotted_lookup(self):
+        bench = make_result()
+        assert bench.metric("wall_seconds") == pytest.approx(1.25)
+        assert bench.metric("peak_rss_kb") == pytest.approx(131072.0)
+        assert bench.metric("span_seconds.linear_solve") == pytest.approx(0.75)
+        assert bench.metric("span_counts.linear_solve") == pytest.approx(40.0)
+        assert bench.metric("work.inner_iterations") == pytest.approx(360.0)
+        assert bench.metric("counters.matvecs") == pytest.approx(400.0)
+        assert bench.metric("work.absent") is None
+        assert bench.metric("nonsense.key") is None
+
+    def test_render_mentions_every_benchmark(self):
+        text = make_report().render()
+        assert "kernel_micro" in text
+        assert "scale=smoke" in text
+
+
+class TestValidation:
+    def test_valid_report_has_no_problems(self):
+        assert validate_report(make_report().to_dict()) == []
+
+    def test_non_dict_rejected(self):
+        assert validate_report([1, 2, 3])
+
+    def test_missing_schema_rejected(self):
+        doc = make_report().to_dict()
+        del doc["bench_schema"]
+        assert any("bench_schema" in problem for problem in validate_report(doc))
+
+    def test_newer_schema_rejected(self):
+        doc = make_report().to_dict()
+        doc["bench_schema"] = BENCH_SCHEMA_VERSION + 1
+        assert any("newer" in problem for problem in validate_report(doc))
+
+    def test_name_key_disagreement_rejected(self):
+        doc = make_report().to_dict()
+        doc["benchmarks"]["kernel_micro"]["name"] = "other"
+        assert any("disagrees" in problem for problem in validate_report(doc))
+
+    def test_negative_wall_rejected(self):
+        doc = make_report().to_dict()
+        doc["benchmarks"]["kernel_micro"]["wall_seconds"] = -1.0
+        assert any("wall_seconds" in problem for problem in validate_report(doc))
+
+    def test_non_numeric_work_rejected(self):
+        doc = make_report().to_dict()
+        doc["benchmarks"]["kernel_micro"]["work"]["inner_iterations"] = "lots"
+        assert any("inner_iterations" in problem for problem in validate_report(doc))
+
+    def test_empty_benchmarks_rejected(self):
+        doc = make_report().to_dict()
+        doc["benchmarks"] = {}
+        assert any("benchmarks" in problem for problem in validate_report(doc))
+
+    def test_from_dict_raises_on_invalid(self):
+        with pytest.raises(ValueError, match="invalid bench report"):
+            BenchReport.from_dict({"bench_schema": 1})
+
+
+class TestTrajectoryNumbering:
+    def test_bench_index(self):
+        assert bench_index("BENCH_6.json") == 6
+        assert bench_index("/some/dir/BENCH_12.json") == 12
+        assert bench_index("BENCH_x.json") is None
+        assert bench_index("NOTBENCH_1.json") is None
+        assert bench_index("BENCH_1.json.bak") is None
+
+    def test_numbering_in_empty_dir_starts_at_one(self, tmp_path):
+        assert list_bench_files(tmp_path) == []
+        assert latest_bench_path(tmp_path) is None
+        assert next_bench_path(tmp_path).name == "BENCH_1.json"
+
+    def test_numbering_is_numeric_not_lexicographic(self, tmp_path):
+        for index in (2, 10):
+            (tmp_path / f"BENCH_{index}.json").write_text("{}")
+        (tmp_path / "BENCH_nope.json").write_text("{}")
+        files = list_bench_files(tmp_path)
+        assert [index for index, _ in files] == [2, 10]
+        assert latest_bench_path(tmp_path).name == "BENCH_10.json"
+        assert next_bench_path(tmp_path).name == "BENCH_11.json"

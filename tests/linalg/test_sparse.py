@@ -184,3 +184,52 @@ def test_fast_triplet_path_empty():
     mat = csr_from_triplets(3, 3, np.array([]), np.array([]), np.array([]))
     assert mat.nnz == 0
     np.testing.assert_allclose(mat.matvec(np.ones(3)), np.zeros(3))
+
+
+class TestFastTripletEdgeCases:
+    """The hot assembly path's corners (bench kernel_micro exercises
+    csr_from_triplets via ``system.jacobian`` on every call)."""
+
+    def test_empty_rectangular_shape_is_well_formed(self):
+        from repro.linalg.sparse import csr_from_triplets
+
+        mat = csr_from_triplets(3, 5, np.array([]), np.array([]), np.array([]))
+        assert mat.shape == (3, 5)
+        assert mat.nnz == 0
+        assert mat.indptr.shape == (4,)
+        assert mat.indptr[-1] == 0
+        np.testing.assert_allclose(mat.matvec(np.ones(5)), np.zeros(3))
+        np.testing.assert_allclose(mat.rmatvec(np.ones(3)), np.zeros(5))
+        np.testing.assert_allclose(mat.to_dense(), np.zeros((3, 5)))
+
+    def test_duplicates_summed_regardless_of_input_order(self):
+        from repro.linalg.sparse import csr_from_triplets
+
+        # Unsorted triplets, (1,1) contributed three times.
+        rows = np.array([1, 0, 1, 1])
+        cols = np.array([1, 2, 1, 1])
+        vals = np.array([1.0, 5.0, 2.0, -0.5])
+        mat = csr_from_triplets(2, 3, rows, cols, vals)
+        assert mat.nnz == 2  # (0,2) and the merged (1,1)
+        dense = mat.to_dense()
+        assert dense[0, 2] == pytest.approx(5.0)
+        assert dense[1, 1] == pytest.approx(2.5)
+
+    def test_duplicates_cancelling_to_zero_stay_structural(self):
+        from repro.linalg.sparse import csr_from_triplets
+
+        # FEM assembly convention (and CooBuilder semantics): an entry
+        # whose duplicate contributions sum to zero remains a stored
+        # explicit zero — the sparsity pattern must not depend on the
+        # values, or kernel pattern-keyed preconditioner reuse breaks.
+        mat = csr_from_triplets(
+            2, 2, np.array([0, 0]), np.array([1, 1]), np.array([3.0, -3.0])
+        )
+        builder = CooBuilder(2, 2)
+        builder.add(0, 1, 3.0)
+        builder.add(0, 1, -3.0)
+        via_builder = builder.to_csr()
+        assert mat.nnz == via_builder.nnz == 1
+        assert mat.to_dense()[0, 1] == 0.0
+        np.testing.assert_array_equal(mat.indptr, via_builder.indptr)
+        np.testing.assert_array_equal(mat.indices, via_builder.indices)

@@ -1,0 +1,143 @@
+"""Clock re-basing of absorbed cross-process spans.
+
+``time.perf_counter()`` has a per-process origin: a pool worker's raw
+span timestamps live on a different clock than the parent's, so before
+the re-base fix a merged trace's timeline was incomparable across the
+process boundary (worker spans could appear to predate the batch or
+land years away). ``Tracer.absorb`` now shifts the absorbed window
+rigidly onto the absorbing tracer's clock, anchored so the latest
+absorbed ``t_end`` is the parent's *now*; durations are differences,
+so every span-sum a bench report reads is preserved exactly.
+"""
+
+import numpy as np
+
+from repro.runtime import ProblemSpec, RetryPolicy, Runtime, SolveRequest
+from repro.trace import Tracer
+
+
+class FakeClock:
+    """Deterministic injectable clock starting at an arbitrary origin."""
+
+    def __init__(self, start=0.0):
+        self.now = float(start)
+
+    def tick(self, dt=1.0):
+        self.now += dt
+        return self.now
+
+    def __call__(self):
+        return self.now
+
+
+def _worker_trace(origin):
+    """A 'worker' trace whose clock origin is nothing like the parent's."""
+    clock = FakeClock(origin)
+    worker = Tracer(clock=clock)
+    with worker.span("ladder"):
+        clock.tick(2.0)
+        with worker.span("linear_solve"):
+            clock.tick(3.0)
+        clock.tick(1.0)
+    return worker
+
+
+class TestAbsorbRebase:
+    def test_foreign_clock_lands_inside_parent_window(self):
+        # Timeline on the parent clock: the batch span opens at 90 and
+        # stays open while the worker executes; the bookkeeping
+        # solve_attempt span opens post-hoc at 100, after the worker is
+        # already done. The 6-unit worker window must land inside the
+        # *batch* window — end-anchored at absorb time — even though it
+        # starts before the solve_attempt span does.
+        parent_clock = FakeClock(90.0)
+        parent = Tracer(clock=parent_clock)
+        worker = _worker_trace(origin=1e6)  # absurdly different origin
+
+        with parent.span("runtime_batch"):
+            parent_clock.tick(10.0)  # worker runs during this window
+            with parent.span("solve_attempt"):
+                parent_clock.tick(0.5)
+                parent.absorb([record.to_record() for record in worker.spans])
+                parent_clock.tick(0.5)
+            parent_clock.tick(1.0)
+        parent.check_closed()
+
+        batch_record = parent.spans_named("runtime_batch")[0]
+        for name in ("ladder", "linear_solve"):
+            record = parent.spans_named(name)[0]
+            assert batch_record.t_start <= record.t_start, name
+            assert record.t_end <= batch_record.t_end, name
+        # Anchor: latest absorbed end == parent clock at absorb time,
+        # so the 6-unit window spans [94.5, 100.5] — starting before
+        # the post-hoc solve_attempt span (100.0), as it physically did.
+        ladder = parent.spans_named("ladder")[0]
+        assert ladder.t_end == 100.5
+        assert ladder.t_start == 94.5
+        attempt_record = parent.spans_named("solve_attempt")[0]
+        assert ladder.t_start < attempt_record.t_start
+
+    def test_durations_and_phase_sums_are_preserved_exactly(self):
+        worker = _worker_trace(origin=5e8)
+        worker_durations = {
+            record.name: record.duration for record in worker.spans
+        }
+        parent = Tracer(clock=FakeClock(42.0))
+        parent.absorb([record.to_record() for record in worker.spans])
+        for name, duration in worker_durations.items():
+            assert parent.total_duration(name) == duration
+
+    def test_relative_offsets_within_the_worker_are_rigid(self):
+        worker = _worker_trace(origin=7e7)
+        inner = worker.spans_named("linear_solve")[0]
+        outer = worker.spans_named("ladder")[0]
+        lead_in = inner.t_start - outer.t_start
+
+        parent = Tracer(clock=FakeClock(0.0))
+        parent.absorb(worker.spans)
+        new_inner = parent.spans_named("linear_solve")[0]
+        new_outer = parent.spans_named("ladder")[0]
+        assert new_inner.t_start - new_outer.t_start == lead_in
+
+    def test_rebase_false_keeps_raw_timestamps(self):
+        worker = _worker_trace(origin=1e6)
+        parent = Tracer(clock=FakeClock(0.0))
+        parent.absorb(
+            [record.to_record() for record in worker.spans], rebase=False
+        )
+        assert parent.spans_named("ladder")[0].t_start == 1e6
+
+    def test_empty_absorb_still_merges_counters(self):
+        parent = Tracer(clock=FakeClock(0.0))
+        parent.absorb([], counters={"ode_steps": 3})
+        assert parent.counters["ode_steps"] == 3
+        assert parent.spans == []
+
+
+class TestRuntimeMergedTimeline:
+    def test_batch_trace_timeline_is_monotone_on_one_clock(self):
+        """Every absorbed worker span lands inside the runtime_batch
+        window on the parent clock (real perf_counter, in-process
+        workers): no span may start before the batch or end after it."""
+        tracer = Tracer()
+        runtime = Runtime(workers=1, retry=RetryPolicy(max_attempts=1), seed=0)
+        requests = [
+            SolveRequest(
+                request_id=f"req-{index}",
+                problem=ProblemSpec.burgers(grid_n=2, reynolds=1.0, seed=index),
+                analog_time_limit=5.0,
+            )
+            for index in range(2)
+        ]
+        result = runtime.run_batch(requests, tracer=tracer)
+        assert result.completed + result.failed == 2
+        batch = tracer.spans_named("runtime_batch")[0]
+        assert tracer.spans, "expected absorbed worker spans"
+        eps = 1e-9
+        for record in tracer.spans:
+            assert record.t_start >= batch.t_start - eps, record.name
+            assert record.t_end <= batch.t_end + eps, record.name
+        # And the linear_solve sum is a sane, strictly positive number
+        # (what the bench layer reads).
+        assert tracer.total_duration("linear_solve") > 0.0
+        assert np.isfinite(tracer.total_duration("linear_solve"))
