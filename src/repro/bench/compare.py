@@ -93,6 +93,15 @@ HOT_PATHS: Tuple[HotPath, ...] = (
     HotPath("kernel_micro", "span_seconds.linear_solve", "time"),
     HotPath("kernel_micro", "work.inner_iterations", "work"),
     HotPath("kernel_micro", "work.preconditioner_builds", "work"),
+    # service soak: sustained throughput at fixed p99 through the
+    # sharded async service (requests/sec must not drop, tail latency
+    # must not grow; the work metrics pin exactly-once accounting).
+    HotPath("service_soak", "wall_seconds", "time"),
+    HotPath("service_soak", "counters.service_requests_per_sec", "time", higher_is_better=True),
+    HotPath("service_soak", "counters.service_p99_latency_s", "time"),
+    HotPath("service_soak", "work.requests_completed", "work", higher_is_better=True),
+    HotPath("service_soak", "work.runtime_attempts", "work"),
+    HotPath("service_soak", "work.newton_iterations", "work"),
 )
 
 

@@ -17,7 +17,12 @@ iterations, linear solves — deterministic at fixed seed):
   traces);
 * ``kernel_micro`` — the hot-loop microbench: ``csr_from_triplets``
   stencil assembly, CSR matvec, and cached-preconditioner
-  :class:`~repro.linalg.kernel.LinearKernel` solves.
+  :class:`~repro.linalg.kernel.LinearKernel` solves;
+* ``service_soak`` — sustained requests/sec through the sharded async
+  solve service (:mod:`repro.service`): a stream of cheap digital-only
+  solves pushed through admission control (queue bound tighter than
+  the stream, so backpressure engages) across several shards, with
+  throughput and p99 latency emitted as counters.
 
 Scales (``--scale``): ``smoke`` is the committed-trajectory /
 CI-comparable size (tens of seconds); ``full`` is the deeper local
@@ -65,6 +70,14 @@ SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
             "analog_time_limit": 20.0,
         },
         "kernel_micro": {"grid_n": 16, "assemblies": 100, "solves": 100},
+        "service_soak": {
+            "requests": 12,
+            "shards": 3,
+            "workers_per_shard": 1,
+            "batch_window": 2,
+            "queue_limit": 8,
+            "max_attempts": 2,
+        },
     },
     "full": {
         "trajectory": {"nx": 16, "steps": 20, "dt": 0.05, "scheme": "bdf2", "reynolds": 1.0},
@@ -77,10 +90,24 @@ SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
             "analog_time_limit": 60.0,
         },
         "kernel_micro": {"grid_n": 24, "assemblies": 200, "solves": 200},
+        "service_soak": {
+            "requests": 48,
+            "shards": 4,
+            "workers_per_shard": 1,
+            "batch_window": 4,
+            "queue_limit": 16,
+            "max_attempts": 2,
+        },
     },
 }
 
-BENCHMARK_NAMES = ("trajectory", "figure8_seeding", "serve_batch", "kernel_micro")
+BENCHMARK_NAMES = (
+    "trajectory",
+    "figure8_seeding",
+    "serve_batch",
+    "kernel_micro",
+    "service_soak",
+)
 
 
 def _peak_rss_kb() -> int:
@@ -268,11 +295,69 @@ def _bench_kernel_micro(params: Dict[str, Any], seed: int) -> BenchmarkResult:
     return _measure("kernel_micro", params, seed, body)
 
 
+def _bench_service_soak(params: Dict[str, Any], seed: int) -> BenchmarkResult:
+    import tempfile
+    from pathlib import Path
+
+    from repro.runtime import ProblemSpec, RetryPolicy, SolveRequest
+    from repro.service import serve_requests
+    from repro.trace.exporter import read_trace
+
+    def body(tracer: Tracer) -> Dict[str, float]:
+        # Cheap digital-only solves: the soak measures the *service*
+        # (admission, routing, windowing, journal/trace merge), not
+        # the solver. The queue bound is tighter than the stream, so
+        # backpressure engages on every run.
+        requests = [
+            SolveRequest(
+                request_id=f"soak-{index:04d}",
+                problem=ProblemSpec.quadratic(
+                    rhs0=1.0, rhs1=1.3, guess=(0.1 + 0.01 * (index % 5), 0.1)
+                ),
+                rungs=("damped_newton",),
+                analog_time_limit=1e-3,
+            )
+            for index in range(params["requests"])
+        ]
+        with tempfile.TemporaryDirectory() as tmp:
+            trace_path = Path(tmp) / "service_soak.jsonl"
+            result = serve_requests(
+                requests,
+                trace_path=trace_path,
+                shards=params["shards"],
+                workers_per_shard=params["workers_per_shard"],
+                queue_limit=params["queue_limit"],
+                batch_window=params["batch_window"],
+                seed=seed,
+                retry=RetryPolicy(
+                    max_attempts=params["max_attempts"], base_delay=0.01, max_delay=0.05
+                ),
+            )
+            merged = read_trace(trace_path)
+        # Graft the merged shard trace into the bench tracer: the
+        # report then carries real per-span sums (linear_solve,
+        # newton_iter) alongside the service-level counters.
+        tracer.absorb(merged.spans, counters=merged.counters, gauges=merged.gauges)
+        tracer.counter("service_requests_per_sec", result.requests_per_second)
+        tracer.counter("service_p99_latency_s", result.latency_p99)
+        return {
+            "requests_completed": result.completed,
+            "requests_failed": result.failed,
+            "requests_rejected": len(result.rejections),
+            "runtime_attempts": result.counters.get("runtime_attempts", 0),
+            "newton_iterations": len(merged.spans_named("newton_iter")),
+            "linear_solves": len(merged.spans_named("linear_solve")),
+        }
+
+    return _measure("service_soak", params, seed, body)
+
+
 _BENCH_RUNNERS: Dict[str, Callable[[Dict[str, Any], int], BenchmarkResult]] = {
     "trajectory": _bench_trajectory,
     "figure8_seeding": _bench_figure8,
     "serve_batch": _bench_serve_batch,
     "kernel_micro": _bench_kernel_micro,
+    "service_soak": _bench_service_soak,
 }
 
 

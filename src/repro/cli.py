@@ -9,6 +9,8 @@
     python -m repro serve-batch --requests 8 --workers 4 --trace /tmp/batch.jsonl
     python -m repro serve-batch --requests 50 --journal /tmp/batch.journal
     python -m repro serve-batch --resume /tmp/batch.journal
+    python -m repro serve --requests 12 --shards 3 --workers-per-shard 2
+    python -m repro serve --requests 12 --shards 3 --journal-dir /tmp/svc
     python -m repro trajectory --nx 8 --steps 40 --checkpoint-dir /tmp/ck
     python -m repro trajectory --nx 8 --steps 40 --checkpoint-dir /tmp/ck --resume
     python -m repro trace-summary /tmp/batch.jsonl
@@ -24,7 +26,12 @@ fault-tolerant solve runtime (:mod:`repro.runtime`) — deadlines,
 retries, degradation ladder — and prints the per-request outcomes;
 ``--faults`` injects seeded chaos (worker crashes, analog spikes,
 solver hangs, analog degradation) to exercise the recovery paths, and
-``--degradation`` ages every attempt's analog board. ``health-report``
+``--degradation`` ages every attempt's analog board. ``serve`` is the
+scale-out sibling: the same request stream pushed through the sharded
+async solve service (:mod:`repro.service`) — admission control,
+per-tenant priorities, N journaled Runtime shards, journal-replay
+fail-over when a shard's pool dies — with per-shard traces merged
+into one file. ``health-report``
 runs one persistent board through a sequence of solves and renders the
 analog health layer's verdict (tile statistics, seed-gate rejections,
 quarantines, recalibrations).
@@ -254,6 +261,59 @@ def _build_parser() -> argparse.ArgumentParser:
         "--crash-after-outcomes", type=int, default=None, help=argparse.SUPPRESS
     )
 
+    service = sub.add_parser(
+        "serve",
+        help="run requests through the sharded async solve service",
+        parents=[traceable],
+    )
+    service.add_argument("--requests", type=int, default=8, help="number of solve requests")
+    service.add_argument("--shards", type=int, default=2, help="Runtime shard count")
+    service.add_argument(
+        "--workers-per-shard", type=int, default=1, help="pool width inside each shard"
+    )
+    service.add_argument(
+        "--grids", type=_parse_ints, default=(2,), help="Burgers grid sizes, round-robin"
+    )
+    service.add_argument("--reynolds", type=float, default=1.0)
+    service.add_argument("--seed", type=int, default=0, help="service seed (shared by shards)")
+    service.add_argument(
+        "--queue-limit", type=int, default=64, help="admission-queue bound (backpressure)"
+    )
+    service.add_argument(
+        "--batch-window", type=int, default=4, help="max requests per shard dispatch window"
+    )
+    service.add_argument(
+        "--tenants", type=int, default=1, help="spread requests across N synthetic tenants"
+    )
+    service.add_argument(
+        "--deadline", type=float, default=None, help="per-attempt deadline in seconds"
+    )
+    service.add_argument("--max-attempts", type=int, default=3)
+    service.add_argument(
+        "--analog-time-limit", type=float, default=60.0, help="analog settle budget per attempt"
+    )
+    service.add_argument(
+        "--faults",
+        type=_parse_fault_rates,
+        default=None,
+        metavar="KIND=RATE,...",
+        help="inject chaos faults on every shard (kinds: " + ",".join(FAULT_KINDS) + ")",
+    )
+    service.add_argument(
+        "--degradation",
+        type=_parse_degradation,
+        default=None,
+        metavar="KEY=VALUE,...",
+        help="age every attempt's analog board (same syntax as serve-batch)",
+    )
+    service.add_argument(
+        "--journal-dir",
+        metavar="DIR",
+        default=None,
+        help="write per-shard write-ahead journals into DIR (enables "
+        "journal-replay fail-over when a shard crashes)",
+    )
+
     traj = sub.add_parser(
         "trajectory",
         help="integrate a checkpointed Burgers trajectory (resumable)",
@@ -443,6 +503,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("figures: figure2 figure3 figure6 figure7 figure8 figure9")
         print("sweeps:  sweep (parallel: " + " ".join(sorted(SWEEP_RUNNERS)) + ")")
         print("runtime: serve-batch (fault-tolerant batch solving; --journal/--resume)")
+        print("         serve (sharded async solve service; admission, fail-over)")
         print("         health-report (analog board aging + health monitor)")
         print("         trajectory (checkpointed, crash-resumable integration)")
         print("tools:   trace-summary")
@@ -577,6 +638,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         finally:
             if runtime.journal is not None:
                 runtime.journal.close()
+    elif command == "serve":
+        from repro.service import serve_requests
+
+        requests = [
+            SolveRequest(
+                request_id=f"req-{index:04d}",
+                problem=ProblemSpec.burgers(
+                    grid_n=args.grids[index % len(args.grids)],
+                    reynolds=args.reynolds,
+                    seed=args.seed + index,
+                ),
+                deadline_seconds=args.deadline,
+                analog_time_limit=args.analog_time_limit,
+            )
+            for index in range(args.requests)
+        ]
+        # The service merges its own per-shard traces; the shared
+        # single-tracer export path below stays unused here.
+        result = serve_requests(
+            requests,
+            tenants=(
+                [f"tenant-{index % args.tenants}" for index in range(args.requests)]
+                if args.tenants > 1
+                else None
+            ),
+            trace_path=args.trace,
+            shards=args.shards,
+            workers_per_shard=args.workers_per_shard,
+            queue_limit=args.queue_limit,
+            batch_window=args.batch_window,
+            seed=args.seed,
+            retry=RetryPolicy(max_attempts=args.max_attempts),
+            faults=(
+                FaultInjector.from_rates(args.faults, seed=args.seed)
+                if args.faults
+                else None
+            ),
+            degradation=args.degradation,
+            journal_dir=args.journal_dir,
+        )
     elif command == "trajectory":
         tracer = _make_tracer(
             args.trace,

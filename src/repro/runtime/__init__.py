@@ -15,6 +15,7 @@ recorded through :mod:`repro.trace`.
 from repro.runtime.api import (
     Deadline,
     DeadlineExceeded,
+    PoolBroken,
     ProblemSpec,
     QueueFull,
     RetryPolicy,
@@ -53,6 +54,7 @@ __all__ = [
     "FaultSpec",
     "InjectedWorkerCrash",
     "LadderResult",
+    "PoolBroken",
     "ProblemSpec",
     "QueueFull",
     "RetryPolicy",

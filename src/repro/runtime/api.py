@@ -23,6 +23,7 @@ import numpy as np
 
 __all__ = [
     "DeadlineExceeded",
+    "PoolBroken",
     "QueueFull",
     "Deadline",
     "ProblemSpec",
@@ -43,6 +44,17 @@ class DeadlineExceeded(RuntimeError):
 
 class QueueFull(RuntimeError):
     """The runtime's bounded work queue rejected a submission."""
+
+
+class PoolBroken(RuntimeError):
+    """The process pool died and the runtime was told not to degrade.
+
+    Raised by :class:`~repro.runtime.runtime.Runtime` only under
+    ``on_pool_break="fail"`` — the posture a multi-shard service wants,
+    where a broken shard should surface as a crash (so the service can
+    fail requests over to healthy shards via the journal) instead of
+    silently limping along in-process on the dead shard's host.
+    """
 
 
 def stable_seed(*parts: Any) -> int:

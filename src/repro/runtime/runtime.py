@@ -60,6 +60,7 @@ from repro.reporting import ascii_table
 from repro.runtime.api import (
     Deadline,
     DeadlineExceeded,
+    PoolBroken,
     QueueFull,
     RetryPolicy,
     SolveOutcome,
@@ -370,6 +371,13 @@ class Runtime:
         Chaos seam: ``os._exit(9)`` immediately after this many
         outcomes have been journal-committed, simulating a SIGKILL at
         a deterministic point (kill-and-resume tests only).
+    on_pool_break:
+        What a broken process pool means. ``"degrade"`` (default, the
+        single-host posture): charge in-flight attempts one crash each
+        and finish the window in-process. ``"fail"`` (the service-shard
+        posture): journal ``batch_interrupted`` and raise
+        :class:`~repro.runtime.api.PoolBroken` so a supervisor can fail
+        the shard over instead of letting it limp along serially.
     """
 
     def __init__(
@@ -384,9 +392,12 @@ class Runtime:
         degradation: Optional[DegradationModel] = None,
         journal: Optional[Any] = None,
         crash_after_outcomes: Optional[int] = None,
+        on_pool_break: str = "degrade",
     ):
         if queue_limit < 1:
             raise ValueError("queue_limit must be at least 1")
+        if on_pool_break not in ("degrade", "fail"):
+            raise ValueError('on_pool_break must be "degrade" or "fail"')
         self.workers = max(1, int(workers))
         self.queue_limit = int(queue_limit)
         self.retry = retry or RetryPolicy()
@@ -397,6 +408,7 @@ class Runtime:
         self.degradation = degradation
         self.journal = journal
         self.crash_after_outcomes = crash_after_outcomes
+        self.on_pool_break = on_pool_break
         self._outcomes_committed = 0
         self._queue: deque = deque()
 
@@ -518,6 +530,13 @@ class Runtime:
             except (KeyboardInterrupt, RunInterrupted) as exc:
                 interrupted = True
                 interrupt_reason = str(exc) or type(exc).__name__
+            except PoolBroken as exc:
+                # The "fail" posture: record the interruption durably so
+                # the journal tells the fail-over story, then let the
+                # supervisor (repro.service) see the crash.
+                if self.journal is not None:
+                    self.journal.batch_interrupted(f"pool broken: {exc}")
+                raise
             batch_span.update(
                 completed=sum(1 for o in outcomes.values() if o.ok),
                 failed=sum(1 for o in outcomes.values() if not o.ok),
@@ -759,7 +778,7 @@ class Runtime:
         try:
             self._pooled_loop(window, executor, tracer, bump, outcomes, shutdown)
             return "parallel"
-        except (KeyboardInterrupt, RunInterrupted):
+        except (KeyboardInterrupt, RunInterrupted, PoolBroken):
             for process in list(getattr(executor, "_processes", {}).values()):
                 try:
                     process.terminate()
@@ -808,6 +827,16 @@ class Runtime:
 
         def degrade(first_crashed: List[Tuple[str, int]]) -> None:
             nonlocal pooled
+            if self.on_pool_break == "fail":
+                # Service-shard posture: the crashed/in-flight attempts
+                # stay uncommitted in the journal (attempt_started with
+                # no outcome), which is exactly what a supervisor's
+                # journal-replay fail-over needs to re-route them.
+                bump("pool_broken")
+                raise PoolBroken(
+                    f"process pool died with {len(first_crashed) + len(in_flight)} "
+                    "attempt(s) in flight"
+                )
             pooled = False
             bump("pool_degraded")
             crashed = list(first_crashed)

@@ -1,0 +1,43 @@
+"""Sharded async solve service: the scale-out layer over the runtime.
+
+One :class:`SolveService` owns N :class:`Shard` runtimes — each with
+its own write-ahead journal, degradation schedule, fault plan, and
+tracer — behind an asyncio front-end that applies admission control
+(bounded queue, per-tenant quotas, reject-with-reason), per-tenant
+priority scheduling, and shard health tracking. A shard whose process
+pool dies mid-window is failed over: outcomes its journal committed
+are replayed, the uncommitted remainder re-routes to healthy shards,
+and when the whole fleet is dead a serial lifeboat shard keeps every
+accepted request's exactly-once terminal-outcome guarantee. Shard
+traces merge into one file via :mod:`repro.trace`'s shard-merge
+machinery. :func:`serve_requests` is the synchronous wrapper the CLI
+(``repro serve``) and the ``service_soak`` benchmark drive.
+"""
+
+from repro.service.admission import AdmissionQueue, QueueEntry
+from repro.service.api import (
+    REJECTION_REASONS,
+    Rejection,
+    ServiceRecord,
+    ServiceRejected,
+    ServiceResult,
+    ShardDied,
+    ShardSummary,
+)
+from repro.service.service import SolveService, serve_requests
+from repro.service.shard import Shard
+
+__all__ = [
+    "AdmissionQueue",
+    "QueueEntry",
+    "REJECTION_REASONS",
+    "Rejection",
+    "ServiceRecord",
+    "ServiceRejected",
+    "ServiceResult",
+    "Shard",
+    "ShardDied",
+    "ShardSummary",
+    "SolveService",
+    "serve_requests",
+]

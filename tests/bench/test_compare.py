@@ -49,6 +49,19 @@ def baseline_report():
             },
             work={"inner_iterations": 360.0, "preconditioner_builds": 1.0},
         ),
+        "service_soak": BenchmarkResult(
+            name="service_soak",
+            wall_seconds=0.4,
+            counters={
+                "service_requests_per_sec": 30.0,
+                "service_p99_latency_s": 0.2,
+            },
+            work={
+                "requests_completed": 12.0,
+                "runtime_attempts": 12.0,
+                "newton_iterations": 60.0,
+            },
+        ),
     }
     return BenchReport(scale="smoke", seed=0, manifest={}, benchmarks=benchmarks)
 

@@ -74,12 +74,13 @@ class TestRunBenchSuite:
         run_bench_suite(only=("kernel_micro",), progress=seen.append)
         assert seen == ["kernel_micro"]
 
-    def test_suite_names_are_the_documented_four(self):
+    def test_suite_names_are_the_documented_five(self):
         assert BENCHMARK_NAMES == (
             "trajectory",
             "figure8_seeding",
             "serve_batch",
             "kernel_micro",
+            "service_soak",
         )
 
 

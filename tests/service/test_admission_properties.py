@@ -1,0 +1,122 @@
+"""Hypothesis property suite for the admission queue.
+
+Three invariants, checked against a brute-force reference model over
+arbitrary offer/pop interleavings:
+
+* the queue never holds more than ``capacity`` entries — the bound is
+  a hard bound, not a hint;
+* every refusal names one of :data:`REJECTION_REASONS`, and names the
+  *right* one (duplicate before quota before full, mirroring the
+  most-specific-first contract);
+* among admitted entries, pop order is exactly ``(-priority,
+  arrival)`` — higher priority first, FIFO within a priority level,
+  regardless of tenant interleaving.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.service import AdmissionQueue, REJECTION_REASONS
+
+_OFFERS = st.tuples(
+    st.just("offer"),
+    st.integers(min_value=0, max_value=15),  # key space small enough to collide
+    st.sampled_from(["acme", "bigco", "solo"]),
+    st.integers(min_value=-3, max_value=3),
+)
+_OPS = st.lists(st.one_of(_OFFERS, st.just(("pop",))), max_size=60)
+
+
+@st.composite
+def _workloads(draw):
+    capacity = draw(st.integers(min_value=1, max_value=8))
+    quota = draw(st.one_of(st.none(), st.integers(min_value=1, max_value=4)))
+    return capacity, quota, draw(_OPS)
+
+
+class _Model:
+    """Brute-force mirror: a sorted list instead of a heap."""
+
+    def __init__(self):
+        self.entries = []  # (-priority, seq, key, tenant)
+        self.seq = 0
+
+    def admit(self, key, tenant, priority):
+        self.entries.append((-priority, self.seq, key, tenant))
+        self.seq += 1
+
+    def queued_keys(self):
+        return {entry[2] for entry in self.entries}
+
+    def tenant_count(self, tenant):
+        return sum(1 for entry in self.entries if entry[3] == tenant)
+
+    def pop(self):
+        self.entries.sort()
+        return self.entries.pop(0)
+
+
+@given(_workloads())
+def test_bound_reasons_and_pop_order(workload):
+    capacity, quota, ops = workload
+    queue = AdmissionQueue(capacity, tenant_quota=quota)
+    model = _Model()
+
+    for op in ops:
+        if op[0] == "offer":
+            _, key_n, tenant, priority = op
+            key = f"req-{key_n}"
+            before = len(queue)
+            reason = queue.offer(key, tenant=tenant, priority=priority)
+            if reason is None:
+                assert len(queue) == before + 1
+                model.admit(key, tenant, priority)
+            else:
+                # Refusals never mutate, and always carry a known reason.
+                assert len(queue) == before
+                assert reason in REJECTION_REASONS
+                if key in model.queued_keys():
+                    assert reason == "duplicate_request"
+                elif quota is not None and model.tenant_count(tenant) >= quota:
+                    assert reason == "tenant_quota"
+                else:
+                    assert reason == "queue_full"
+                    assert before == capacity
+        elif len(queue):
+            entry = queue.pop()
+            expected = model.pop()
+            assert (-entry.priority, entry.key, entry.tenant) == (
+                expected[0],
+                expected[2],
+                expected[3],
+            )
+        # The invariant that makes queue_limit a real backpressure knob.
+        assert len(queue) <= capacity
+        assert queue.has_space == (len(queue) < capacity)
+
+    # Drain: the remaining pop order must match the sorted model exactly.
+    while len(queue):
+        entry = queue.pop()
+        expected = model.pop()
+        assert (-entry.priority, entry.key, entry.tenant) == (
+            expected[0],
+            expected[2],
+            expected[3],
+        )
+    assert not model.entries
+
+
+@given(st.lists(st.integers(min_value=-5, max_value=5), min_size=1, max_size=20))
+def test_priority_order_is_total_and_fifo_within_level(priorities):
+    queue = AdmissionQueue(capacity=len(priorities))
+    for index, priority in enumerate(priorities):
+        assert queue.offer(f"req-{index}", priority=priority) is None
+    popped = [queue.pop() for _ in range(len(priorities))]
+    keys = [entry.key for entry in popped]
+    expected = [
+        f"req-{index}"
+        for _, index in sorted(
+            ((-priority, index) for index, priority in enumerate(priorities))
+        )
+    ]
+    assert keys == expected

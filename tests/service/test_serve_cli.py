@@ -1,0 +1,77 @@
+"""Golden-file regression for the ``repro serve`` summary output.
+
+Routing is deterministic at these parameters — every request is
+submitted before the dispatcher runs, windows go to the lowest-indexed
+idle healthy shard, and the workload is fully seeded — so everything
+except the wall-clock ``timing:`` line is pinned byte for byte.
+Intentional output changes are recorded with ``pytest
+--update-golden``.
+"""
+
+import re
+
+from repro.cli import main
+
+
+def _normalize(text: str) -> str:
+    """Strip trailing whitespace: ascii_table pads the last column."""
+    return "\n".join(line.rstrip() for line in text.splitlines()) + "\n"
+
+
+def _mask_timing(text: str) -> str:
+    """Blank the one line carrying wall-clock figures.
+
+    ``ServiceResult.render()`` keeps every measured duration on the
+    single ``timing:`` line precisely so this mask can stay this
+    simple; a timing figure leaking anywhere else fails the golden.
+    """
+    return re.sub(r"^timing: .*$", "timing: <masked>", text, flags=re.MULTILINE)
+
+
+def _run_cli(argv, capsys) -> str:
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+class TestServeGolden:
+    def test_serve_summary_matches_golden(self, capsys, golden):
+        out = _run_cli(
+            [
+                "serve",
+                "--requests",
+                "6",
+                "--shards",
+                "2",
+                "--batch-window",
+                "3",
+                "--grids",
+                "2",
+                "--seed",
+                "0",
+            ],
+            capsys,
+        )
+        masked = _mask_timing(_normalize(out))
+        assert "timing: <masked>" in masked  # the mask actually bit
+        golden("serve_summary", masked)
+
+    def test_serve_summary_with_tenants_matches_golden(self, capsys, golden):
+        out = _run_cli(
+            [
+                "serve",
+                "--requests",
+                "4",
+                "--shards",
+                "2",
+                "--batch-window",
+                "2",
+                "--tenants",
+                "2",
+                "--grids",
+                "2",
+                "--seed",
+                "0",
+            ],
+            capsys,
+        )
+        golden("serve_summary_tenants", _mask_timing(_normalize(out)))

@@ -1,0 +1,78 @@
+"""Shard-count determinism: shards=1 and shards=4 must agree bitwise.
+
+The service-level mirror of
+``tests/verification/test_determinism.py``'s workers=1 == workers=4
+batch test. Every shard shares the service seed and all solver
+randomness is keyed by ``stable_seed(seed, request_id, attempt, ...)``,
+so placement — which shard, which window — must be invisible in every
+outcome field and every solver-side counter. Only ``service_*``
+bookkeeping (window counts, admission totals) may differ in principle;
+here even those agree, but the contract we pin is the solver side.
+"""
+
+import numpy as np
+
+from repro.runtime.api import ProblemSpec, RetryPolicy, SolveRequest
+from repro.service import serve_requests
+
+
+def _run(shards):
+    requests = [
+        SolveRequest(
+            f"det-{i}",
+            (
+                ProblemSpec.burgers(2, 2.0, seed=40 + i)
+                if i % 2
+                else ProblemSpec.quadratic(rhs0=1.0 + 0.2 * i)
+            ),
+            analog_time_limit=1e-3,
+        )
+        for i in range(8)
+    ]
+    return serve_requests(
+        requests,
+        shards=shards,
+        workers_per_shard=1,
+        batch_window=2,
+        seed=99,
+        retry=RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.05),
+    )
+
+
+def _solver_counters(counters):
+    return {
+        name: value
+        for name, value in counters.items()
+        if not name.startswith("service_")
+    }
+
+
+class TestShardCountDeterminism:
+    def test_outcomes_bitwise_identical_across_shard_counts(self):
+        single = _run(shards=1)
+        sharded = _run(shards=4)
+        assert [r.request_id for r in single.records] == [
+            r.request_id for r in sharded.records
+        ]
+        for a, b in zip(single.records, sharded.records):
+            oa, ob = a.outcome, b.outcome
+            assert (oa.status, oa.rung, oa.attempts, oa.attempt_history) == (
+                ob.status,
+                ob.rung,
+                ob.attempts,
+                ob.attempt_history,
+            )
+            assert oa.residual_norm == ob.residual_norm  # bitwise, not approx
+            assert np.array_equal(oa.solution, ob.solution)
+
+    def test_reconciled_counters_identical_across_shard_counts(self):
+        single = _run(shards=1)
+        sharded = _run(shards=4)
+        # The load-bearing solver counters, named explicitly so a
+        # failure says which one moved.
+        for key in ("runtime_attempts", "requests_completed", "ladder_fallbacks"):
+            assert _solver_counters(single.counters).get(key, 0) == _solver_counters(
+                sharded.counters
+            ).get(key, 0), key
+        # And the full reconciled solver-side dict, bitwise.
+        assert _solver_counters(single.counters) == _solver_counters(sharded.counters)

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.reporting",
     "repro.runtime",
+    "repro.service",
     "repro.cli",
 ]
 
