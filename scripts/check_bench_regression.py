@@ -18,7 +18,9 @@ actually fails on a seeded regression (a gate that cannot fail is not
 a gate).
 
 Exit codes: 0 ok, 1 regression (or invalid report), 2 reports not
-comparable (scale/seed mismatch).
+comparable (scale/seed mismatch), 3 a report path does not exist.
+The missing-file case is distinct from a regression so CI can tell a
+never-committed / mistyped snapshot path apart from a real slowdown.
 """
 
 from __future__ import annotations
@@ -87,6 +89,13 @@ def main(argv=None) -> int:
     try:
         baseline = BenchReport.load(args.baseline)
         candidate = BenchReport.load(args.candidate)
+    except FileNotFoundError as exc:
+        print(
+            f"bench report missing: {exc.filename!r} does not exist; pass the "
+            "committed BENCH_<n>.json path",
+            file=sys.stderr,
+        )
+        return 3
     except ValueError as exc:
         print(f"invalid bench report: {exc}", file=sys.stderr)
         return 1

@@ -338,6 +338,7 @@ class AnalogAccelerator:
         derivative_tolerance: float = 1e-5,
         record_trajectory: bool = False,
         tracer: Optional[TracerLike] = None,
+        settle_max_steps: int = 1_000_000,
     ) -> AnalogSolveResult:
         """Run the continuous Newton method on the hardware model.
 
@@ -361,6 +362,7 @@ class AnalogAccelerator:
                 derivative_tolerance,
                 record_trajectory=record_trajectory,
                 tracer=tracer,
+                settle_max_steps=settle_max_steps,
             )
         finally:
             fabric.exec_stop()
@@ -457,6 +459,7 @@ class AnalogAccelerator:
         time_limit: float = 60.0,
         derivative_tolerance: float = 1e-5,
         tracer: Optional[TracerLike] = None,
+        settle_max_steps: int = 1_000_000,
     ):
         """Solve a sequence of same-shaped problems on one configuration.
 
@@ -496,6 +499,7 @@ class AnalogAccelerator:
                     derivative_tolerance,
                     system=system,
                     tracer=tracer,
+                    settle_max_steps=settle_max_steps,
                 )
                 result.reconfigured = index == 0
                 results.append(result)
@@ -515,6 +519,7 @@ class AnalogAccelerator:
         system: Optional[NonlinearSystem] = None,
         record_trajectory: bool = False,
         tracer: Optional[TracerLike] = None,
+        settle_max_steps: int = 1_000_000,
     ) -> AnalogSolveResult:
         tracer = as_tracer(tracer)
         system = compiled.system if system is None else system
@@ -563,6 +568,7 @@ class AnalogAccelerator:
                 atol=1e-9,
                 linear_solver=flow_solver,
                 residual_tolerance=max(1e-2, 1e-3 * initial_residual),
+                max_steps=settle_max_steps,
             )
             settle_span.update(
                 converged=flow.converged,

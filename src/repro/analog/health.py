@@ -625,6 +625,28 @@ class HealthMonitor:
             "recalibrations": self.recalibrations,
         }
 
+    def board_summary(self) -> Dict[str, Any]:
+        """Board-level rates, safe on a board that never settled.
+
+        Every rate is ``None`` when its denominator is zero — a board
+        with zero settled attempts (fresh, fully vetoed, or freshly
+        recalibrated) is idle, not broken, and must render as "-"
+        rather than divide by zero.
+        """
+        tiles = list(self.tiles.values())
+        observed = self.solves_observed
+        return {
+            "solves_observed": observed,
+            "settled_solves": self.settled_solves,
+            "settle_rate": (self.settled_solves / observed) if observed else None,
+            "rejection_rate": (self.seeds_rejected / observed) if observed else None,
+            "mean_residual_ewma": (
+                sum(tile.residual_ewma for tile in tiles) / len(tiles) if tiles else None
+            ),
+            "tiles_flagged": len(self.flagged()),
+            "tiles_quarantined": len(self.quarantined),
+        }
+
     def report_rows(self) -> List[dict]:
         rows = []
         for name in sorted(self.tiles):

@@ -102,6 +102,17 @@ HOT_PATHS: Tuple[HotPath, ...] = (
     HotPath("service_soak", "work.requests_completed", "work", higher_is_better=True),
     HotPath("service_soak", "work.runtime_attempts", "work"),
     HotPath("service_soak", "work.newton_iterations", "work"),
+    # fleet soak: the board-fleet management layer. The veto count is
+    # gated in both directions by proxy: fewer settles avoided at equal
+    # drift means the predictive gate stopped paying for itself
+    # (higher_is_better), while the attempt/settle counts catch the
+    # fleet burning extra work to get there.
+    HotPath("fleet_soak", "wall_seconds", "time"),
+    HotPath("fleet_soak", "span_seconds.analog_settle", "time"),
+    HotPath("fleet_soak", "work.requests_completed", "work", higher_is_better=True),
+    HotPath("fleet_soak", "work.runtime_attempts", "work"),
+    HotPath("fleet_soak", "work.settles_avoided", "work", higher_is_better=True),
+    HotPath("fleet_soak", "work.analog_settles", "work"),
 )
 
 

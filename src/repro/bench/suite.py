@@ -22,7 +22,15 @@ iterations, linear solves — deterministic at fixed seed):
   solve service (:mod:`repro.service`): a stream of cheap digital-only
   solves pushed through admission control (queue bound tighter than
   the stream, so backpressure engages) across several shards, with
-  throughput and p99 latency emitted as counters.
+  throughput and p99 latency emitted as counters;
+* ``fleet_soak`` — the same service front-end with the analog path
+  live against a drifting board fleet (:mod:`repro.fleet`): cheap
+  quadratic solves on the full ladder, a hot degradation model, and a
+  bounded settle budget, so the predictive gate's vetoes
+  (``settles_avoided``), the audit stream, and quarantine /
+  recalibration churn all fire at measurable, seeded rates. One shard
+  on purpose: fleet EWMAs evolve with observation order, and a single
+  serial window stream keeps the work metrics bitwise reproducible.
 
 Scales (``--scale``): ``smoke`` is the committed-trajectory /
 CI-comparable size (tens of seconds); ``full`` is the deeper local
@@ -78,6 +86,16 @@ SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
             "queue_limit": 8,
             "max_attempts": 2,
         },
+        "fleet_soak": {
+            "requests": 24,
+            "boards": 3,
+            "batch_window": 4,
+            "queue_limit": 16,
+            "max_attempts": 2,
+            "drift_sigma": 0.5,
+            "analog_time_limit": 0.5,
+            "settle_max_steps": 2000,
+        },
     },
     "full": {
         "trajectory": {"nx": 16, "steps": 20, "dt": 0.05, "scheme": "bdf2", "reynolds": 1.0},
@@ -98,6 +116,16 @@ SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
             "queue_limit": 16,
             "max_attempts": 2,
         },
+        "fleet_soak": {
+            "requests": 64,
+            "boards": 4,
+            "batch_window": 8,
+            "queue_limit": 32,
+            "max_attempts": 2,
+            "drift_sigma": 0.5,
+            "analog_time_limit": 0.5,
+            "settle_max_steps": 2000,
+        },
     },
 }
 
@@ -107,6 +135,7 @@ BENCHMARK_NAMES = (
     "serve_batch",
     "kernel_micro",
     "service_soak",
+    "fleet_soak",
 )
 
 
@@ -352,12 +381,84 @@ def _bench_service_soak(params: Dict[str, Any], seed: int) -> BenchmarkResult:
     return _measure("service_soak", params, seed, body)
 
 
+def _bench_fleet_soak(params: Dict[str, Any], seed: int) -> BenchmarkResult:
+    import tempfile
+    from pathlib import Path
+
+    from repro.analog.health import DegradationModel
+    from repro.fleet import FleetConfig
+    from repro.runtime import ProblemSpec, RetryPolicy, SolveRequest
+    from repro.service import serve_requests
+    from repro.trace.exporter import read_trace
+
+    def body(tracer: Tracer) -> Dict[str, float]:
+        # The analog path is live here (full ladder, hot drift model),
+        # but each settle is bounded by settle_max_steps so a drifted
+        # board costs capped work. One shard keeps routing/observation
+        # order — and therefore the fleet's EWMA evolution and veto
+        # counts — bitwise reproducible for the work-metric gate.
+        drift = float(params["drift_sigma"])
+        requests = [
+            SolveRequest(
+                request_id=f"fleet-{index:04d}",
+                problem=ProblemSpec.quadratic(
+                    rhs0=1.0 + 0.05 * index, rhs1=1.0
+                ),
+                analog_time_limit=params["analog_time_limit"],
+            )
+            for index in range(params["requests"])
+        ]
+        with tempfile.TemporaryDirectory() as tmp:
+            trace_path = Path(tmp) / "fleet_soak.jsonl"
+            result = serve_requests(
+                requests,
+                trace_path=trace_path,
+                shards=1,
+                workers_per_shard=1,
+                queue_limit=params["queue_limit"],
+                batch_window=params["batch_window"],
+                seed=seed,
+                retry=RetryPolicy(
+                    max_attempts=params["max_attempts"],
+                    base_delay=0.0,
+                    max_delay=0.0,
+                    jitter=0.0,
+                ),
+                degradation=DegradationModel(
+                    offset_drift_sigma=drift,
+                    gain_drift_sigma=drift / 2.0,
+                    seed=seed + 7,
+                ),
+                ladder_kwargs={"settle_max_steps": int(params["settle_max_steps"])},
+                fleet=FleetConfig(boards=int(params["boards"])),
+            )
+            merged = read_trace(trace_path)
+        tracer.absorb(merged.spans, counters=merged.counters, gauges=merged.gauges)
+        tracer.counter("service_requests_per_sec", result.requests_per_second)
+        fleet_counters = (result.fleet or {}).get("counters", {})
+        return {
+            "requests_completed": result.completed,
+            "requests_failed": result.failed,
+            "runtime_attempts": result.counters.get("runtime_attempts", 0),
+            "settles_avoided": fleet_counters.get("settles_avoided", 0),
+            "gate_audits": fleet_counters.get("gate_audits", 0),
+            "gate_false_positives": fleet_counters.get("gate_false_positive", 0),
+            "boards_quarantined": fleet_counters.get("boards_quarantined", 0),
+            "board_recalibrations": fleet_counters.get("board_recalibrations", 0),
+            "fleet_exhausted": fleet_counters.get("fleet_exhausted", 0),
+            "analog_settles": len(merged.spans_named("analog_settle")),
+        }
+
+    return _measure("fleet_soak", params, seed, body)
+
+
 _BENCH_RUNNERS: Dict[str, Callable[[Dict[str, Any], int], BenchmarkResult]] = {
     "trajectory": _bench_trajectory,
     "figure8_seeding": _bench_figure8,
     "serve_batch": _bench_serve_batch,
     "kernel_micro": _bench_kernel_micro,
     "service_soak": _bench_service_soak,
+    "fleet_soak": _bench_fleet_soak,
 }
 
 

@@ -195,6 +195,7 @@ def runtime_config_record(runtime: "Runtime") -> Dict[str, Any]:
             ladder_kwargs = json.loads(json.dumps(ladder_kwargs))
         except (TypeError, ValueError):
             ladder_kwargs = None
+    fleet_config = getattr(runtime, "fleet_config", None)
     return {
         "seed": runtime.seed,
         "workers": runtime.workers,
@@ -209,6 +210,7 @@ def runtime_config_record(runtime: "Runtime") -> Dict[str, Any]:
         "faults": faults,
         "degradation": degradation,
         "ladder_kwargs": ladder_kwargs,
+        "fleet": fleet_config.to_record() if fleet_config is not None else None,
     }
 
 
@@ -243,6 +245,11 @@ def runtime_from_config(config: Dict[str, Any], **overrides: Any) -> "Runtime":
         raw["stuck_tiles"] = tuple(raw.get("stuck_tiles") or ())
         raw["dead_dacs"] = tuple(raw.get("dead_dacs") or ())
         degradation = DegradationModel(**raw)
+    fleet = None
+    if config.get("fleet") is not None:
+        from repro.fleet.scheduler import FleetConfig
+
+        fleet = FleetConfig.from_record(config["fleet"])
     kwargs: Dict[str, Any] = {
         "workers": config.get("workers", 1),
         "queue_limit": config.get("queue_limit", 256),
@@ -252,6 +259,7 @@ def runtime_from_config(config: Dict[str, Any], **overrides: Any) -> "Runtime":
         "ladder_kwargs": config.get("ladder_kwargs"),
         "poll_interval": config.get("poll_interval", 0.02),
         "degradation": degradation,
+        "fleet": fleet,
     }
     kwargs.update(overrides)
     return Runtime(**kwargs)

@@ -11,6 +11,8 @@
     python -m repro serve-batch --resume /tmp/batch.journal
     python -m repro serve --requests 12 --shards 3 --workers-per-shard 2
     python -m repro serve --requests 12 --shards 3 --journal-dir /tmp/svc
+    python -m repro serve --requests 12 --boards 4 --degradation offset_drift_sigma=0.4
+    python -m repro capacity --boards 1,2,4 --rates 8,16 --slo 1e-6
     python -m repro trajectory --nx 8 --steps 40 --checkpoint-dir /tmp/ck
     python -m repro trajectory --nx 8 --steps 40 --checkpoint-dir /tmp/ck --resume
     python -m repro trace-summary /tmp/batch.jsonl
@@ -31,7 +33,14 @@ scale-out sibling: the same request stream pushed through the sharded
 async solve service (:mod:`repro.service`) — admission control,
 per-tenant priorities, N journaled Runtime shards, journal-replay
 fail-over when a shard's pool dies — with per-shard traces merged
-into one file. ``health-report``
+into one file. ``--boards N`` (on both commands) routes every analog
+settle through a fleet of N independently drifting boards
+(:mod:`repro.fleet`): health-aware routing, predictive seed gating,
+board-granularity quarantine with pressure-triggered recalibration,
+and a structured fleet-exhausted fallback; ``--kill-board B:A`` is the
+matching chaos seam. ``capacity`` sweeps fleet sizes against offered
+load and an accuracy SLO and reports how many boards each rate needs.
+``health-report``
 runs one persistent board through a sequence of solves and renders the
 analog health layer's verdict (tile statistics, seed-gate rejections,
 quarantines, recalibrations).
@@ -119,6 +128,21 @@ def _parse_degradation(text: str) -> DegradationModel:
         return DegradationModel.from_spec(text)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc))
+
+
+def _parse_kill_board(text: str) -> tuple:
+    """Parse the ``--kill-board BOARD:AFTER`` chaos spec."""
+    board, sep, after = text.partition(":")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"kill spec {text!r} is not of the form BOARD:AFTER_ROUTES"
+        )
+    try:
+        return (int(board), int(after))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"kill spec {text!r} needs integer board id and route count"
+        )
 
 
 def _parse_fault_rates(text: str) -> dict:
@@ -242,6 +266,32 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     serve.add_argument(
+        "--boards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="route analog settles across a fleet of N independently "
+        "drifting boards (health-aware routing, predictive seed "
+        "gating, board quarantine); default: the single pre-fleet board",
+    )
+    serve.add_argument(
+        "--kill-board",
+        type=_parse_kill_board,
+        default=None,
+        metavar="BOARD:AFTER",
+        help="chaos seam: kill fleet board BOARD once AFTER routing "
+        "decisions have been made (requires --boards)",
+    )
+    serve.add_argument(
+        "--settle-max-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound each analog settle to N accepted integrator steps "
+        "(a drifted board then costs bounded work instead of "
+        "unbounded wall-clock)",
+    )
+    serve.add_argument(
         "--journal",
         metavar="PATH",
         default=None,
@@ -313,6 +363,77 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write per-shard write-ahead journals into DIR (enables "
         "journal-replay fail-over when a shard crashes)",
     )
+    service.add_argument(
+        "--boards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="share one fleet of N analog boards across every shard "
+        "(health-aware routing, predictive gating, quarantine)",
+    )
+    service.add_argument(
+        "--kill-board",
+        type=_parse_kill_board,
+        default=None,
+        metavar="BOARD:AFTER",
+        help="chaos seam: kill fleet board BOARD once AFTER routing "
+        "decisions have been made (requires --boards)",
+    )
+    service.add_argument(
+        "--settle-max-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound each analog settle to N accepted integrator steps",
+    )
+
+    capacity = sub.add_parser(
+        "capacity",
+        help="sweep fleet sizes vs. request rates against an accuracy SLO",
+        parents=[traceable],
+    )
+    capacity.add_argument(
+        "--boards",
+        type=_parse_ints,
+        default=(1, 2, 4),
+        metavar="N,N,...",
+        help="fleet sizes to sweep (default 1,2,4)",
+    )
+    capacity.add_argument(
+        "--rates",
+        type=_parse_ints,
+        default=(8, 16),
+        metavar="N,N,...",
+        help="offered loads (requests per batch) to sweep (default 8,16)",
+    )
+    capacity.add_argument(
+        "--slo",
+        type=float,
+        default=1e-6,
+        help="accuracy SLO: residual bound an analog-served answer must meet",
+    )
+    capacity.add_argument(
+        "--target",
+        type=float,
+        default=0.75,
+        help="target fraction of requests served on the analog path",
+    )
+    capacity.add_argument(
+        "--drift-sigma",
+        type=float,
+        default=0.35,
+        help="degradation drift level the fleet is sized against",
+    )
+    capacity.add_argument("--seed", type=int, default=0, help="sweep seed")
+    capacity.add_argument(
+        "--analog-time-limit", type=float, default=0.5, help="analog settle budget per attempt"
+    )
+    capacity.add_argument(
+        "--settle-max-steps",
+        type=int,
+        default=2000,
+        help="accepted-integrator-step bound per settle (keeps drifted boards cheap)",
+    )
 
     traj = sub.add_parser(
         "trajectory",
@@ -371,6 +492,21 @@ def _build_parser() -> argparse.ArgumentParser:
     health.add_argument(
         "--analog-time-limit", type=float, default=60.0, help="analog settle budget per solve"
     )
+    health.add_argument(
+        "--boards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="route the solves through an N-board fleet and add a per-board table "
+        "(boards that never settled render '-' rates)",
+    )
+    health.add_argument(
+        "--settle-max-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="integrator step budget per analog settle (fleet mode)",
+    )
 
     summary = sub.add_parser("trace-summary", help="render a per-phase summary of a trace file")
     summary.add_argument("path", help="JSONL trace written by --trace")
@@ -410,7 +546,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="BASELINE",
         default=None,
         help="gate this run against a previous BENCH_<n>.json; exits 1 on "
-        "a hot-path regression past tolerance",
+        "a hot-path regression past tolerance, 3 if BASELINE does not exist",
     )
     bench.add_argument(
         "--time-tolerance",
@@ -432,6 +568,23 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _fleet_config(args):
+    """Build the FleetConfig for ``--boards``/``--kill-board`` (or None)."""
+    from repro.fleet import FleetConfig
+
+    if args.boards is None and args.kill_board is None:
+        return None
+    if args.boards is None:
+        raise SystemExit("--kill-board requires --boards")
+    return FleetConfig(boards=args.boards, kill_board_after=args.kill_board)
+
+
+def _ladder_kwargs(args):
+    if getattr(args, "settle_max_steps", None) is None:
+        return None
+    return {"settle_max_steps": args.settle_max_steps}
+
+
 def _make_tracer(trace_path: Optional[str], command: str, **manifest) -> Optional[Tracer]:
     """Build a recording tracer when ``--trace`` was given, else None.
 
@@ -447,7 +600,10 @@ def _run_bench_command(args) -> int:
     """Run the bench suite, write the report, optionally gate it.
 
     Exit codes: 0 ok, 1 regression gate failed, 2 reports not
-    comparable (scale/seed mismatch).
+    comparable (scale/seed mismatch), 3 baseline snapshot missing.
+    The missing-baseline case gets its own code so CI can tell "the
+    trajectory snapshot was never committed / a path was fat-fingered"
+    apart from a real perf regression.
     """
     from pathlib import Path
 
@@ -473,7 +629,17 @@ def _run_bench_command(args) -> int:
         parts.append(f"wrote {out_path}")
     exit_code = 0
     if args.compare is not None:
-        baseline = BenchReport.load(args.compare)
+        try:
+            baseline = BenchReport.load(args.compare)
+        except FileNotFoundError:
+            print("\n\n".join(parts))
+            print(
+                f"bench compare refused: baseline snapshot {args.compare!r} does not "
+                "exist; pass the committed BENCH_<n>.json path (or run `repro bench` "
+                "once to create the first snapshot)",
+                file=sys.stderr,
+            )
+            return 3
         try:
             comparison = compare_reports(
                 baseline,
@@ -504,6 +670,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("sweeps:  sweep (parallel: " + " ".join(sorted(SWEEP_RUNNERS)) + ")")
         print("runtime: serve-batch (fault-tolerant batch solving; --journal/--resume)")
         print("         serve (sharded async solve service; admission, fail-over)")
+        print("         capacity (fleet sizing: boards vs. request rate vs. SLO)")
         print("         health-report (analog board aging + health monitor)")
         print("         trajectory (checkpointed, crash-resumable integration)")
         print("tools:   trace-summary")
@@ -629,6 +796,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 degradation=args.degradation,
                 journal=(BatchJournal(args.journal) if args.journal else None),
                 crash_after_outcomes=args.crash_after_outcomes,
+                ladder_kwargs=_ladder_kwargs(args),
+                fleet=_fleet_config(args),
             )
         try:
             with GracefulShutdown() as shutdown:
@@ -677,6 +846,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             ),
             degradation=args.degradation,
             journal_dir=args.journal_dir,
+            ladder_kwargs=_ladder_kwargs(args),
+            fleet=_fleet_config(args),
         )
     elif command == "trajectory":
         tracer = _make_tracer(
@@ -712,6 +883,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.out is not None:
             completed = len(result.trajectory.newton_results)
             np.save(args.out, result.trajectory.states[: completed + 1])
+    elif command == "capacity":
+        from repro.experiments import run_capacity
+
+        tracer = _make_tracer(
+            args.trace,
+            command,
+            boards=list(args.boards),
+            rates=list(args.rates),
+            slo=args.slo,
+            target=args.target,
+            seed=args.seed,
+        )
+        result = run_capacity(
+            boards_list=args.boards,
+            rates=args.rates,
+            slo=args.slo,
+            target=args.target,
+            drift_sigma=args.drift_sigma,
+            seed=args.seed,
+            analog_time_limit=args.analog_time_limit,
+            settle_max_steps=args.settle_max_steps,
+            tracer=tracer,
+        )
     elif command == "health-report":
         tracer = _make_tracer(
             args.trace,
@@ -728,6 +922,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             degradation=args.degradation,
             analog_time_limit=args.analog_time_limit,
+            boards=args.boards,
+            settle_max_steps=args.settle_max_steps,
             tracer=tracer,
         )
     else:  # pragma: no cover - argparse guards this

@@ -18,6 +18,7 @@ from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure7 import run_figure7
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.figure9 import run_figure9
+from repro.experiments.capacity import run_capacity
 from repro.experiments.parallel import run_parallel_sweep
 from repro.experiments.trajectory import run_trajectory
 
@@ -33,6 +34,7 @@ __all__ = [
     "run_figure7",
     "run_figure8",
     "run_figure9",
+    "run_capacity",
     "run_parallel_sweep",
     "run_trajectory",
 ]

@@ -1,0 +1,176 @@
+"""Fleet capacity planning: boards needed vs. request rate vs. SLO.
+
+The north star's "many users, many boards" question in its operational
+form: given an offered load (requests per batch) and an accuracy SLO
+(the residual bound an analog-served answer must meet), how many
+boards does the fleet need so that a target fraction of requests is
+actually served on the analog path? Every request still *completes* —
+the ladder degrades to damped Newton when the fleet vetoes or runs
+out of healthy boards — but each veto, quarantine, or exhaustion
+forfeits the analog speedup the fleet exists to deliver, so the
+capacity metric is the **analog service level**: the fraction of
+requests that converged off the hybrid rung within the SLO.
+
+``run_capacity`` sweeps a grid of (boards, rate) cells. Each cell is
+one serial :class:`~repro.runtime.runtime.Runtime` batch over cheap
+coupled-quadratic instances against a drifting
+:class:`~repro.analog.health.DegradationModel`, with a bounded settle
+budget (``settle_max_steps``) so a badly drifted board costs a capped
+amount of work instead of unbounded integrator wall-clock. All the
+usual seed discipline applies: a cell's outcome depends only on
+(seed, boards, rate), never on which cells ran before it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analog.health import DegradationModel
+from repro.fleet import FleetConfig
+from repro.reporting import ascii_table
+from repro.runtime.api import ProblemSpec, RetryPolicy, SolveRequest
+from repro.runtime.runtime import Runtime
+from repro.trace.tracer import TracerLike, as_tracer
+
+__all__ = ["CapacityResult", "run_capacity"]
+
+
+@dataclass
+class CapacityResult:
+    """The sweep grid plus the boards-needed answer per rate."""
+
+    slo: float
+    target: float
+    boards_list: Tuple[int, ...]
+    rates: Tuple[int, ...]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def cell(self, boards: int, rate: int) -> Optional[Dict[str, Any]]:
+        for row in self.rows:
+            if row["boards"] == boards and row["rate"] == rate:
+                return row
+        return None
+
+    def boards_needed(self) -> Dict[int, Optional[int]]:
+        """Per rate: the smallest swept fleet meeting the target, or
+        ``None`` when no swept size does (capacity exhausted)."""
+        needed: Dict[int, Optional[int]] = {}
+        for rate in self.rates:
+            needed[rate] = None
+            for boards in sorted(self.boards_list):
+                row = self.cell(boards, rate)
+                if row is not None and row["analog_fraction"] >= self.target:
+                    needed[rate] = boards
+                    break
+        return needed
+
+    def render(self) -> str:
+        table = ascii_table(
+            [
+                {
+                    "boards": row["boards"],
+                    "rate": row["rate"],
+                    "analog_served": row["analog_served"],
+                    "analog_fraction": f"{row['analog_fraction']:.2f}",
+                    "slo_met": "yes" if row["analog_fraction"] >= self.target else "no",
+                    "settles_avoided": row["settles_avoided"],
+                    "exhausted": row["fleet_exhausted"],
+                    "quarantines": row["quarantines"],
+                }
+                for row in self.rows
+            ]
+        )
+        needed_lines = []
+        for rate, boards in sorted(self.boards_needed().items()):
+            needed_lines.append(
+                f"  rate {rate}: {boards} board(s)"
+                if boards is not None
+                else f"  rate {rate}: beyond swept fleet sizes"
+            )
+        headline = (
+            f"fleet capacity: accuracy SLO residual <= {self.slo:g}, "
+            f"target analog fraction >= {self.target:g}"
+        )
+        return "\n".join(
+            [headline, "", table, "", "boards needed per rate:"] + needed_lines
+        )
+
+
+def run_capacity(
+    boards_list: Sequence[int] = (1, 2, 4),
+    rates: Sequence[int] = (8, 16),
+    slo: float = 1e-6,
+    target: float = 0.75,
+    drift_sigma: float = 0.35,
+    seed: int = 0,
+    analog_time_limit: float = 0.5,
+    settle_max_steps: int = 2000,
+    retry: Optional[RetryPolicy] = None,
+    tracer: Optional[TracerLike] = None,
+) -> CapacityResult:
+    """Sweep boards x rate and measure the analog service level.
+
+    One Runtime per cell, all sharing the sweep ``seed``; the
+    degradation model drifts with ``drift_sigma`` so boards sicken,
+    get vetoed, quarantine, and recalibrate at realistic frequencies.
+    """
+    boards_list = tuple(int(b) for b in boards_list)
+    rates = tuple(int(r) for r in rates)
+    if not boards_list or min(boards_list) < 1:
+        raise ValueError("boards_list must name fleet sizes >= 1")
+    if not rates or min(rates) < 1:
+        raise ValueError("rates must name request counts >= 1")
+    tracer = as_tracer(tracer)
+    retry = retry or RetryPolicy(max_attempts=2, base_delay=0.0, max_delay=0.0, jitter=0.0)
+    result = CapacityResult(
+        slo=float(slo), target=float(target), boards_list=boards_list, rates=rates
+    )
+    for boards in boards_list:
+        for rate in rates:
+            with tracer.span("capacity_cell", boards=boards, rate=rate):
+                degradation = DegradationModel(
+                    offset_drift_sigma=float(drift_sigma),
+                    gain_drift_sigma=float(drift_sigma) / 2.0,
+                    seed=seed,
+                )
+                runtime = Runtime(
+                    seed=seed,
+                    retry=retry,
+                    degradation=degradation,
+                    ladder_kwargs={"settle_max_steps": int(settle_max_steps)},
+                    fleet=FleetConfig(boards=boards),
+                )
+                requests = [
+                    SolveRequest(
+                        request_id=f"cap-{rate}-{index:04d}",
+                        problem=ProblemSpec.quadratic(1.0 + 0.05 * index, 1.0),
+                        analog_time_limit=analog_time_limit,
+                    )
+                    for index in range(rate)
+                ]
+                batch = runtime.run_batch(requests)
+                analog_served = sum(
+                    1
+                    for outcome in batch.outcomes
+                    if outcome.ok
+                    and outcome.rung == "hybrid"
+                    and outcome.residual_norm is not None
+                    and outcome.residual_norm <= slo
+                )
+                stats = runtime.fleet.stats()
+                counters = stats["counters"]
+                result.rows.append(
+                    {
+                        "boards": boards,
+                        "rate": rate,
+                        "completed": batch.completed,
+                        "analog_served": analog_served,
+                        "analog_fraction": analog_served / float(rate),
+                        "settles_avoided": int(counters.get("settles_avoided", 0)),
+                        "fleet_exhausted": int(counters.get("fleet_exhausted", 0)),
+                        "quarantines": int(counters.get("boards_quarantined", 0)),
+                        "recalibrations": int(counters.get("board_recalibrations", 0)),
+                    }
+                )
+    return result

@@ -133,6 +133,7 @@ def continuous_newton_solve(
     atol: float = 1e-10,
     linear_solver: Optional[LinearSolver] = None,
     residual_tolerance: float = 1e-5,
+    max_steps: int = 1_000_000,
 ) -> ContinuousNewtonResult:
     """Integrate the continuous Newton flow from ``u0`` until settled.
 
@@ -146,6 +147,13 @@ def continuous_newton_solve(
         The run counts as converged only if it settled *and* the final
         residual is below this — settling far from a root (e.g. at a
         saturation rail) is reported honestly as failure.
+    max_steps:
+        Accepted-step budget for the integrator. A badly degraded
+        board's flow can shrink the adaptive step until covering the
+        time limit costs unbounded wall-clock; a real board's settle
+        window is wall-clock bounded, so the simulation's must be too.
+        Exhausting the budget reads out wherever the flow stands —
+        an unsettled, unconverged run the seed gate then rejects.
     """
     u0 = np.asarray(u0, dtype=float)
     if u0.shape != (system.dimension,):
@@ -164,6 +172,7 @@ def continuous_newton_solve(
             dwell=dwell,
             rtol=rtol,
             atol=atol,
+            max_steps=max_steps,
         )
     else:
         rhs = _circuit_rhs(system, gain)
@@ -184,6 +193,7 @@ def continuous_newton_solve(
             time_limit,
             rtol=rtol,
             atol=atol,
+            max_steps=max_steps,
             step_callback=masked_detector,
         )
     u_final = solution.final_state[: system.dimension]

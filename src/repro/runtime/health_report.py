@@ -12,12 +12,19 @@ recalibration that restores hybrid-rung service.
 
 Everything is seeded, so the report is bitwise reproducible — the CLI's
 golden-file test pins it.
+
+With ``boards=N`` the same solve sequence runs through a
+:class:`~repro.runtime.runtime.Runtime` drawing from an N-board
+:class:`~repro.fleet.scheduler.AnalogFleet`, and the report adds a
+per-board table. A board the scheduler never routed to (or that only
+ever got vetoed) has zero settled attempts; its rate columns render
+"-" instead of dividing by zero.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
 
 from repro.analog.engine import AnalogAccelerator
 from repro.analog.health import DegradationModel
@@ -29,6 +36,17 @@ from repro.trace.tracer import TracerLike, as_tracer
 __all__ = ["HealthReportResult", "run_health_report"]
 
 
+def _rate(numerator: float, denominator: float) -> Optional[float]:
+    """A rate that is ``None`` (rendered "-") on an empty denominator."""
+    if not denominator:
+        return None
+    return numerator / denominator
+
+
+def _fmt(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.2f}"
+
+
 @dataclass
 class HealthReportResult:
     """Per-solve ladder verdicts plus the monitor's final report."""
@@ -37,13 +55,49 @@ class HealthReportResult:
     health_report: str
     solves: int
     degradation_active: bool
+    board_rows: Optional[List[Dict[str, Any]]] = None
+    fleet_counters: Optional[Dict[str, float]] = None
 
     def render(self) -> str:
         header = (
             f"health report: {self.solves} solve(s), degradation "
             f"{'on' if self.degradation_active else 'off'}"
         )
-        return "\n\n".join([header, ascii_table(self.rows), self.health_report])
+        parts = [header, ascii_table(self.rows), self.health_report]
+        if self.board_rows is not None:
+            parts.append(
+                "fleet boards:\n\n"
+                + ascii_table(
+                    [
+                        {
+                            "board": row["board"],
+                            "epoch": row["epoch"],
+                            "routed": row["routed"],
+                            "settled": row["observations"],
+                            "veto rate": _fmt(_rate(row["vetoes"], row["routed"])),
+                            "rejection EWMA": (
+                                "-"
+                                if row["observations"] == 0
+                                else f"{row['rejection_ewma']:.2f}"
+                            ),
+                            "quarantined": "yes" if row["quarantined"] else "-",
+                            "killed": "yes" if row["killed"] else "-",
+                        }
+                        for row in self.board_rows
+                    ]
+                )
+            )
+            counters = self.fleet_counters or {}
+            parts.append(
+                "fleet counters: "
+                + (
+                    ", ".join(
+                        f"{name}={value:g}" for name, value in sorted(counters.items())
+                    )
+                    or "(none)"
+                )
+            )
+        return "\n\n".join(parts)
 
 
 def run_health_report(
@@ -53,6 +107,8 @@ def run_health_report(
     seed: int = 0,
     degradation: Optional[DegradationModel] = None,
     analog_time_limit: float = 60.0,
+    boards: Optional[int] = None,
+    settle_max_steps: Optional[int] = None,
     tracer: Optional[TracerLike] = None,
 ) -> HealthReportResult:
     """Age one board across ``solves`` Burgers solves and report.
@@ -60,10 +116,24 @@ def run_health_report(
     The accelerator (die seeded by ``seed``) persists across the whole
     sequence, so the monitor's EWMAs, quarantine and recalibration
     state accumulate exactly as they would in a long-lived service.
+    With ``boards=N`` the solves instead route through an N-board
+    fleet and the report grows a per-board table.
     """
     if solves < 1:
         raise ValueError("solves must be at least 1")
     tracer = as_tracer(tracer)
+    if boards is not None:
+        return _run_fleet_health_report(
+            solves=solves,
+            grid_n=grid_n,
+            reynolds=reynolds,
+            seed=seed,
+            degradation=degradation,
+            analog_time_limit=analog_time_limit,
+            boards=boards,
+            settle_max_steps=settle_max_steps,
+            tracer=tracer,
+        )
     accelerator = AnalogAccelerator(seed=seed, degradation=degradation)
     ladder = DegradationLadder(accelerator=accelerator)
     monitor = accelerator.health
@@ -96,4 +166,75 @@ def run_health_report(
         health_report=monitor.render_report(),
         solves=solves,
         degradation_active=degradation is not None and degradation.active,
+    )
+
+
+def _run_fleet_health_report(
+    solves: int,
+    grid_n: int,
+    reynolds: float,
+    seed: int,
+    degradation: Optional[DegradationModel],
+    analog_time_limit: float,
+    boards: int,
+    settle_max_steps: Optional[int],
+    tracer,
+) -> HealthReportResult:
+    """The ``boards=N`` variant: same solves, routed through a fleet."""
+    from repro.fleet import FleetConfig
+    from repro.runtime.api import RetryPolicy, SolveRequest
+    from repro.runtime.runtime import Runtime
+
+    if boards < 1:
+        raise ValueError("boards must be at least 1")
+    ladder_kwargs = (
+        {"settle_max_steps": int(settle_max_steps)} if settle_max_steps else None
+    )
+    runtime = Runtime(
+        seed=seed,
+        retry=RetryPolicy(max_attempts=2, base_delay=0.0, max_delay=0.0, jitter=0.0),
+        degradation=degradation,
+        ladder_kwargs=ladder_kwargs,
+        fleet=FleetConfig(boards=boards),
+    )
+    requests = [
+        SolveRequest(
+            request_id=f"health-{index:04d}",
+            problem=ProblemSpec.burgers(
+                grid_n=grid_n, reynolds=reynolds, seed=seed + index
+            ),
+            analog_time_limit=analog_time_limit,
+        )
+        for index in range(solves)
+    ]
+    with tracer.span("health_report", solves=solves, grid_n=grid_n, boards=boards):
+        batch = runtime.run_batch(requests)
+    rows = [
+        {
+            "solve": index,
+            "rung": outcome.rung or "-",
+            "converged": "yes" if outcome.ok else "no",
+            "rungs tried": ">".join(outcome.rungs_tried) or "-",
+            "residual": (
+                f"{outcome.residual_norm:.1e}"
+                if outcome.residual_norm != float("inf")
+                else "-"
+            ),
+            "attempts": outcome.attempts,
+        }
+        for index, outcome in enumerate(batch.outcomes)
+    ]
+    stats = runtime.fleet.stats()
+    summary = (
+        f"fleet of {boards} board(s): {stats['routes']} route(s), "
+        f"quarantine pressure {stats['quarantine_pressure']:.2f}, "
+        f"routed while ineligible {stats['routed_while_ineligible']}"
+    )
+    return HealthReportResult(
+        rows=rows,
+        health_report=summary,
+        solves=solves,
+        degradation_active=degradation is not None and degradation.active,
+        board_rows=stats["boards"],
+        fleet_counters=stats["counters"],
     )

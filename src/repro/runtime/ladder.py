@@ -157,8 +157,12 @@ class DegradationLadder:
         fallback_options: Optional[NewtonOptions] = None,
         schedule: Optional[HomotopySchedule] = None,
         rungs: Tuple[str, ...] = DEFAULT_RUNGS,
+        settle_max_steps: int = 1_000_000,
     ):
         self.accelerator = accelerator or AnalogAccelerator()
+        if settle_max_steps < 1:
+            raise ValueError("settle_max_steps must be at least 1")
+        self.settle_max_steps = int(settle_max_steps)
         self.polish_options = polish_options or NewtonOptions(
             damping=1.0, tolerance=1e3 * _DOUBLE_EPS, max_iterations=100
         )
@@ -315,6 +319,7 @@ class DegradationLadder:
             value_bound=value_bound,
             time_limit=analog_time_limit,
             tracer=tracer,
+            settle_max_steps=self.settle_max_steps,
         )
         if analog.converged and not analog.seed_accepted:
             # The seed gate refused the settled analog solution (it is

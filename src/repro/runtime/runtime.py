@@ -56,6 +56,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.analog.engine import AnalogAccelerator
 from repro.analog.health import DegradationModel, DegradationSchedule
 from repro.checkpoint.signals import GracefulShutdown, RunInterrupted
+from repro.fleet.board import BoardAssignment
+from repro.fleet.scheduler import AnalogFleet, FleetConfig
 from repro.reporting import ascii_table
 from repro.runtime.api import (
     Deadline,
@@ -68,7 +70,7 @@ from repro.runtime.api import (
     stable_seed,
 )
 from repro.runtime.faults import FaultInjector, InjectedWorkerCrash
-from repro.runtime.ladder import DegradationLadder
+from repro.runtime.ladder import DEFAULT_RUNGS, DegradationLadder
 from repro.trace.tracer import Tracer, TracerLike, as_tracer
 
 __all__ = ["AttemptReport", "BatchResult", "Runtime"]
@@ -115,6 +117,7 @@ def _execute_attempt(
     allow_process_exit: bool,
     ladder_kwargs: Optional[Dict[str, Any]] = None,
     degradation: Optional[DegradationModel] = None,
+    board: Optional[BoardAssignment] = None,
 ) -> AttemptReport:
     """Run one solve attempt; top-level so the pool can pickle it.
 
@@ -128,6 +131,15 @@ def _execute_attempt(
     attempt's board (its schedule seeded per attempt so any worker
     reproduces it bitwise); a ``degrade_analog`` fault for this attempt
     takes precedence.
+
+    ``board`` is the fleet's routing decision for this attempt. It
+    supersedes the single-board streams: the die and drift-walk seeds
+    come from the assigned board (board 0 of a one-board fleet gives
+    exactly the single-board streams, the bitwise-equality anchor),
+    its per-board degradation model replaces ``degradation``, and a
+    vetoed or fleet-exhausted assignment strips the hybrid rung — the
+    attempt degrades straight to the digital rungs without paying for
+    a settle.
     """
     t0 = time.perf_counter()
     fault_log: List[str] = []
@@ -149,13 +161,26 @@ def _execute_attempt(
             if faults is not None
             else None
         )
-        if schedule is None and degradation is not None:
-            schedule = DegradationSchedule(
-                degradation,
-                seed=stable_seed(runtime_seed, request.request_id, attempt, "degradation"),
-            )
+        if schedule is None:
+            if board is not None:
+                if board.degradation is not None and not board.fleet_exhausted:
+                    schedule = DegradationSchedule(
+                        board.degradation, seed=board.degradation_seed
+                    )
+            elif degradation is not None:
+                schedule = DegradationSchedule(
+                    degradation,
+                    seed=stable_seed(
+                        runtime_seed, request.request_id, attempt, "degradation"
+                    ),
+                )
+        die_seed = (
+            board.die_seed
+            if board is not None
+            else stable_seed(runtime_seed, request.request_id, attempt, "die") % (2**31)
+        )
         accelerator = AnalogAccelerator(
-            seed=stable_seed(runtime_seed, request.request_id, attempt, "die") % (2**31),
+            seed=die_seed,
             fault_hook=(
                 faults.analog_hook(request.request_id, attempt, fault_log)
                 if faults is not None
@@ -174,6 +199,16 @@ def _execute_attempt(
             if faults is not None
             else None
         )
+        rungs = request.rungs
+        if board is not None and board.skip_analog:
+            # Predictive veto or fleet exhaustion: the settle is not
+            # paid for; the ladder starts at the digital rungs.
+            base = (
+                rungs
+                if rungs is not None
+                else ((ladder_kwargs or {}).get("rungs") or DEFAULT_RUNGS)
+            )
+            rungs = tuple(r for r in base if r != "hybrid") or ("damped_newton",)
         result = ladder.solve(
             system,
             initial_guess=guess,
@@ -182,7 +217,7 @@ def _execute_attempt(
             deadline=deadline,
             tracer=worker_tracer,
             iteration_hook=hook,
-            rungs=request.rungs,
+            rungs=rungs,
         )
         rungs_tried = result.rungs_tried
         norm = float(result.residual_norm)
@@ -244,6 +279,8 @@ class _RequestState:
         "batch_counters",
         "trace_counters",
         "trace_gauges",
+        "assignments",
+        "pending_fleet_events",
     )
 
     def __init__(self, request: SolveRequest):
@@ -255,6 +292,8 @@ class _RequestState:
         self.batch_counters: Dict[str, float] = {}
         self.trace_counters: Dict[str, float] = {}
         self.trace_gauges: Dict[str, float] = {}
+        self.assignments: Dict[int, BoardAssignment] = {}
+        self.pending_fleet_events: Dict[str, float] = {}
 
 
 @dataclass
@@ -359,6 +398,18 @@ class Runtime:
         ``(seed, request, attempt)`` so worker count never changes the
         drift). A ``degrade_analog`` fault takes precedence for the
         attempts it fires on.
+    fleet:
+        Optional fleet of analog boards: a
+        :class:`~repro.fleet.scheduler.FleetConfig` (the runtime builds
+        and owns the fleet, boards inheriting ``degradation`` unless
+        the config overrides per board) or an already-built
+        :class:`~repro.fleet.scheduler.AnalogFleet` (the service's
+        shared-fleet mode: every shard draws boards from one fleet).
+        Each attempt is routed to the healthiest eligible board
+        (``fleet_route``/``predictive_gate`` spans); a predictive veto
+        or an exhausted fleet skips the hybrid rung entirely. A
+        one-board fleet with default thresholds reproduces the
+        single-board path bitwise.
     journal:
         Optional write-ahead journal (duck-typed;
         :class:`repro.checkpoint.BatchJournal`). When set, the runtime
@@ -393,6 +444,7 @@ class Runtime:
         journal: Optional[Any] = None,
         crash_after_outcomes: Optional[int] = None,
         on_pool_break: str = "degrade",
+        fleet: Optional[Any] = None,
     ):
         if queue_limit < 1:
             raise ValueError("queue_limit must be at least 1")
@@ -409,6 +461,15 @@ class Runtime:
         self.journal = journal
         self.crash_after_outcomes = crash_after_outcomes
         self.on_pool_break = on_pool_break
+        if fleet is None:
+            self.fleet: Optional[AnalogFleet] = None
+            self.fleet_config: Optional[FleetConfig] = None
+        elif isinstance(fleet, AnalogFleet):
+            self.fleet = fleet
+            self.fleet_config = fleet.config
+        else:
+            self.fleet_config = fleet
+            self.fleet = AnalogFleet(fleet, degradation=degradation, seed=self.seed)
         self._outcomes_committed = 0
         self._queue: deque = deque()
 
@@ -580,6 +641,49 @@ class Runtime:
             total_requests=len(all_requests),
         )
 
+    # -- fleet routing --------------------------------------------------
+
+    def _route_attempt(
+        self, state: _RequestState, attempt: int, tracer: TracerLike
+    ) -> Optional[BoardAssignment]:
+        """Ask the fleet for a board before dispatching one attempt.
+
+        Emits the ``fleet_route`` > ``predictive_gate`` spans and
+        stashes the decision's counter events on the request state;
+        they are recorded (and journal-attributed) when the attempt's
+        report is processed.
+        """
+        if self.fleet is None:
+            return None
+        request = state.request
+        assignment, events = self.fleet.route(request, attempt)
+        for name, value in events.items():
+            state.pending_fleet_events[name] = (
+                state.pending_fleet_events.get(name, 0) + value
+            )
+        state.assignments[attempt] = assignment
+        with tracer.span(
+            "fleet_route",
+            request=request.request_id,
+            attempt=attempt,
+            board=assignment.board_id,
+            exhausted=assignment.fleet_exhausted,
+            penalty=assignment.health_penalty,
+            eligible=len(self.fleet.eligible_boards()),
+        ):
+            if not assignment.fleet_exhausted:
+                with tracer.span(
+                    "predictive_gate",
+                    request=request.request_id,
+                    board=assignment.board_id,
+                    decision=assignment.gate_decision,
+                    predicted=assignment.predicted_quality,
+                    conditioning=assignment.conditioning,
+                    threshold=self.fleet.gate.threshold,
+                ):
+                    pass
+        return assignment
+
     # -- attempt bookkeeping -------------------------------------------
 
     def _process_report(
@@ -597,15 +701,36 @@ class Runtime:
         contributed to the batch totals — the replay path re-applies
         those deltas instead of re-solving.
         """
-        state.history.append(report.status)
-        state.faults.extend(report.faults)
-        state.last_report = report
-
         def record(name: str, value: float = 1, tracer_too: bool = True) -> None:
             bump(name, value, tracer_too)
             state.batch_counters[name] = state.batch_counters.get(name, 0) + value
             if tracer_too:
                 state.trace_counters[name] = state.trace_counters.get(name, 0) + value
+
+        if self.fleet is not None:
+            assignment = state.assignments.get(report.attempt)
+            if assignment is not None:
+                # Board fail-over: an answer off a board killed while
+                # the attempt was in flight is voided — the retry
+                # re-routes, exactly like a killed shard's window.
+                reason = self.fleet.invalidate_if_killed(assignment, report)
+                if reason is not None:
+                    report.status = "failed"
+                    report.rung = None
+                    report.solution = None
+                    report.residual_norm = float("inf")
+                    report.error = reason
+                    state.faults.append("board_killed")
+                    record("board_failovers")
+                for name, value in self.fleet.observe(assignment, report).items():
+                    record(name, value)
+            if state.pending_fleet_events:
+                for name, value in state.pending_fleet_events.items():
+                    record(name, value)
+                state.pending_fleet_events = {}
+        state.history.append(report.status)
+        state.faults.extend(report.faults)
+        state.last_report = report
 
         record("runtime_attempts")
         if report.status == "timeout":
@@ -727,6 +852,7 @@ class Runtime:
                 attempt = state.attempts_started
                 state.attempts_started += 1
                 self._journal_attempt(request.request_id, attempt)
+                assignment = self._route_attempt(state, attempt, tracer)
                 try:
                     report = _execute_attempt(
                         request,
@@ -737,6 +863,7 @@ class Runtime:
                         allow_process_exit=False,
                         ladder_kwargs=self.ladder_kwargs,
                         degradation=self.degradation,
+                        board=assignment,
                     )
                 except InjectedWorkerCrash:
                     report = AttemptReport(
@@ -862,6 +989,7 @@ class Runtime:
                     allow_process_exit=False,
                     ladder_kwargs=self.ladder_kwargs,
                     degradation=self.degradation,
+                    board=state.assignments.get(attempt),
                 )
             except InjectedWorkerCrash:
                 report = AttemptReport(
@@ -882,6 +1010,7 @@ class Runtime:
                 attempt = state.attempts_started
                 state.attempts_started += 1
                 self._journal_attempt(request_id, attempt)
+                assignment = self._route_attempt(state, attempt, tracer)
                 if not pooled:
                     run_in_process(state, attempt)
                     continue
@@ -896,6 +1025,7 @@ class Runtime:
                         True,
                         self.ladder_kwargs,
                         self.degradation,
+                        assignment,
                     )
                 except concurrent.futures.BrokenExecutor:
                     # The pool broke between polls; this submission is

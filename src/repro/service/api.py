@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.reporting import ascii_table
 from repro.runtime.api import SolveOutcome
@@ -122,6 +122,7 @@ class ServiceResult:
     latency_p50: float = 0.0
     latency_p99: float = 0.0
     trace_path: Optional[Path] = None
+    fleet: Optional[Dict[str, Any]] = None
 
     def record_for(self, request_id: str) -> Optional[ServiceRecord]:
         for record in self.records:
@@ -181,6 +182,22 @@ class ServiceResult:
                             "reason": rejection.reason,
                         }
                         for rejection in self.rejections
+                    ]
+                )
+            )
+        if self.fleet is not None:
+            parts.append(
+                ascii_table(
+                    [
+                        {
+                            "board": row["board"],
+                            "epoch": row["epoch"],
+                            "routed": row["routed"],
+                            "vetoes": row["vetoes"],
+                            "quarantined": "yes" if row["quarantined"] else "-",
+                            "killed": "yes" if row["killed"] else "-",
+                        }
+                        for row in self.fleet.get("boards", [])
                     ]
                 )
             )

@@ -52,6 +52,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Deque, Dict, List, Optional, Sequence
 
+from repro.fleet import AnalogFleet
 from repro.runtime.api import RetryPolicy, SolveOutcome, SolveRequest
 from repro.service.admission import AdmissionQueue
 from repro.service.api import (
@@ -117,6 +118,16 @@ class SolveService:
     max_failovers:
         A request bounced off this many dead shards resolves as a
         structured failure instead of bouncing forever.
+    fleet:
+        A :class:`~repro.fleet.FleetConfig` (or an already-built
+        :class:`~repro.fleet.AnalogFleet`) shared by *every* shard —
+        the shards are compute placement, the boards are analog
+        capacity, and the two fail independently: a killed shard
+        replays its window from the journal, a killed board voids only
+        the in-flight hybrid answers that came off it. All fleet
+        state lives in this (parent) process behind the fleet's own
+        lock; shard windows running in executor threads route through
+        it concurrently.
     """
 
     def __init__(
@@ -134,6 +145,7 @@ class SolveService:
         journal_dir: Optional[Path] = None,
         tenant_quota: Optional[int] = None,
         max_failovers: int = 3,
+        fleet: Optional[Any] = None,
     ):
         if shards < 1:
             raise ValueError("shards must be at least 1")
@@ -148,6 +160,12 @@ class SolveService:
         self.ladder_kwargs = ladder_kwargs
         self.journal_dir = Path(journal_dir) if journal_dir is not None else None
         self.max_failovers = int(max_failovers)
+        if fleet is None:
+            self.fleet = None
+        elif isinstance(fleet, AnalogFleet):
+            self.fleet = fleet
+        else:
+            self.fleet = AnalogFleet(fleet, degradation=degradation, seed=self.seed)
         self._admission = AdmissionQueue(queue_limit, tenant_quota=tenant_quota)
         self._failover: Deque[_Item] = deque()
         self._items: Dict[str, _Item] = {}
@@ -177,6 +195,7 @@ class SolveService:
                     if self.journal_dir is not None
                     else None
                 ),
+                fleet=self.fleet,
             )
             for index in range(int(shards))
         ]
@@ -227,6 +246,7 @@ class SolveService:
             requests_per_second=(len(records) / elapsed) if elapsed > 0 else 0.0,
             latency_p50=_quantile(latencies, 0.50),
             latency_p99=_quantile(latencies, 0.99),
+            fleet=self.fleet.stats() if self.fleet is not None else None,
         )
         if trace_path is not None:
             result.trace_path = self._export_traces(Path(trace_path))
@@ -373,6 +393,7 @@ class SolveService:
                 else None
             ),
             status="lifeboat",
+            fleet=self.fleet,
         )
         self.shards.append(lifeboat)
         return lifeboat

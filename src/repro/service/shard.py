@@ -49,6 +49,7 @@ class Shard:
         ladder_kwargs: Optional[Dict[str, Any]] = None,
         journal_path: Optional[Path] = None,
         status: str = "healthy",
+        fleet: Optional[Any] = None,
     ):
         self.name = name
         self.status = status  # "healthy" | "dead" | "lifeboat"
@@ -72,6 +73,7 @@ class Shard:
             degradation=degradation,
             journal=self._journal,
             on_pool_break="fail",
+            fleet=fleet,
         )
 
     @property

@@ -146,7 +146,7 @@ class NullTracer:
 
     active = False
 
-    def span(self, name: str, **attrs: Any) -> _NullSpan:
+    def span(self, name: str, /, **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
 
     def absorb(
@@ -206,8 +206,13 @@ class Tracer:
 
     # -- spans --------------------------------------------------------
 
-    def span(self, name: str, **attrs: Any) -> Span:
-        """Open a child span of whatever span is currently innermost."""
+    def span(self, name: str, /, **attrs: Any) -> Span:
+        """Open a child span of whatever span is currently innermost.
+
+        ``name`` is positional-only so an attribute literally named
+        ``name`` (or ``self``) stays an attribute instead of colliding
+        with the parameter.
+        """
         parent = self._stack[-1] if self._stack else None
         handle = Span(
             tracer=self,

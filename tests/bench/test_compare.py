@@ -62,6 +62,17 @@ def baseline_report():
                 "newton_iterations": 60.0,
             },
         ),
+        "fleet_soak": BenchmarkResult(
+            name="fleet_soak",
+            wall_seconds=3.0,
+            span_seconds={"analog_settle": 2.5},
+            work={
+                "requests_completed": 24.0,
+                "runtime_attempts": 24.0,
+                "settles_avoided": 18.0,
+                "analog_settles": 6.0,
+            },
+        ),
     }
     return BenchReport(scale="smoke", seed=0, manifest={}, benchmarks=benchmarks)
 

@@ -74,13 +74,14 @@ class TestRunBenchSuite:
         run_bench_suite(only=("kernel_micro",), progress=seen.append)
         assert seen == ["kernel_micro"]
 
-    def test_suite_names_are_the_documented_five(self):
+    def test_suite_names_are_the_documented_six(self):
         assert BENCHMARK_NAMES == (
             "trajectory",
             "figure8_seeding",
             "serve_batch",
             "kernel_micro",
             "service_soak",
+            "fleet_soak",
         )
 
 
@@ -155,6 +156,26 @@ class TestBenchCli:
         assert code == 2
         assert "not comparable" in capsys.readouterr().err
 
+    def test_compare_missing_baseline_exits_three(self, tmp_path, capsys):
+        # A mistyped or never-committed snapshot path is its own exit
+        # code (3), distinct from a real regression (1) or a scale
+        # mismatch (2) — CI must not report "perf regressed" when the
+        # truth is "there was nothing to compare against".
+        code = main(
+            [
+                "bench",
+                "--only",
+                "kernel_micro",
+                "--no-out",
+                "--compare",
+                str(tmp_path / "BENCH_nope.json"),
+            ]
+        )
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+        assert "BENCH_nope.json" in err
+
 
 class TestRegressionScript:
     """scripts/check_bench_regression.py — the CI gate entry point."""
@@ -201,3 +222,9 @@ class TestRegressionScript:
         broken.write_text('{"bench_schema": 1}')
         proc = self.run_script(path, broken)
         assert proc.returncode == 1, proc.stderr + proc.stdout
+
+    def test_missing_report_exits_three(self, kernel_report, tmp_path):
+        path = kernel_report.save(tmp_path / "BENCH_1.json")
+        proc = self.run_script(tmp_path / "BENCH_nope.json", path)
+        assert proc.returncode == 3, proc.stderr + proc.stdout
+        assert "does not exist" in proc.stderr

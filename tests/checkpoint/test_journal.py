@@ -191,6 +191,36 @@ class TestCrashedBatchResume:
         for ref_outcome, res_outcome in zip(reference.outcomes, resumed.outcomes):
             assert ref_outcome.health == res_outcome.health
 
+    def test_resume_does_not_readmit_committed_requests(self, tmp_path):
+        """Admission is exactly-once across journal replay: a resumed
+        batch must not re-journal ``request_accepted`` for ids the
+        prior run already accepted, nor re-commit outcomes it replays —
+        one accepted record and one committed outcome per id, end to
+        end, no matter where the crash fell."""
+        path = tmp_path / "b.journal"
+        _runtime(journal=BatchJournal(path)).run_batch(_requests())
+
+        _truncate_after_outcomes(path, keep=2)
+        replay = read_journal(path)
+        runtime = replay.build_runtime(journal=BatchJournal.resume(replay))
+        resumed = runtime.run_batch(replay.requests, resume=replay)
+        runtime.journal.close()
+        assert resumed.replayed == 2
+
+        final = read_journal(path)
+        accepted: dict = {}
+        committed: dict = {}
+        for record in final.records:
+            if record["kind"] == "request_accepted":
+                rid = record["request"]["request_id"]
+                accepted[rid] = accepted.get(rid, 0) + 1
+            elif record["kind"] == "outcome_committed":
+                rid = record["request_id"]
+                committed[rid] = committed.get(rid, 0) + 1
+        expected = {f"req-{i:04d}": 1 for i in range(5)}
+        assert accepted == expected
+        assert committed == expected
+
     def test_resume_with_nothing_pending_only_replays(self, tmp_path):
         path = tmp_path / "b.journal"
         reference = _runtime(journal=BatchJournal(path)).run_batch(_requests(3))

@@ -1,0 +1,107 @@
+"""Fleet chaos tier: a board dies and another drifts past quarantine
+mid-batch; the service must still deliver exactly-once.
+
+The board-level mirror of the shard-kill chaos test: the service draws
+analog capacity from one shared three-board fleet while
+
+* the deterministic kill seam (``kill_board_after``) takes a board out
+  mid-batch, and
+* a hot drift model sickens the surviving boards until at least one is
+  quarantined at board granularity,
+
+and the guarantees must hold anyway: every request reaches exactly one
+terminal outcome (one ``outcome_committed`` per id in the write-ahead
+journal), no settle is ever routed to a quarantined or killed board
+(the fleet's audit log counts ``routed_while_ineligible``), and the
+predictive gate keeps earning its keep (``settles_avoided > 0``).
+
+Everything is explicitly seeded; a failure replays byte-for-byte.
+"""
+
+import json
+
+import pytest
+
+from repro.analog.health import DegradationModel
+from repro.fleet import FleetConfig, PredictiveSeedGate
+from repro.runtime import ProblemSpec, RetryPolicy, SolveRequest
+from repro.service import serve_requests
+
+pytestmark = pytest.mark.chaos
+
+
+def _requests(n, prefix="fc"):
+    return [
+        SolveRequest(
+            f"{prefix}-{i:04d}",
+            ProblemSpec.quadratic(1.0 + 0.05 * i, 1.0),
+            analog_time_limit=0.5,
+        )
+        for i in range(n)
+    ]
+
+
+def _committed_counts(journal_dir):
+    counts = {}
+    for path in sorted(journal_dir.glob("*.journal")):
+        for line in path.read_text(encoding="utf-8").splitlines():
+            record = json.loads(line)
+            if record.get("kind") == "outcome_committed":
+                rid = record["request_id"]
+                counts[rid] = counts.get(rid, 0) + 1
+    return counts
+
+
+class TestBoardKillAndQuarantineMidBatch:
+    def test_exactly_once_with_board_killed_and_board_quarantined(self, tmp_path):
+        requests = _requests(24)
+        hot = DegradationModel(offset_drift_sigma=0.55, gain_drift_sigma=0.275, seed=7)
+        result = serve_requests(
+            requests,
+            shards=1,
+            workers_per_shard=1,
+            batch_window=4,
+            queue_limit=16,
+            seed=0,
+            journal_dir=tmp_path,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0, max_delay=0.0, jitter=0.0),
+            degradation=hot,
+            ladder_kwargs={"settle_max_steps": 2000},
+            fleet=FleetConfig(
+                boards=3,
+                kill_board_after=(2, 8),
+                # Pressure 1.0 so a quarantined board STAYS quarantined
+                # for the duration — this test is about the routing
+                # invariant, not the recalibration exit.
+                recalibration_pressure=1.0,
+                gate=PredictiveSeedGate(min_observations=2),
+            ),
+        )
+
+        # Exactly one terminal record per request, all completed: the
+        # dead board and the quarantined board cost analog capacity,
+        # never answers.
+        ids = [record.request_id for record in result.records]
+        assert sorted(ids) == sorted(request.request_id for request in requests)
+        assert len(ids) == len(set(ids))
+        assert result.completed == len(requests)
+        assert result.failed == 0
+        counts = _committed_counts(tmp_path)
+        assert counts == {request.request_id: 1 for request in requests}
+
+        # The chaos landed as scripted: board 2 died mid-batch, and at
+        # least one surviving board drifted past quarantine.
+        assert result.fleet is not None
+        boards = {row["board"]: row for row in result.fleet["boards"]}
+        assert boards[2]["killed"]
+        assert result.fleet["counters"].get("boards_killed") == 1
+        quarantined = [row for row in result.fleet["boards"] if row["quarantined"]]
+        assert quarantined, result.fleet
+        assert all(row["quarantine_reason"] for row in quarantined)
+
+        # The routing invariant under fire: the audit log shows no
+        # settle was ever handed to a quarantined or killed board.
+        assert result.fleet["routed_while_ineligible"] == 0
+
+        # The predictive gate vetoed doomed settles along the way.
+        assert result.fleet["counters"].get("settles_avoided", 0) > 0

@@ -1,0 +1,125 @@
+"""Hypothesis property suite for the fleet scheduler.
+
+The routing safety invariants the chaos tier relies on, checked over
+arbitrary interleavings of route / observe / kill operations:
+
+* the fleet NEVER hands out an ineligible board — every non-exhausted
+  assignment names a board that was neither quarantined nor killed at
+  decision time (and the fleet's own audit log agrees:
+  ``routed_while_ineligible`` stays zero);
+* exhaustion is structured and exact — ``fleet_exhausted`` is returned
+  iff no eligible board existed when the route was requested, never as
+  a spurious fallback while healthy capacity remained;
+* quarantine honours hysteresis — a board is only ever quarantined at
+  or past ``min_observations`` observations, and recalibration (the
+  only quarantine exit short of ``kill``) always bumps the epoch.
+"""
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import AnalogFleet, FleetConfig, PredictiveSeedGate
+from repro.runtime.api import ProblemSpec, SolveRequest
+
+
+@dataclass
+class _Report:
+    """The slice of a ladder report the fleet's observe() reads."""
+
+    rung: Optional[str]
+    rungs_tried: Tuple[str, ...]
+    health: Optional[dict]
+
+
+def _request(index: int) -> SolveRequest:
+    return SolveRequest(f"prop-{index:04d}", ProblemSpec.quadratic())
+
+
+_OPS = st.lists(
+    st.one_of(
+        # route, then feed back synthetic evidence (rejected?, drift).
+        st.tuples(
+            st.just("route"),
+            st.booleans(),
+            st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+        ),
+        st.tuples(st.just("kill"), st.integers(min_value=0, max_value=3)),
+    ),
+    max_size=40,
+)
+
+
+@st.composite
+def _scenarios(draw):
+    boards = draw(st.integers(min_value=1, max_value=4))
+    config = FleetConfig(
+        boards=boards,
+        min_observations=draw(st.integers(min_value=1, max_value=3)),
+        quarantine_rejections=draw(st.floats(min_value=0.3, max_value=0.9)),
+        quarantine_drift=draw(st.floats(min_value=0.5, max_value=2.0)),
+        recalibration_pressure=draw(st.floats(min_value=0.5, max_value=1.0)),
+        # Gating is irrelevant to the routing invariants; disabling it
+        # keeps every routed attempt an observable analog attempt.
+        gate=PredictiveSeedGate(enabled=False),
+    )
+    return config, draw(_OPS)
+
+
+@given(_scenarios())
+@settings(max_examples=60, deadline=None)
+def test_routing_never_hands_out_ineligible_board(scenario):
+    config, ops = scenario
+    fleet = AnalogFleet(config, seed=3)
+    for index, op in enumerate(ops):
+        if op[0] == "kill":
+            board_id = op[1] % config.boards
+            fleet.kill_board(board_id)
+            assert not fleet.boards[board_id].eligible
+            continue
+        _, rejected, drift = op
+        eligible_before = {board.board_id for board in fleet.eligible_boards()}
+        assignment, events = fleet.route(_request(index), attempt=0)
+        if eligible_before:
+            # Healthy capacity existed: it must be used, and only a
+            # board healthy at decision time may be named.
+            assert not assignment.fleet_exhausted
+            assert assignment.board_id in eligible_before
+            assert "fleet_exhausted" not in events
+        else:
+            # No healthy board: exhaustion must be structured, not a
+            # route to a quarantined/killed board.
+            assert assignment.fleet_exhausted
+            assert events.get("fleet_exhausted") == 1
+            continue
+        fleet.observe(
+            assignment,
+            _Report(
+                rung="damped_newton" if rejected else "hybrid",
+                rungs_tried=("hybrid",),
+                health={"gain_drift": {"t0": drift}, "offset_drift": {}},
+            ),
+        )
+    stats = fleet.stats()
+    assert stats["routed_while_ineligible"] == 0
+    for board in fleet.boards:
+        if board.quarantined:
+            assert board.observations >= config.min_observations
+        if board.recalibrations:
+            assert board.epoch == board.recalibrations
+
+
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=12))
+@settings(max_examples=40, deadline=None)
+def test_all_boards_killed_always_exhausts(boards, extra_routes):
+    fleet = AnalogFleet(FleetConfig(boards=boards), seed=0)
+    for board_id in range(boards):
+        fleet.kill_board(board_id)
+    for index in range(1 + extra_routes):
+        assignment, events = fleet.route(_request(index), attempt=0)
+        assert assignment.fleet_exhausted
+        assert assignment.skip_analog
+    assert fleet.stats()["counters"]["fleet_exhausted"] == 1 + extra_routes
+    assert fleet.stats()["routed_while_ineligible"] == 0

@@ -1,4 +1,7 @@
 """Service chaos tier: kill a shard's pool mid-batch, prove exactly-once.
+Plus the admission half of that guarantee: an id whose outcome was
+replayed off a dead shard's journal is *committed* work, and a repeat
+submission must be refused as ``duplicate_request``, never re-run.
 
 The service's core guarantee under fire: every *accepted* request
 reaches exactly one terminal outcome — no losses, no duplicates — even
@@ -19,12 +22,13 @@ pool genuinely breaks). Two scenarios:
 Everything is explicitly seeded; a failure replays byte-for-byte.
 """
 
+import asyncio
 import json
 
 import pytest
 
 from repro.runtime import FaultInjector, FaultSpec, ProblemSpec, RetryPolicy, SolveRequest
-from repro.service import serve_requests
+from repro.service import ServiceRejected, SolveService, serve_requests
 
 pytestmark = pytest.mark.chaos
 
@@ -104,6 +108,55 @@ class TestShardKillFailover:
         # The fleet's journals agree: every request id committed exactly
         # once across all shards — replay did not duplicate, fail-over
         # did not lose.
+        counts = _committed_counts(tmp_path)
+        assert counts == {request.request_id: 1 for request in requests}
+
+    def test_replayed_id_resubmission_is_duplicate_not_rerun(self, tmp_path):
+        """Admission across journal replay: once a killed shard's window
+        has been recovered — committed outcomes replayed, the rest
+        failed over — resubmitting one of those ids must be rejected as
+        ``duplicate_request``. The replay restored the record, so a
+        repeat is a caller bug, not new work; the fleet's journals must
+        still show exactly one commit per id afterwards."""
+        requests = _requests(9, prefix="d")
+
+        async def scenario():
+            service = SolveService(
+                shards=3,
+                workers_per_shard=2,
+                batch_window=4,
+                seed=0,
+                queue_limit=len(requests),
+                journal_dir=tmp_path,
+                retry=RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.05),
+                shard_faults={
+                    0: FaultInjector(
+                        specs=(
+                            FaultSpec(kind="worker_crash", request_id="d-2", attempt=0),
+                        )
+                    )
+                },
+            )
+            await service.start()
+            futures = [service.submit(request) for request in requests]
+            records = await asyncio.gather(*futures)
+            # The crash landed and recovery ran: at least one record
+            # came back off the dead shard's journal.
+            replayed = [r for r in records if r.replayed_from_journal]
+            assert replayed, [r.shard for r in records]
+            by_id = {request.request_id: request for request in requests}
+            reasons = []
+            for record in (replayed[0], records[-1]):
+                with pytest.raises(ServiceRejected) as excinfo:
+                    service.submit(by_id[record.request_id])
+                reasons.append(excinfo.value.reason)
+            result = await service.drain()
+            return reasons, result
+
+        reasons, result = asyncio.run(scenario())
+        assert reasons == ["duplicate_request", "duplicate_request"]
+        assert result.completed == 9
+        assert [r.reason for r in result.rejections] == reasons
         counts = _committed_counts(tmp_path)
         assert counts == {request.request_id: 1 for request in requests}
 

@@ -74,6 +74,34 @@ def test_health_report_rejects_bad_degradation_spec():
         main(["health-report", "--degradation", "not_a_knob=1.0"])
 
 
+def test_health_report_fleet_renders_idle_boards(capsys):
+    # More boards than solves: some boards never settle anything. Their
+    # rate columns must render "-", not raise ZeroDivisionError.
+    assert (
+        main(
+            [
+                "health-report",
+                "--solves",
+                "2",
+                "--boards",
+                "4",
+                "--settle-max-steps",
+                "2000",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "fleet boards:" in out
+    assert "fleet of 4 board(s)" in out
+    idle_rows = [
+        line
+        for line in out.splitlines()
+        if line.startswith(("2 ", "3 ")) and "| -" in line
+    ]
+    assert idle_rows, out
+
+
 def test_list_mentions_health_report(capsys):
     assert main(["list"]) == 0
     assert "health-report" in capsys.readouterr().out
