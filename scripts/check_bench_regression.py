@@ -67,8 +67,23 @@ def _inject_slowdown(report: BenchReport, spec: str) -> None:
     table[key] = type(table[key])(table[key] * factor)
 
 
+EXIT_CODE_EPILOG = """\
+exit codes:
+  0  gate passed: no hot-path regression past tolerance
+  1  regression past tolerance (or an invalid/corrupt report file)
+  2  reports not comparable: baseline and candidate were run at a
+     different scale or seed (rerun `repro bench` to match the baseline)
+  3  missing baseline (or candidate) report file: the committed
+     BENCH_<n>.json snapshot was never created or the path is mistyped
+"""
+
+
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog=EXIT_CODE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     parser.add_argument("baseline", help="previous BENCH_<n>.json")
     parser.add_argument("candidate", help="fresh BENCH_<n>.json to gate")
     parser.add_argument("--time-tolerance", type=float, default=DEFAULT_TIME_TOLERANCE)

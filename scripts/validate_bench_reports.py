@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Validate every committed ``BENCH_<n>.json`` against the bench schema.
+
+    python scripts/validate_bench_reports.py
+    python scripts/validate_bench_reports.py path/to/repo
+
+The committed bench trajectory is only a trustworthy perf baseline if
+every snapshot in it parses and conforms to the schema — a truncated or
+hand-edited report would otherwise surface much later as a confusing
+regression-gate failure. CI runs this on every push; it walks the
+repository root for ``BENCH_<n>.json`` files, runs each through
+:func:`repro.bench.schema.validate_report` *and* a full
+:meth:`repro.bench.schema.BenchReport.load` round trip, and fails on
+the first file with problems.
+
+Exit codes: 0 every report valid, 1 at least one invalid report,
+2 no reports found (a repo with a committed trajectory should never
+see this — it means the glob looked in the wrong directory).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.schema import (  # noqa: E402  (path bootstrap above)
+    BenchReport,
+    list_bench_files,
+    validate_report,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default=".",
+        help="directory holding the committed BENCH_<n>.json files (default: .)",
+    )
+    args = parser.parse_args(argv)
+
+    indexed = list_bench_files(args.root)
+    if not indexed:
+        print(f"no BENCH_<n>.json reports found under {args.root!r}", file=sys.stderr)
+        return 2
+    failures = 0
+    for _, path in indexed:
+        problems = []
+        try:
+            raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            problems = [f"unreadable: {exc}"]
+        else:
+            problems = validate_report(raw)
+        if not problems:
+            try:  # the loader applies stricter coercions than the validator
+                BenchReport.load(path)
+            except ValueError as exc:
+                problems = [str(exc)]
+        if problems:
+            failures += 1
+            print(f"INVALID {path}")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(f"ok      {path}")
+    if failures:
+        print(f"{failures} invalid bench report(s)", file=sys.stderr)
+        return 1
+    print(f"all {len(indexed)} bench report(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -113,6 +113,18 @@ HOT_PATHS: Tuple[HotPath, ...] = (
     HotPath("fleet_soak", "work.runtime_attempts", "work"),
     HotPath("fleet_soak", "work.settles_avoided", "work", higher_is_better=True),
     HotPath("fleet_soak", "work.analog_settles", "work"),
+    # certify soak: the certification layer. The overhead ratio is
+    # wall-clock based (machine-dependent, so kind "time" — skipped by
+    # the cross-machine CI gate); the work metrics pin the defense:
+    # every injected corruption caught, escalated, and blamed, with no
+    # lost requests.
+    HotPath("certify_soak", "wall_seconds", "time"),
+    HotPath("certify_soak", "counters.certify_overhead_ratio", "time"),
+    HotPath("certify_soak", "work.requests_completed", "work", higher_is_better=True),
+    HotPath("certify_soak", "work.corruption_caught", "work", higher_is_better=True),
+    HotPath("certify_soak", "work.resolves_triggered", "work"),
+    HotPath("certify_soak", "work.certificates_failed", "work"),
+    HotPath("certify_soak", "work.bitwise_identical", "work", higher_is_better=True),
 )
 
 

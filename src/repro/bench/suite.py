@@ -30,7 +30,15 @@ iterations, linear solves — deterministic at fixed seed):
   (``settles_avoided``), the audit stream, and quarantine /
   recalibration churn all fire at measurable, seeded rates. One shard
   on purpose: fleet EWMAs evolve with observation order, and a single
-  serial window stream keeps the work metrics bitwise reproducible.
+  serial window stream keeps the work metrics bitwise reproducible;
+* ``certify_soak`` — the certification layer's cost and its defense,
+  in one benchmark: the same Burgers batch is solved uncertified and
+  certified (min-of-repeats timing → ``certify_overhead_ratio``, plus
+  a bitwise-identity check that certification never perturbs a
+  solution), then a certified fleet batch runs under targeted
+  ``silent_corruption`` injection so ``corruption_caught`` /
+  ``resolves_triggered`` / ``boards_condemned`` land as deterministic
+  work metrics the regression gate can pin.
 
 Scales (``--scale``): ``smoke`` is the committed-trajectory /
 CI-comparable size (tens of seconds); ``full`` is the deeper local
@@ -96,6 +104,19 @@ SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
             "analog_time_limit": 0.5,
             "settle_max_steps": 2000,
         },
+        "certify_soak": {
+            "requests": 6,
+            "grids": (2, 4),
+            "reynolds": 1.0,
+            "analog_time_limit": 20.0,
+            "max_attempts": 2,
+            "repeats": 3,
+            "chaos_requests": 12,
+            "chaos_corrupted": 2,
+            "boards": 3,
+            "chaos_analog_time_limit": 0.5,
+            "settle_max_steps": 2000,
+        },
     },
     "full": {
         "trajectory": {"nx": 16, "steps": 20, "dt": 0.05, "scheme": "bdf2", "reynolds": 1.0},
@@ -126,6 +147,19 @@ SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
             "analog_time_limit": 0.5,
             "settle_max_steps": 2000,
         },
+        "certify_soak": {
+            "requests": 12,
+            "grids": (2, 4, 8),
+            "reynolds": 1.0,
+            "analog_time_limit": 60.0,
+            "max_attempts": 2,
+            "repeats": 3,
+            "chaos_requests": 32,
+            "chaos_corrupted": 4,
+            "boards": 4,
+            "chaos_analog_time_limit": 0.5,
+            "settle_max_steps": 2000,
+        },
     },
 }
 
@@ -136,6 +170,7 @@ BENCHMARK_NAMES = (
     "kernel_micro",
     "service_soak",
     "fleet_soak",
+    "certify_soak",
 )
 
 
@@ -452,6 +487,124 @@ def _bench_fleet_soak(params: Dict[str, Any], seed: int) -> BenchmarkResult:
     return _measure("fleet_soak", params, seed, body)
 
 
+def _bench_certify_soak(params: Dict[str, Any], seed: int) -> BenchmarkResult:
+    from repro.fleet import FleetConfig
+    from repro.runtime import (
+        FaultInjector,
+        FaultSpec,
+        ProblemSpec,
+        RetryPolicy,
+        Runtime,
+        SolveRequest,
+    )
+
+    def body(tracer: Tracer) -> Dict[str, float]:
+        grids = tuple(params["grids"])
+
+        def burgers_requests():
+            return [
+                SolveRequest(
+                    request_id=f"certify-{index:04d}",
+                    problem=ProblemSpec.burgers(
+                        grid_n=grids[index % len(grids)],
+                        reynolds=params["reynolds"],
+                        seed=seed + index,
+                    ),
+                    analog_time_limit=params["analog_time_limit"],
+                )
+                for index in range(params["requests"])
+            ]
+
+        def run_once(certify: bool):
+            runtime = Runtime(
+                workers=1,
+                retry=RetryPolicy(max_attempts=params["max_attempts"]),
+                seed=seed,
+                certify=certify or None,
+            )
+            t0 = time.perf_counter()
+            result = runtime.run_batch(burgers_requests(), tracer=Tracer())
+            return time.perf_counter() - t0, result
+
+        # Overhead: min-of-repeats so allocator noise and first-touch
+        # costs do not masquerade as certification cost. The solutions
+        # of the first certified/uncertified pair must match bitwise —
+        # the certificate is a pure observer.
+        plain_times, certified_times = [], []
+        bitwise_identical = 1.0
+        for repeat in range(int(params["repeats"])):
+            plain_elapsed, plain = run_once(certify=False)
+            certified_elapsed, certified = run_once(certify=True)
+            plain_times.append(plain_elapsed)
+            certified_times.append(certified_elapsed)
+            if repeat == 0:
+                for a, b in zip(plain.outcomes, certified.outcomes):
+                    same = (
+                        a.status == b.status
+                        and (a.solution is None) == (b.solution is None)
+                        and (
+                            a.solution is None
+                            or np.array_equal(a.solution, b.solution)
+                        )
+                    )
+                    if not same:
+                        bitwise_identical = 0.0
+        overhead_ratio = min(certified_times) / min(plain_times)
+        tracer.counter("certify_overhead_ratio", overhead_ratio)
+
+        # Defense: a certified fleet batch under targeted silent
+        # corruption. Every injected corruption must be caught by the
+        # certificate, escalated to a digital re-solve, and blamed on
+        # its board — all deterministic at fixed seed, so the gate pins
+        # the caught/escalated counts exactly.
+        corrupted = [
+            f"chaos-{index:04d}"
+            for index in range(int(params["chaos_corrupted"]))
+        ]
+        faults = FaultInjector(
+            specs=tuple(
+                FaultSpec("silent_corruption", request_id=request_id, attempt=0)
+                for request_id in corrupted
+            ),
+            seed=seed,
+        )
+        chaos_runtime = Runtime(
+            workers=1,
+            retry=RetryPolicy(
+                max_attempts=params["max_attempts"],
+                base_delay=0.0,
+                max_delay=0.0,
+                jitter=0.0,
+            ),
+            seed=seed,
+            faults=faults,
+            certify=True,
+            fleet=FleetConfig(boards=int(params["boards"])),
+            ladder_kwargs={"settle_max_steps": int(params["settle_max_steps"])},
+        )
+        chaos_requests = [
+            SolveRequest(
+                request_id=f"chaos-{index:04d}",
+                problem=ProblemSpec.quadratic(rhs0=1.0 + 0.05 * index, rhs1=1.0),
+                analog_time_limit=params["chaos_analog_time_limit"],
+            )
+            for index in range(int(params["chaos_requests"]))
+        ]
+        chaos = chaos_runtime.run_batch(chaos_requests, tracer=tracer)
+        return {
+            "requests_completed": chaos.completed,
+            "requests_failed": chaos.failed,
+            "certificates_checked": chaos.counters.get("certificates_checked", 0),
+            "certificates_failed": chaos.counters.get("certificates_failed", 0),
+            "corruption_caught": chaos.counters.get("corruption_caught", 0),
+            "resolves_triggered": chaos.counters.get("resolves_triggered", 0),
+            "boards_condemned": chaos.counters.get("boards_condemned", 0),
+            "bitwise_identical": bitwise_identical,
+        }
+
+    return _measure("certify_soak", params, seed, body)
+
+
 _BENCH_RUNNERS: Dict[str, Callable[[Dict[str, Any], int], BenchmarkResult]] = {
     "trajectory": _bench_trajectory,
     "figure8_seeding": _bench_figure8,
@@ -459,6 +612,7 @@ _BENCH_RUNNERS: Dict[str, Callable[[Dict[str, Any], int], BenchmarkResult]] = {
     "kernel_micro": _bench_kernel_micro,
     "service_soak": _bench_service_soak,
     "fleet_soak": _bench_fleet_soak,
+    "certify_soak": _bench_certify_soak,
 }
 
 

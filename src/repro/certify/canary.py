@@ -1,0 +1,162 @@
+"""Canary probes: seeded known-answer solves as a leading health signal.
+
+The fleet's rejection/drift EWMAs are *trailing* indicators — they need
+user traffic to fail before they move. A canary probe inverts that: the
+service periodically routes a cheap solve with a *known* answer (the
+paper's Equation 2 coupled quadratic, whose real roots are available in
+closed form) through each board's own seed streams and measures the
+settled solution's error against the analytic root. Drifting silicon
+fails its canary before user traffic sees it, and the board is
+condemned into the existing fleet quarantine.
+
+Probes consume only probe-keyed seed streams
+(``request_id = "canary-<index>"``), disjoint from every traffic
+stream, so enabling canaries never perturbs user-solve determinism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.certify.certificate import CertifyPolicy
+
+__all__ = ["CanaryResult", "canary_reference", "probe_board", "run_canary_sweep"]
+
+# One probe's analog budget: the quadratic is dimension 2; at these
+# bounds a sub-probe settles in ~10 ms of wall time.
+CANARY_TIME_LIMIT = 0.5
+CANARY_SETTLE_MAX_STEPS = 2_000
+CANARY_VALUE_BOUND = 3.0
+# One board verdict = median of this many independently-seeded
+# sub-probes; a single settle's error spread overlaps between healthy
+# and mildly-drifted silicon, the median of three does not.
+CANARY_PROBE_REPEATS = 3
+
+_REFERENCE_CACHE: Optional[Tuple[object, np.ndarray, np.ndarray]] = None
+
+
+def canary_reference() -> Tuple[object, np.ndarray, np.ndarray]:
+    """``(system, initial_guess, real_roots)`` of the canary problem.
+
+    The roots come from the closed-form quartic elimination
+    (:meth:`~repro.nonlinear.systems.CoupledQuadraticSystem.real_roots`),
+    not from any solver under test. Cached — the canary problem is a
+    module constant.
+    """
+    global _REFERENCE_CACHE
+    if _REFERENCE_CACHE is None:
+        from repro.nonlinear.systems import CoupledQuadraticSystem
+
+        system = CoupledQuadraticSystem(1.0, 1.0)
+        roots = np.asarray(system.real_roots(), dtype=float)
+        _REFERENCE_CACHE = (system, np.array([1.0, 1.0]), roots)
+    return _REFERENCE_CACHE
+
+
+@dataclass(frozen=True)
+class CanaryResult:
+    """One board's canary verdict."""
+
+    board_id: int
+    error: float
+    """Median scaled RMS error against the nearest analytic root
+    (:func:`repro.analog.engine.solution_error`, in fractions of the
+    dynamic range) over the sub-probes; non-finite settles score
+    infinite."""
+    passed: bool
+    threshold: float
+
+
+def _sub_probe_error(board, runtime_seed: int, request_id: str) -> float:
+    from repro.analog.engine import AnalogAccelerator, solution_error
+    from repro.analog.health import DegradationSchedule
+
+    system, guess, roots = canary_reference()
+    degradation = None
+    if board.model is not None:
+        degradation = DegradationSchedule(
+            board.model, seed=board.degradation_seed(runtime_seed, request_id, 0)
+        )
+    accelerator = AnalogAccelerator(
+        seed=board.die_seed(runtime_seed, request_id, 0),
+        degradation=degradation,
+    )
+    try:
+        settled = accelerator.solve(
+            system,
+            initial_guess=guess,
+            value_bound=CANARY_VALUE_BOUND,
+            time_limit=CANARY_TIME_LIMIT,
+            settle_max_steps=CANARY_SETTLE_MAX_STEPS,
+        )
+        solution = np.asarray(settled.solution, dtype=float)
+        return min(
+            solution_error(solution, root, scale=CANARY_VALUE_BOUND) for root in roots
+        )
+    except Exception:  # capacity/settle blowups read as a failed probe
+        return float("inf")
+
+
+def probe_board(
+    board,
+    runtime_seed: int,
+    probe_index: int,
+    policy: Optional[CertifyPolicy] = None,
+) -> CanaryResult:
+    """Run the known-answer solve through one board's silicon model.
+
+    Each sub-probe's accelerator die and drift walk are seeded from the
+    *board's own* streams (``die_seed`` / ``degradation_seed``) with a
+    probe-keyed request id, so the probe measures the same silicon user
+    traffic would hit without consuming any traffic stream.
+    """
+    policy = policy or CertifyPolicy()
+    errors = sorted(
+        _sub_probe_error(board, runtime_seed, f"canary-{probe_index}-{sub}")
+        for sub in range(CANARY_PROBE_REPEATS)
+    )
+    error = errors[len(errors) // 2]
+    threshold = policy.canary_threshold
+    passed = bool(np.isfinite(error)) and error <= threshold
+    return CanaryResult(
+        board_id=board.board_id, error=float(error), passed=passed, threshold=threshold
+    )
+
+
+def run_canary_sweep(
+    fleet,
+    runtime_seed: int,
+    probe_index: int,
+    policy: Optional[CertifyPolicy] = None,
+) -> Dict[str, int]:
+    """Probe every eligible board; condemn the ones that fail.
+
+    Returns the counter events of the sweep (``canary_probes``,
+    ``canary_failures``, ``canary_quarantines`` plus the fleet's
+    condemn events), for the caller to fold into its own counters.
+    """
+    policy = policy or CertifyPolicy()
+    events: Dict[str, int] = {}
+
+    def count(name: str, value: int = 1) -> None:
+        events[name] = events.get(name, 0) + value
+
+    for board in list(fleet.boards):
+        if not board.eligible:
+            continue
+        result = probe_board(board, runtime_seed, probe_index, policy=policy)
+        count("canary_probes")
+        if result.passed:
+            continue
+        count("canary_failures")
+        condemned = fleet.condemn(
+            board.board_id, f"canary error {result.error:.3g} > {result.threshold:.3g}"
+        )
+        if condemned.get("boards_condemned"):
+            count("canary_quarantines")
+        for name, value in condemned.items():
+            count(name, value)
+    return events

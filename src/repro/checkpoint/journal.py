@@ -134,6 +134,9 @@ def outcome_to_record(outcome: "SolveOutcome") -> Dict[str, Any]:
         "iterations": outcome.iterations,
         "attempt_history": list(outcome.attempt_history),
         "health": outcome.health,
+        "certificate": (
+            None if outcome.certificate is None else outcome.certificate.to_record()
+        ),
     }
 
 
@@ -141,6 +144,11 @@ def outcome_from_record(record: Dict[str, Any]) -> "SolveOutcome":
     from repro.runtime.api import SolveOutcome
 
     solution = record.get("solution")
+    certificate = record.get("certificate")
+    if certificate is not None:
+        from repro.certify.certificate import SolveCertificate
+
+        certificate = SolveCertificate.from_record(certificate)
     return SolveOutcome(
         request_id=record["request_id"],
         status=record["status"],
@@ -156,6 +164,7 @@ def outcome_from_record(record: Dict[str, Any]) -> "SolveOutcome":
         iterations=record.get("iterations", 0),
         attempt_history=list(record.get("attempt_history") or []),
         health=record.get("health"),
+        certificate=certificate,
     )
 
 
@@ -196,6 +205,7 @@ def runtime_config_record(runtime: "Runtime") -> Dict[str, Any]:
         except (TypeError, ValueError):
             ladder_kwargs = None
     fleet_config = getattr(runtime, "fleet_config", None)
+    certify = getattr(runtime, "certify", None)
     return {
         "seed": runtime.seed,
         "workers": runtime.workers,
@@ -211,6 +221,7 @@ def runtime_config_record(runtime: "Runtime") -> Dict[str, Any]:
         "degradation": degradation,
         "ladder_kwargs": ladder_kwargs,
         "fleet": fleet_config.to_record() if fleet_config is not None else None,
+        "certify": certify.to_record() if certify is not None else None,
     }
 
 
@@ -250,6 +261,11 @@ def runtime_from_config(config: Dict[str, Any], **overrides: Any) -> "Runtime":
         from repro.fleet.scheduler import FleetConfig
 
         fleet = FleetConfig.from_record(config["fleet"])
+    certify = None
+    if config.get("certify") is not None:
+        from repro.certify.certificate import CertifyPolicy
+
+        certify = CertifyPolicy.from_record(config["certify"])
     kwargs: Dict[str, Any] = {
         "workers": config.get("workers", 1),
         "queue_limit": config.get("queue_limit", 256),
@@ -260,6 +276,7 @@ def runtime_from_config(config: Dict[str, Any], **overrides: Any) -> "Runtime":
         "poll_interval": config.get("poll_interval", 0.02),
         "degradation": degradation,
         "fleet": fleet,
+        "certify": certify,
     }
     kwargs.update(overrides)
     return Runtime(**kwargs)

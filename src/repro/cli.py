@@ -9,9 +9,12 @@
     python -m repro serve-batch --requests 8 --workers 4 --trace /tmp/batch.jsonl
     python -m repro serve-batch --requests 50 --journal /tmp/batch.journal
     python -m repro serve-batch --resume /tmp/batch.journal
+    python -m repro serve-batch --requests 8 --certify --journal /tmp/batch.journal
+    python -m repro verify-journal /tmp/batch.journal
     python -m repro serve --requests 12 --shards 3 --workers-per-shard 2
     python -m repro serve --requests 12 --shards 3 --journal-dir /tmp/svc
     python -m repro serve --requests 12 --boards 4 --degradation offset_drift_sigma=0.4
+    python -m repro serve --requests 12 --boards 4 --certify --canary-interval 2
     python -m repro capacity --boards 1,2,4 --rates 8,16 --slo 1e-6
     python -m repro trajectory --nx 8 --steps 40 --checkpoint-dir /tmp/ck
     python -m repro trajectory --nx 8 --steps 40 --checkpoint-dir /tmp/ck --resume
@@ -40,6 +43,16 @@ board-granularity quarantine with pressure-triggered recalibration,
 and a structured fleet-exhausted fallback; ``--kill-board B:A`` is the
 matching chaos seam. ``capacity`` sweeps fleet sizes against offered
 load and an accuracy SLO and reports how many boards each rate needs.
+``--certify`` (on both commands) re-verifies every converged answer
+through the independent solve certificate (:mod:`repro.certify`) —
+recomputed residual, bounds/boundary/conservation checks — escalating
+a failed certificate into a digital re-solve and blaming the board
+that produced the bad answer; ``serve --canary-interval N``
+additionally routes a seeded known-answer probe through every fleet
+board after each N service windows, quarantining drifting silicon
+before user traffic reaches it. ``verify-journal`` re-audits a
+committed journal offline: every stored solution is re-certified from
+scratch and every stored certificate is checked for digest integrity.
 ``health-report``
 runs one persistent board through a sequence of solves and renders the
 analog health layer's verdict (tile statistics, seed-gate rejections,
@@ -308,6 +321,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "is rebuilt from the journal's recorded configuration",
     )
     serve.add_argument(
+        "--certify",
+        action="store_true",
+        help="re-verify every converged answer through the independent "
+        "solve certificate before committing it; a failed certificate "
+        "escalates to a digital re-solve and blames the analog board",
+    )
+    serve.add_argument(
         "--crash-after-outcomes", type=int, default=None, help=argparse.SUPPRESS
     )
 
@@ -385,6 +405,35 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="bound each analog settle to N accepted integrator steps",
+    )
+    service.add_argument(
+        "--certify",
+        action="store_true",
+        help="re-verify every converged answer through the independent "
+        "solve certificate on every shard (escalation on failure)",
+    )
+    service.add_argument(
+        "--canary-interval",
+        type=int,
+        default=None,
+        metavar="N",
+        help="probe every fleet board with a seeded known-answer solve "
+        "after each N service windows, quarantining boards whose "
+        "answers drift (requires --boards)",
+    )
+
+    verify = sub.add_parser(
+        "verify-journal",
+        help="re-certify every committed outcome in a batch journal",
+    )
+    verify.add_argument("path", help="journal written by serve-batch --journal")
+    verify.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="REL",
+        help="override the relative-residual tolerance (default: the "
+        "policy recorded in the journal, else the certify defaults)",
     )
 
     capacity = sub.add_parser(
@@ -668,8 +717,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("tables:  table1 table2 table3 table4 table5")
         print("figures: figure2 figure3 figure6 figure7 figure8 figure9")
         print("sweeps:  sweep (parallel: " + " ".join(sorted(SWEEP_RUNNERS)) + ")")
-        print("runtime: serve-batch (fault-tolerant batch solving; --journal/--resume)")
-        print("         serve (sharded async solve service; admission, fail-over)")
+        print("runtime: serve-batch (fault-tolerant batch solving; --journal/--resume/--certify)")
+        print("         serve (sharded async solve service; admission, fail-over, canaries)")
+        print("         verify-journal (offline re-certification of a batch journal)")
         print("         capacity (fleet sizing: boards vs. request rate vs. SLO)")
         print("         health-report (analog board aging + health monitor)")
         print("         trajectory (checkpointed, crash-resumable integration)")
@@ -679,6 +729,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if command == "trace-summary":
         print(summarize_trace_file(args.path))
         return 0
+    if command == "verify-journal":
+        from repro.certify import verify_journal
+        from repro.checkpoint import JournalError
+
+        try:
+            verification = verify_journal(args.path, tolerance=args.tolerance)
+        except (OSError, JournalError) as exc:
+            print(f"verify-journal: cannot audit {args.path}: {exc}", file=sys.stderr)
+            return 2
+        print(verification.render())
+        return 0 if verification.ok else 1
     if command == "bench":
         return _run_bench_command(args)
     if command == "table1":
@@ -748,9 +809,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         replay = None
         if args.resume is not None:
             replay = read_journal(args.resume)
+            # --certify on resume adds certification to a journal that
+            # was recorded without it; a certified journal keeps its
+            # recorded policy either way.
+            resume_overrides = {"certify": True} if args.certify else {}
             runtime = replay.build_runtime(
                 journal=BatchJournal.resume(replay),
                 crash_after_outcomes=args.crash_after_outcomes,
+                **resume_overrides,
             )
             requests = replay.requests
             tracer = _make_tracer(
@@ -798,6 +864,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 crash_after_outcomes=args.crash_after_outcomes,
                 ladder_kwargs=_ladder_kwargs(args),
                 fleet=_fleet_config(args),
+                certify=args.certify or None,
             )
         try:
             with GracefulShutdown() as shutdown:
@@ -810,6 +877,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif command == "serve":
         from repro.service import serve_requests
 
+        fleet = _fleet_config(args)
+        if args.canary_interval is not None and fleet is None:
+            raise SystemExit("--canary-interval requires --boards")
         requests = [
             SolveRequest(
                 request_id=f"req-{index:04d}",
@@ -847,7 +917,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             degradation=args.degradation,
             journal_dir=args.journal_dir,
             ladder_kwargs=_ladder_kwargs(args),
-            fleet=_fleet_config(args),
+            fleet=fleet,
+            certify=args.certify or None,
+            canary_interval=args.canary_interval,
         )
     elif command == "trajectory":
         tracer = _make_tracer(

@@ -270,6 +270,32 @@ class AnalogFleet:
                     self.counters.get("boards_killed", 0) + 1
                 )
 
+    def condemn(self, board_id: int, reason: str) -> Dict[str, float]:
+        """External evidence says this board lies: quarantine it now.
+
+        The EWMA path (:meth:`observe`) quarantines on *trends*; this
+        is the immediate path for point evidence too strong to average
+        away — a failed solve certificate blamed on the board's hybrid
+        rung, or a failed canary probe. The board keeps its wear state
+        and stays recalibratable under pressure relief, same as an
+        EWMA quarantine. Returns the counter events (``{}`` when the
+        board is already out of service or the id is out of range).
+        """
+        with self._lock:
+            if not 0 <= board_id < len(self.boards):
+                return {}
+            board = self.boards[board_id]
+            if board.killed or board.quarantined:
+                return {}
+            board.quarantined = True
+            board.quarantine_reason = reason
+            events: Dict[str, float] = {
+                "boards_condemned": 1,
+                "boards_quarantined": 1,
+            }
+            self._count(events)
+            return events
+
     # -- evidence and lifecycle -----------------------------------------
 
     def invalidate_if_killed(self, assignment: BoardAssignment, report: Any) -> Optional[str]:

@@ -237,6 +237,12 @@ class SolveOutcome:
     (:meth:`~repro.analog.health.DegradationSchedule.state_dict`) when a
     degradation model was active; rides into the batch journal so a
     resumed run restores identical board wear."""
+    certificate: Optional[Any] = None
+    """The :class:`~repro.certify.SolveCertificate` that admitted this
+    answer when the runtime ran with certification on (``None`` for
+    uncertified runs and non-converged outcomes). Journaled with the
+    outcome so ``--resume`` replay and ``repro verify-journal`` can
+    re-verify the commit instead of trusting it."""
 
     def __post_init__(self) -> None:
         if self.status not in TERMINAL_STATUSES:

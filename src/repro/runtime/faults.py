@@ -18,7 +18,13 @@ survive *reproducible test inputs*:
   in-process execution. In serial (in-process) mode the
   crash is simulated by raising :class:`InjectedWorkerCrash` so the
   suite exercises the same recovery path without killing the test
-  process.
+  process;
+* ``silent_corruption`` — a small seeded element perturbation applied
+  *after* the ladder accepts a converged answer, sized to evade the
+  seed-quality gate and every bounds scan while failing the
+  independent certificate (:mod:`repro.certify`) by orders of
+  magnitude. The one fault no pre-solve gate can see — it exists to
+  prove the a-posteriori certification layer earns its keep.
 
 Faults are matched per ``(request_id, attempt)`` — either explicitly
 via :class:`FaultSpec` or probabilistically via per-kind rates drawn
@@ -47,7 +53,13 @@ __all__ = [
     "InjectedWorkerCrash",
 ]
 
-FAULT_KINDS = ("analog_spike", "solver_hang", "worker_crash", "degrade_analog")
+FAULT_KINDS = (
+    "analog_spike",
+    "solver_hang",
+    "worker_crash",
+    "degrade_analog",
+    "silent_corruption",
+)
 
 _DEFAULT_MAGNITUDES = {
     # Spike amplitude in solution units (the dynamic range is +-3).
@@ -63,6 +75,12 @@ _DEFAULT_MAGNITUDES = {
     # enough that the drifted continuous-Newton flow still settles
     # quickly instead of wandering a root-free landscape.
     "degrade_analog": 0.3,
+    # Elementwise perturbation applied AFTER the solver accepts, in
+    # solution units: large enough that the independent certificate's
+    # relative-residual bound (1e-6) fails by orders of magnitude,
+    # small enough to evade the seed-quality gate, the value-bound
+    # scan, and any eyeball of the answer.
+    "silent_corruption": 1e-3,
 }
 
 
@@ -191,6 +209,36 @@ class FaultInjector:
             result.residual_norm = float("nan")
             log.append("analog_spike")
             return result
+
+        return corrupt
+
+    def corruption_hook(
+        self, request_id: str, attempt: int, log: List[str]
+    ) -> Optional[Callable]:
+        """A post-acceptance solution corrupter, or None.
+
+        Unlike :meth:`analog_hook` (which poisons the analog *seed*,
+        for the ladder's polish to recover from), this fires after the
+        ladder has already accepted a converged answer: a few seeded
+        elements are nudged by ``magnitude`` while the reported
+        ``residual_norm`` keeps its converged value — that lie is what
+        makes the corruption *silent*. Only the independent certificate
+        can catch it.
+        """
+        spec = self._first("silent_corruption", request_id, attempt)
+        if spec is None:
+            return None
+        injector_seed = stable_seed(self.seed, request_id, attempt, "silent_corruption")
+
+        def corrupt(solution: np.ndarray) -> np.ndarray:
+            rng = np.random.default_rng(injector_seed)
+            corrupted = np.array(solution, dtype=float, copy=True)
+            hits = max(1, min(3, corrupted.size))
+            indices = rng.choice(corrupted.size, size=hits, replace=False)
+            signs = rng.choice((-1.0, 1.0), size=hits)
+            corrupted[indices] += signs * spec.effective_magnitude
+            log.append("silent_corruption")
+            return corrupted
 
         return corrupt
 

@@ -55,6 +55,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analog.engine import AnalogAccelerator
 from repro.analog.health import DegradationModel, DegradationSchedule
+from repro.certify.certificate import CertifyPolicy, certify_solution
 from repro.checkpoint.signals import GracefulShutdown, RunInterrupted
 from repro.fleet.board import BoardAssignment
 from repro.fleet.scheduler import AnalogFleet, FleetConfig
@@ -106,6 +107,10 @@ class AttemptReport:
     gauges: Dict[str, float] = field(default_factory=dict)
     elapsed: float = 0.0
     health: Optional[Dict[str, Any]] = None
+    certificate: Optional[Any] = None
+    """Attached parent-side by :meth:`Runtime._process_report` when the
+    attempt's converged answer passed certification; never crosses the
+    process boundary."""
 
 
 def _execute_attempt(
@@ -222,6 +227,15 @@ def _execute_attempt(
         rungs_tried = result.rungs_tried
         norm = float(result.residual_norm)
         solution = result.u
+        if result.converged and solution is not None and faults is not None:
+            # The silent-corruption seam: fires AFTER the ladder has
+            # accepted the answer, and deliberately leaves the reported
+            # residual_norm at its converged value — the solver's own
+            # bookkeeping cannot see this fault, only the independent
+            # certificate can.
+            corrupt = faults.corruption_hook(request.request_id, attempt, fault_log)
+            if corrupt is not None:
+                solution = corrupt(solution)
         if schedule is not None:
             health = schedule.state_dict()
         if result.converged:
@@ -281,6 +295,7 @@ class _RequestState:
         "trace_gauges",
         "assignments",
         "pending_fleet_events",
+        "escalations",
     )
 
     def __init__(self, request: SolveRequest):
@@ -294,6 +309,7 @@ class _RequestState:
         self.trace_gauges: Dict[str, float] = {}
         self.assignments: Dict[int, BoardAssignment] = {}
         self.pending_fleet_events: Dict[str, float] = {}
+        self.escalations = 0
 
 
 @dataclass
@@ -429,6 +445,17 @@ class Runtime:
         posture): journal ``batch_interrupted`` and raise
         :class:`~repro.runtime.api.PoolBroken` so a supervisor can fail
         the shard over instead of letting it limp along serially.
+    certify:
+        A-posteriori result verification. ``True`` or a
+        :class:`~repro.certify.CertifyPolicy`: every converged attempt
+        is re-checked through the independent certificate before the
+        outcome commits. A passing certificate rides on the outcome
+        (and into the journal); a failing one voids the answer,
+        condemns the producing board into fleet quarantine, and
+        triggers one escalation re-solve through the ladder's
+        damped-Newton rung on freshly-routed silicon. Certification
+        consumes no random streams — with no failures a certified run's
+        solutions are bitwise identical to an uncertified run's.
     """
 
     def __init__(
@@ -445,6 +472,7 @@ class Runtime:
         crash_after_outcomes: Optional[int] = None,
         on_pool_break: str = "degrade",
         fleet: Optional[Any] = None,
+        certify: Optional[Any] = None,
     ):
         if queue_limit < 1:
             raise ValueError("queue_limit must be at least 1")
@@ -461,6 +489,7 @@ class Runtime:
         self.journal = journal
         self.crash_after_outcomes = crash_after_outcomes
         self.on_pool_break = on_pool_break
+        self.certify: Optional[CertifyPolicy] = CertifyPolicy.coerce(certify)
         if fleet is None:
             self.fleet: Optional[AnalogFleet] = None
             self.fleet_config: Optional[FleetConfig] = None
@@ -554,6 +583,13 @@ class Runtime:
                 if entry is None:
                     continue
                 outcome, batch_counters, trace_counters, trace_gauges = entry
+                if self.certify is not None:
+                    # Replay does not trust the journal: every committed
+                    # certificate is re-verified against its solution
+                    # before the outcome is accepted back. No counters
+                    # are bumped here — a resumed run's totals must stay
+                    # bitwise-equal to an uninterrupted run's.
+                    self._verify_replayed(request, outcome)
                 outcomes[request.request_id] = outcome
                 for name, value in batch_counters.items():
                     counts[name] = counts.get(name, 0) + value
@@ -728,6 +764,7 @@ class Runtime:
                 for name, value in state.pending_fleet_events.items():
                     record(name, value)
                 state.pending_fleet_events = {}
+        escalate = self._certify_report(state, report, tracer, record)
         state.history.append(report.status)
         state.faults.extend(report.faults)
         state.last_report = report
@@ -749,6 +786,7 @@ class Runtime:
                 record(name, value, tracer_too=False)
         will_retry = (
             report.status != "converged"
+            and not escalate
             and state.attempts_started < self.retry.max_attempts
         )
         delay = 0.0
@@ -781,7 +819,114 @@ class Runtime:
                 attempt_span.update(retry_scheduled=True)
         if will_retry:
             return None, delay
+        if escalate:
+            state.escalations += 1
+            record("resolves_triggered")
+            return self._escalate(state, tracer, bump)
         return self._commit(state, report, record), 0.0
+
+    def _certify_report(
+        self, state: _RequestState, report: AttemptReport, tracer: TracerLike, record
+    ) -> bool:
+        """Certify a converged attempt's answer; returns True to escalate.
+
+        A passing certificate is attached to the report (and rides the
+        outcome into the journal). A failing one voids the answer
+        exactly like a killed board's, condemns the producing board
+        into fleet quarantine (certified-bad silicon is quarantined
+        even when its rejection/drift EWMAs look healthy), and —
+        once per request — requests the escalation re-solve.
+        """
+        if (
+            self.certify is None
+            or report.status != "converged"
+            or report.solution is None
+        ):
+            return False
+        with tracer.span(
+            "certify",
+            request=state.request.request_id,
+            attempt=report.attempt,
+        ) as certify_span:
+            certificate = certify_solution(
+                state.request.problem,
+                report.solution,
+                value_bound=state.request.value_bound,
+                policy=self.certify,
+            )
+            certify_span.update(
+                verdict=certificate.verdict,
+                relative_residual=certificate.relative_residual,
+            )
+        record("certificates_checked")
+        if certificate.passed:
+            record("certificates_passed")
+            report.certificate = certificate
+            return False
+        record("certificates_failed")
+        if "silent_corruption" in report.faults:
+            record("corruption_caught")
+        failed = ",".join(check.name for check in certificate.failed_checks())
+        if self.fleet is not None:
+            assignment = state.assignments.get(report.attempt)
+            if (
+                assignment is not None
+                and assignment.board_id >= 0
+                and report.rung == "hybrid"
+            ):
+                # Board-level blame: only a hybrid answer implicates the
+                # silicon that settled it; digital answers do not.
+                for name, value in self.fleet.condemn(
+                    assignment.board_id, f"certificate failed ({failed})"
+                ).items():
+                    record(name, value)
+        report.status = "failed"
+        report.rung = None
+        report.solution = None
+        report.certificate = None
+        report.residual_norm = float("inf")
+        report.error = f"certificate failed ({failed})"
+        state.faults.append("certificate_failed")
+        return state.escalations == 0
+
+    def _escalate(
+        self, state: _RequestState, tracer: TracerLike, bump
+    ) -> Tuple[Optional[SolveOutcome], float]:
+        """Independent re-solve after a failed certificate.
+
+        Runs the request through the ladder's damped-Newton rung only —
+        a fully digital path that shares nothing with the implicated
+        settle — on freshly-routed silicon (the condemned board is
+        already quarantined, so a fleet assigns different hardware).
+        The result feeds back through :meth:`_process_report`, which
+        cross-checks it against the certificate again; a second failure
+        falls through to the normal retry/fail path (escalation fires
+        once per request).
+        """
+        from dataclasses import replace
+
+        attempt = state.attempts_started
+        state.attempts_started += 1
+        self._journal_attempt(state.request.request_id, attempt)
+        assignment = self._route_attempt(state, attempt, tracer)
+        escalated_request = replace(state.request, rungs=("damped_newton",))
+        try:
+            report = _execute_attempt(
+                escalated_request,
+                attempt,
+                self.seed,
+                self.faults,
+                getattr(tracer, "active", False),
+                allow_process_exit=False,
+                ladder_kwargs=self.ladder_kwargs,
+                degradation=self.degradation,
+                board=assignment,
+            )
+        except InjectedWorkerCrash:
+            report = AttemptReport(
+                request_id=state.request.request_id, attempt=attempt, status="crashed"
+            )
+        return self._process_report(state, report, tracer, bump)
 
     def _commit(self, state: _RequestState, report: AttemptReport, record) -> SolveOutcome:
         """Finalize the outcome and (when journaling) commit it durably."""
@@ -804,6 +949,7 @@ class Runtime:
             iterations=report.iterations,
             attempt_history=list(state.history),
             health=report.health,
+            certificate=report.certificate,
         )
         if outcome.ok:
             record("requests_completed")
@@ -829,6 +975,38 @@ class Runtime:
         """Write-ahead: record the attempt before any work happens."""
         if self.journal is not None:
             self.journal.attempt_started(request_id, attempt)
+
+    def _verify_replayed(self, request: SolveRequest, outcome: SolveOutcome) -> None:
+        """Re-verify one journal-replayed outcome instead of trusting it.
+
+        The stored certificate's digest must equal the digest recomputed
+        from the stored solution (same policy, pure function), and the
+        recomputation must still pass — anything else means the journal
+        was modified after commit or solution and certificate were torn
+        apart, which is corruption, not a crash mark.
+        """
+        if not outcome.ok or outcome.solution is None or outcome.certificate is None:
+            return
+        from repro.checkpoint.journal import JournalError
+
+        recomputed = certify_solution(
+            request.problem,
+            outcome.solution,
+            value_bound=request.value_bound,
+            policy=self.certify,
+        )
+        if outcome.certificate.digest != recomputed.digest:
+            raise JournalError(
+                f"replay re-verification failed for {outcome.request_id!r}: stored "
+                f"certificate digest {outcome.certificate.digest[:12]}... does not match "
+                f"recomputed {recomputed.digest[:12]}..."
+            )
+        if not recomputed.passed:
+            failed = ",".join(check.name for check in recomputed.failed_checks())
+            raise JournalError(
+                f"replay re-verification failed for {outcome.request_id!r}: committed "
+                f"solution no longer certifies ({failed})"
+            )
 
     @staticmethod
     def _check_shutdown(shutdown: Optional[GracefulShutdown]) -> None:

@@ -128,6 +128,20 @@ class SolveService:
         state lives in this (parent) process behind the fleet's own
         lock; shard windows running in executor threads route through
         it concurrently.
+    certify:
+        A :class:`~repro.certify.CertifyPolicy` (or ``True`` for the
+        defaults) shared by every shard: each shard's runtime then
+        re-verifies every converged answer through the independent
+        certificate before committing it, with escalation re-solves on
+        failure (see :class:`~repro.runtime.runtime.Runtime`).
+    canary_interval:
+        Run a canary sweep (:func:`repro.certify.run_canary_sweep`)
+        over the fleet after every N completed service windows: a
+        known-answer solve through each eligible board's own silicon
+        model, condemning boards whose answers drift before user
+        traffic sees them. Requires ``fleet``. Probes use probe-keyed
+        seed streams disjoint from traffic, so sweeps never perturb
+        request outcomes.
     """
 
     def __init__(
@@ -146,11 +160,17 @@ class SolveService:
         tenant_quota: Optional[int] = None,
         max_failovers: int = 3,
         fleet: Optional[Any] = None,
+        certify: Optional[Any] = None,
+        canary_interval: Optional[int] = None,
     ):
         if shards < 1:
             raise ValueError("shards must be at least 1")
         if batch_window < 1:
             raise ValueError("batch_window must be at least 1")
+        if canary_interval is not None and canary_interval < 1:
+            raise ValueError("canary_interval must be at least 1 when set")
+        if canary_interval is not None and fleet is None:
+            raise ValueError("canary_interval requires a fleet to probe")
         self.seed = int(seed)
         self.batch_window = int(batch_window)
         self.workers_per_shard = max(1, int(workers_per_shard))
@@ -166,6 +186,10 @@ class SolveService:
             self.fleet = fleet
         else:
             self.fleet = AnalogFleet(fleet, degradation=degradation, seed=self.seed)
+        self.certify = certify
+        self.canary_interval = canary_interval
+        self._windows_completed = 0
+        self._canary_sweeps = 0
         self._admission = AdmissionQueue(queue_limit, tenant_quota=tenant_quota)
         self._failover: Deque[_Item] = deque()
         self._items: Dict[str, _Item] = {}
@@ -196,6 +220,7 @@ class SolveService:
                     else None
                 ),
                 fleet=self.fleet,
+                certify=certify,
             )
             for index in range(int(shards))
         ]
@@ -394,6 +419,7 @@ class SolveService:
             ),
             status="lifeboat",
             fleet=self.fleet,
+            certify=self.certify,
         )
         self.shards.append(lifeboat)
         return lifeboat
@@ -432,7 +458,34 @@ class SolveService:
                 self._resolve(item, outcome, shard_name=shard.name)
         finally:
             shard.busy = False
+            self._maybe_canary_sweep()
             self._wake.set()
+
+    def _maybe_canary_sweep(self) -> None:
+        """After every ``canary_interval`` windows, probe the fleet.
+
+        Runs on the loop thread (the fleet takes its own lock, so
+        concurrent shard windows keep routing). Probe request ids are
+        keyed by the sweep ordinal, so a rerun of the same workload
+        probes with the same seed streams — sweeps are as deterministic
+        as the traffic around them.
+        """
+        self._windows_completed += 1
+        if self.canary_interval is None or self.fleet is None:
+            return
+        if self._windows_completed % self.canary_interval != 0:
+            return
+        from repro.certify.canary import run_canary_sweep
+        from repro.certify.certificate import CertifyPolicy
+
+        policy = CertifyPolicy.coerce(self.certify) or CertifyPolicy()
+        events = run_canary_sweep(
+            self.fleet, self.seed, self._canary_sweeps, policy=policy
+        )
+        self._canary_sweeps += 1
+        self._bump("canary_sweeps")
+        for name, value in events.items():
+            self._bump(name, value)
 
     # -- terminal paths -------------------------------------------------
 

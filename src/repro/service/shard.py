@@ -50,6 +50,7 @@ class Shard:
         journal_path: Optional[Path] = None,
         status: str = "healthy",
         fleet: Optional[Any] = None,
+        certify: Optional[Any] = None,
     ):
         self.name = name
         self.status = status  # "healthy" | "dead" | "lifeboat"
@@ -74,6 +75,7 @@ class Shard:
             journal=self._journal,
             on_pool_break="fail",
             fleet=fleet,
+            certify=certify,
         )
 
     @property

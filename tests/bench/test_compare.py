@@ -73,6 +73,18 @@ def baseline_report():
                 "analog_settles": 6.0,
             },
         ),
+        "certify_soak": BenchmarkResult(
+            name="certify_soak",
+            wall_seconds=2.0,
+            counters={"certify_overhead_ratio": 1.02},
+            work={
+                "requests_completed": 12.0,
+                "corruption_caught": 2.0,
+                "resolves_triggered": 2.0,
+                "certificates_failed": 2.0,
+                "bitwise_identical": 1.0,
+            },
+        ),
     }
     return BenchReport(scale="smoke", seed=0, manifest={}, benchmarks=benchmarks)
 

@@ -74,7 +74,7 @@ class TestRunBenchSuite:
         run_bench_suite(only=("kernel_micro",), progress=seen.append)
         assert seen == ["kernel_micro"]
 
-    def test_suite_names_are_the_documented_six(self):
+    def test_suite_names_are_the_documented_seven(self):
         assert BENCHMARK_NAMES == (
             "trajectory",
             "figure8_seeding",
@@ -82,6 +82,7 @@ class TestRunBenchSuite:
             "kernel_micro",
             "service_soak",
             "fleet_soak",
+            "certify_soak",
         )
 
 
@@ -228,3 +229,83 @@ class TestRegressionScript:
         proc = self.run_script(tmp_path / "BENCH_nope.json", path)
         assert proc.returncode == 3, proc.stderr + proc.stdout
         assert "does not exist" in proc.stderr
+
+
+    def test_help_documents_all_four_exit_codes(self):
+        # The exit-code contract is CI-facing API: the epilog must name
+        # every code so a red job explains itself without reading the
+        # source.
+        proc = self.run_script("--help")
+        assert proc.returncode == 0
+        help_text = proc.stdout
+        assert "exit codes" in help_text
+        assert "0  gate passed" in help_text
+        assert "1  regression past tolerance" in help_text
+        assert "2  reports not comparable" in help_text
+        assert "3  missing baseline" in help_text
+
+
+class TestValidateReportsScript:
+    """scripts/validate_bench_reports.py — CI schema check over the
+    committed BENCH_<n>.json trajectory."""
+
+    SCRIPT = REPO_ROOT / "scripts" / "validate_bench_reports.py"
+
+    def run_script(self, *argv):
+        return subprocess.run(
+            [sys.executable, str(self.SCRIPT), *map(str, argv)],
+            capture_output=True,
+            text=True,
+        )
+
+    def test_committed_trajectory_is_valid(self):
+        proc = self.run_script(str(REPO_ROOT))
+        assert proc.returncode == 0, proc.stderr + proc.stdout
+        assert "bench report(s) valid" in proc.stdout
+
+    def test_valid_report_dir_passes(self, kernel_report, tmp_path):
+        kernel_report.save(tmp_path / "BENCH_1.json")
+        proc = self.run_script(str(tmp_path))
+        assert proc.returncode == 0, proc.stderr + proc.stdout
+
+    def test_corrupt_report_fails(self, kernel_report, tmp_path):
+        kernel_report.save(tmp_path / "BENCH_1.json")
+        (tmp_path / "BENCH_2.json").write_text('{"bench_schema": 1}')
+        proc = self.run_script(str(tmp_path))
+        assert proc.returncode == 1, proc.stderr + proc.stdout
+        assert "INVALID" in proc.stdout
+        assert "BENCH_2.json" in proc.stdout
+
+    def test_unparseable_json_fails(self, kernel_report, tmp_path):
+        kernel_report.save(tmp_path / "BENCH_1.json")
+        (tmp_path / "BENCH_2.json").write_text("{ torn mid-write")
+        proc = self.run_script(str(tmp_path))
+        assert proc.returncode == 1, proc.stderr + proc.stdout
+
+    def test_empty_dir_exits_two(self, tmp_path):
+        proc = self.run_script(str(tmp_path))
+        assert proc.returncode == 2, proc.stderr + proc.stdout
+
+
+class TestCommittedCertifySnapshot:
+    """The committed BENCH trajectory must carry the certify_soak
+    acceptance numbers once the certification layer lands."""
+
+    def test_latest_snapshot_pins_certify_overhead_and_catch_rate(self):
+        from repro.bench import latest_bench_path
+
+        path = latest_bench_path(REPO_ROOT)
+        assert path is not None, "no committed BENCH_<n>.json found"
+        report = BenchReport.load(path)
+        bench = report.benchmarks.get("certify_soak")
+        assert bench is not None, (
+            f"{path.name} predates certify_soak; re-run `repro bench` and "
+            "commit the new snapshot"
+        )
+        # Acceptance: certification overhead <= 10%, every injected
+        # corruption deterministically caught, certified clean runs
+        # bitwise identical to uncertified ones.
+        assert bench.counters["certify_overhead_ratio"] <= 1.10
+        assert bench.work["corruption_caught"] >= 1
+        assert bench.work["bitwise_identical"] == 1.0
+        assert bench.work["certificates_failed"] == bench.work["corruption_caught"]

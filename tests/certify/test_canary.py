@@ -1,0 +1,114 @@
+"""Canary probes: known-answer solves as a leading board-health signal.
+
+Clean silicon and hard-drifted silicon must land on opposite sides of
+the canary threshold deterministically, sweeps must condemn only the
+drifted boards, and probing must never consume a traffic seed stream
+(the observer property the bitwise guarantees lean on).
+"""
+
+import numpy as np
+
+from repro.analog.health import DegradationModel
+from repro.certify import CertifyPolicy, canary_reference, probe_board, run_canary_sweep
+from repro.certify.canary import CANARY_PROBE_REPEATS
+from repro.fleet import AnalogFleet, FleetConfig
+
+HOT = DegradationModel(offset_drift_sigma=1.0, seed=7)
+
+
+def _fleet(boards=2, drifted=(1,)):
+    config = FleetConfig(boards=boards, board_models={b: HOT for b in drifted})
+    return AnalogFleet(config=config, seed=0)
+
+
+class TestCanaryReference:
+    def test_reference_roots_are_true_roots(self):
+        system, guess, roots = canary_reference()
+        assert roots.shape[0] >= 1
+        for root in roots:
+            assert np.linalg.norm(system.residual(root)) < 1e-8
+        assert guess.shape == (2,)
+
+    def test_reference_is_cached(self):
+        assert canary_reference() is canary_reference()
+
+
+class TestProbeBoard:
+    def test_clean_board_passes(self):
+        fleet = _fleet()
+        result = probe_board(fleet.boards[0], runtime_seed=0, probe_index=0)
+        assert result.passed
+        assert result.error <= result.threshold
+        assert result.board_id == 0
+
+    def test_drifted_board_fails(self):
+        fleet = _fleet()
+        result = probe_board(fleet.boards[1], runtime_seed=0, probe_index=0)
+        assert not result.passed
+        assert result.error > result.threshold
+
+    def test_probe_is_deterministic(self):
+        a = probe_board(_fleet().boards[1], runtime_seed=0, probe_index=0)
+        b = probe_board(_fleet().boards[1], runtime_seed=0, probe_index=0)
+        assert a == b
+
+    def test_threshold_comes_from_policy(self):
+        board = _fleet().boards[1]
+        default = probe_board(board, runtime_seed=0, probe_index=0)
+        lenient = probe_board(
+            board,
+            runtime_seed=0,
+            probe_index=0,
+            policy=CertifyPolicy(canary_threshold=100.0),
+        )
+        assert not default.passed
+        assert lenient.passed
+        assert lenient.error == default.error  # same silicon, same probes
+
+
+class TestCanarySweep:
+    def test_sweep_condemns_only_the_drifted_board(self):
+        fleet = _fleet(boards=3, drifted=(1,))
+        events = run_canary_sweep(fleet, runtime_seed=0, probe_index=0)
+        assert events["canary_probes"] == 3
+        assert events["canary_failures"] == 1
+        assert events["canary_quarantines"] == 1
+        assert events["boards_condemned"] == 1
+        assert fleet.boards[1].quarantined
+        assert "canary error" in fleet.boards[1].quarantine_reason
+        assert fleet.boards[0].eligible and fleet.boards[2].eligible
+
+    def test_sweep_skips_ineligible_boards(self):
+        fleet = _fleet(boards=2, drifted=(1,))
+        fleet.boards[1].quarantined = True
+        events = run_canary_sweep(fleet, runtime_seed=0, probe_index=0)
+        assert events.get("canary_probes", 0) == 1  # only board 0
+        assert events.get("canary_failures", 0) == 0
+
+    def test_all_clean_sweep_is_a_no_op(self):
+        fleet = _fleet(boards=2, drifted=())
+        events = run_canary_sweep(fleet, runtime_seed=0, probe_index=0)
+        assert events == {"canary_probes": 2}
+        assert all(board.eligible for board in fleet.boards)
+
+    def test_probing_leaves_traffic_streams_untouched(self):
+        # The observer property: a board's die/degradation streams for
+        # any *request* id are pure functions of (seed, id, attempt), so
+        # running a probe cannot shift what traffic would see.
+        fleet = _fleet(boards=1, drifted=())
+        board = fleet.boards[0]
+        before = (
+            board.die_seed(0, "traffic-0001", 0),
+            board.degradation_seed(0, "traffic-0001", 0),
+        )
+        probe_board(board, runtime_seed=0, probe_index=0)
+        after = (
+            board.die_seed(0, "traffic-0001", 0),
+            board.degradation_seed(0, "traffic-0001", 0),
+        )
+        assert before == after
+        assert board.observations == 0  # probes do not count as traffic
+
+    def test_sub_probe_count_is_odd(self):
+        # The median-of-N verdict needs an odd N to avoid averaging.
+        assert CANARY_PROBE_REPEATS % 2 == 1

@@ -1,0 +1,236 @@
+"""``repro verify-journal``: offline audit of committed batch journals.
+
+The audits run against *real* journals written by a certified batch,
+then tampered with surgically: each tamper rewrites the record's own
+sha256 (so ``read_journal`` accepts it — the corruption is semantic,
+not torn bytes) and the verifier must still catch it through digest
+binding or re-certification.
+
+The Hypothesis property pins the headline contract: corrupting a
+stored solution past the verification tolerance is always flagged,
+while clean (or below-tolerance) journals audit with zero
+``certificates_failed``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.certify import CertifyPolicy, certify_solution, verify_journal
+from repro.checkpoint import BatchJournal, JournalError
+from repro.checkpoint.atomic import decode_array, encode_array, payload_digest
+from repro.runtime import ProblemSpec, RetryPolicy, Runtime, SolveRequest
+
+
+def _requests(n):
+    return [
+        SolveRequest(
+            f"vj-{i:04d}",
+            ProblemSpec.quadratic(1.0 + 0.05 * i, 1.0),
+            analog_time_limit=0.5,
+        )
+        for i in range(n)
+    ]
+
+
+def _run_certified_batch(path, n=3):
+    runtime = Runtime(
+        workers=1,
+        retry=RetryPolicy(max_attempts=2, base_delay=0.0, max_delay=0.0, jitter=0.0),
+        seed=0,
+        certify=True,
+        journal=BatchJournal(path),
+    )
+    result = runtime.run_batch(_requests(n))
+    assert all(outcome.status == "converged" for outcome in result.outcomes)
+    return result
+
+
+@pytest.fixture(scope="module")
+def clean_journal(tmp_path_factory):
+    path = tmp_path_factory.mktemp("journal") / "batch.journal"
+    _run_certified_batch(path)
+    return path
+
+
+def _rewrite_outcome(src, dst, request_id, mutate):
+    """Copy a journal, applying ``mutate(outcome_record)`` to one
+    commit and re-sealing that record's sha256."""
+    lines = []
+    for line in src.read_text(encoding="utf-8").splitlines():
+        record = json.loads(line)
+        if (
+            record.get("kind") == "outcome_committed"
+            and record.get("request_id") == request_id
+        ):
+            record.pop("sha256", None)
+            mutate(record["outcome"])
+            record["sha256"] = payload_digest(record)
+            line = json.dumps(record)
+        lines.append(line)
+    dst.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return dst
+
+
+def _corrupt_solution(factor):
+    def mutate(outcome):
+        solution = decode_array(outcome["solution"])
+        outcome["solution"] = encode_array(solution * factor)
+
+    return mutate
+
+
+class TestVerifyJournal:
+    def test_clean_journal_passes(self, clean_journal):
+        verification = verify_journal(clean_journal)
+        assert verification.ok
+        assert verification.checked == 3
+        assert verification.certificates_failed == 0
+        assert "verdict: ok" in verification.render()
+
+    def test_tampered_solution_is_a_certificate_mismatch(self, clean_journal, tmp_path):
+        # The stored certificate still describes the original solution;
+        # swapping the bytes must break the digest binding.
+        tampered = _rewrite_outcome(
+            clean_journal,
+            tmp_path / "tampered.journal",
+            "vj-0001",
+            _corrupt_solution(1.0 + 1e-3),
+        )
+        verification = verify_journal(tampered)
+        assert not verification.ok
+        assert verification.certificates_failed == 1
+        kinds = {problem["kind"] for problem in verification.problems}
+        assert kinds == {"certificate-mismatch"}
+        assert "FAILED" in verification.render()
+
+    def test_stored_failure_verdict_is_flagged(self, clean_journal, tmp_path):
+        def mutate(outcome):
+            # A corrupted answer committed *with* its honestly-failing
+            # certificate: digest binding holds, so the flag must come
+            # from the stored verdict itself — the runtime should have
+            # escalated instead of committing.
+            corrupted = decode_array(outcome["solution"]) * 1.01
+            cert = certify_solution(ProblemSpec.quadratic(1.0 + 0.05, 1.0), corrupted)
+            assert not cert.passed
+            outcome["solution"] = encode_array(corrupted)
+            outcome["certificate"] = cert.to_record()
+
+        tampered = _rewrite_outcome(
+            clean_journal, tmp_path / "stored-fail.journal", "vj-0001", mutate
+        )
+        verification = verify_journal(tampered)
+        assert not verification.ok
+        assert {p["kind"] for p in verification.problems} == {"stored-failure"}
+
+    def test_nonconverged_outcomes_are_skipped(self, clean_journal, tmp_path):
+        def mutate(outcome):
+            outcome["status"] = "failed"
+            outcome["solution"] = None
+            outcome["certificate"] = None
+
+        tampered = _rewrite_outcome(
+            clean_journal, tmp_path / "failed.journal", "vj-0002", mutate
+        )
+        verification = verify_journal(tampered)
+        assert verification.ok
+        assert verification.checked == 2
+        assert verification.skipped == 1
+
+    def test_torn_record_midfile_raises(self, clean_journal, tmp_path):
+        lines = clean_journal.read_text(encoding="utf-8").splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]
+        broken = tmp_path / "torn.journal"
+        broken.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(JournalError):
+            verify_journal(broken)
+
+    def test_uncertified_journal_is_still_audited(self, tmp_path):
+        # Recompute-only mode: no stored certificates, but a corrupted
+        # stored answer is still caught as certified-bad.
+        path = tmp_path / "uncertified.journal"
+        runtime = Runtime(
+            workers=1,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0, max_delay=0.0, jitter=0.0),
+            seed=0,
+            journal=BatchJournal(path),
+        )
+        runtime.run_batch(_requests(2))
+        assert verify_journal(path).ok
+        tampered = _rewrite_outcome(
+            path, tmp_path / "uncertified-bad.journal", "vj-0000",
+            _corrupt_solution(1.01),
+        )
+        verification = verify_journal(tampered)
+        assert not verification.ok
+        assert {p["kind"] for p in verification.problems} == {"certified-bad"}
+
+    def test_tolerance_override_relaxes_the_audit(self, clean_journal, tmp_path):
+        tampered = _rewrite_outcome(
+            clean_journal,
+            tmp_path / "mild.journal",
+            "vj-0000",
+            _corrupt_solution(1.0 + 1e-3),
+        )
+        # Digest checking is suspended under an explicit tolerance (the
+        # caller asked "is it right to within t", not "is it untouched"),
+        # and 1e-3 corruption passes a 1.0 tolerance...
+        assert verify_journal(tampered, tolerance=1.0).ok
+        # ...but not a tight one.
+        assert not verify_journal(tampered, tolerance=1e-8).ok
+
+
+class TestCorruptionDetectionProperty:
+    """Corruption above tolerance is always flagged; clean or
+    below-tolerance journals audit with zero certificates_failed."""
+
+    @settings(max_examples=20, derandomize=True)
+    @given(
+        magnitude=st.floats(min_value=1e-3, max_value=0.5),
+        request_index=st.integers(min_value=0, max_value=2),
+        sign=st.sampled_from([-1.0, 1.0]),
+    )
+    def test_corruption_above_tolerance_is_flagged(
+        self, clean_journal, tmp_path_factory, magnitude, request_index, sign
+    ):
+        tmp_path = tmp_path_factory.mktemp("prop")
+        rid = f"vj-{request_index:04d}"
+        tampered = _rewrite_outcome(
+            clean_journal,
+            tmp_path / "corrupt.journal",
+            rid,
+            _corrupt_solution(1.0 + sign * magnitude),
+        )
+        verification = verify_journal(tampered, tolerance=1e-6)
+        assert verification.certificates_failed >= 1
+        assert any(problem["request_id"] == rid for problem in verification.problems)
+
+    @settings(max_examples=20, derandomize=True)
+    @given(
+        nudge_ulps=st.integers(min_value=0, max_value=4),
+        request_index=st.integers(min_value=0, max_value=2),
+        tolerance=st.floats(min_value=1e-6, max_value=1e-2),
+    )
+    def test_clean_or_below_tolerance_never_flags(
+        self, clean_journal, tmp_path_factory, nudge_ulps, request_index, tolerance
+    ):
+        tmp_path = tmp_path_factory.mktemp("prop")
+
+        def mutate(outcome):
+            solution = decode_array(outcome["solution"])
+            for _ in range(nudge_ulps):  # a few ulps: far below tolerance
+                solution = np.nextafter(solution, np.inf)
+            outcome["solution"] = encode_array(solution)
+
+        nudged = _rewrite_outcome(
+            clean_journal,
+            tmp_path / "nudged.journal",
+            f"vj-{request_index:04d}",
+            mutate,
+        )
+        verification = verify_journal(nudged, tolerance=tolerance)
+        assert verification.ok
+        assert verification.certificates_failed == 0

@@ -1,0 +1,93 @@
+"""Service-level certification: certify plumbs to every shard, canary
+sweeps run between windows, and drifting boards are benched before
+traffic — without perturbing clean-board determinism."""
+
+import pytest
+
+from repro.analog.health import DegradationModel
+from repro.fleet import FleetConfig
+from repro.runtime import ProblemSpec, RetryPolicy, SolveRequest
+from repro.service import SolveService, serve_requests
+
+HOT = DegradationModel(offset_drift_sigma=1.0, seed=7)
+FAST_RETRY = RetryPolicy(max_attempts=2, base_delay=0.0, max_delay=0.0, jitter=0.0)
+
+
+def _requests(n, prefix="sc"):
+    return [
+        SolveRequest(
+            f"{prefix}-{i:04d}",
+            ProblemSpec.quadratic(1.0 + 0.05 * i, 1.0),
+            analog_time_limit=0.5,
+        )
+        for i in range(n)
+    ]
+
+
+class TestServiceCertify:
+    def test_certified_service_attaches_passing_certificates(self):
+        result = serve_requests(
+            _requests(6), shards=2, batch_window=3, seed=0, certify=True
+        )
+        assert result.completed == 6
+        for record in result.records:
+            assert record.outcome.certificate is not None
+            assert record.outcome.certificate.passed
+        assert result.counters.get("certificates_checked") == 6
+        assert result.counters.get("certificates_failed", 0) == 0
+
+    def test_certified_single_shard_is_bitwise_identical_to_uncertified(self):
+        plain = serve_requests(_requests(5), shards=1, batch_window=2, seed=0)
+        certified = serve_requests(
+            _requests(5), shards=1, batch_window=2, seed=0, certify=True
+        )
+        for a, b in zip(plain.records, certified.records):
+            assert a.request_id == b.request_id
+            assert a.outcome.solution.tobytes() == b.outcome.solution.tobytes()
+
+
+class TestServiceCanary:
+    def test_canary_benches_the_drifted_board(self):
+        fleet = FleetConfig(
+            boards=2, board_models={1: HOT}, recalibration_pressure=1.0
+        )
+        result = serve_requests(
+            _requests(8),
+            shards=1,
+            batch_window=2,
+            seed=0,
+            retry=FAST_RETRY,
+            ladder_kwargs={"settle_max_steps": 2000},
+            fleet=fleet,
+            certify=True,
+            canary_interval=1,
+        )
+        assert result.completed == 8
+        counters = result.counters
+        assert counters.get("canary_sweeps", 0) >= 1
+        assert counters.get("canary_probes", 0) >= 2
+        assert counters.get("canary_failures", 0) >= 1
+        assert counters.get("canary_quarantines", 0) >= 1
+        assert counters.get("boards_condemned", 0) >= 1
+
+    def test_clean_fleet_canaries_pass_quietly(self):
+        result = serve_requests(
+            _requests(4),
+            shards=1,
+            batch_window=2,
+            seed=0,
+            ladder_kwargs={"settle_max_steps": 2000},
+            fleet=FleetConfig(boards=2),
+            certify=True,
+            canary_interval=1,
+        )
+        assert result.completed == 4
+        assert result.counters.get("canary_sweeps", 0) >= 1
+        assert result.counters.get("canary_failures", 0) == 0
+        assert result.counters.get("canary_quarantines", 0) == 0
+
+    def test_canary_interval_validation(self):
+        with pytest.raises(ValueError, match="canary_interval"):
+            SolveService(fleet=FleetConfig(boards=2), canary_interval=0)
+        with pytest.raises(ValueError, match="requires a fleet"):
+            SolveService(canary_interval=2)

@@ -138,3 +138,106 @@ def test_requires_command(capsys):
 def test_rejects_unknown_command():
     with pytest.raises(SystemExit):
         main(["figure99"])
+
+
+def test_list_mentions_verify_journal_and_certify(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "verify-journal" in out
+    assert "--certify" in out
+
+
+def test_serve_batch_certify_writes_verifiable_journal(tmp_path, capsys):
+    journal = tmp_path / "batch.journal"
+    assert (
+        main(
+            [
+                "serve-batch",
+                "--requests",
+                "2",
+                "--workers",
+                "1",
+                "--seed",
+                "3",
+                "--analog-time-limit",
+                "1e-3",
+                "--certify",
+                "--journal",
+                str(journal),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "certificates_checked" in out
+    # The journal the certified run wrote must audit clean.
+    assert main(["verify-journal", str(journal)]) == 0
+    assert "verdict: ok" in capsys.readouterr().out
+
+
+def test_verify_journal_flags_tampering(tmp_path, capsys):
+    import json
+
+    from repro.checkpoint.atomic import decode_array, encode_array, payload_digest
+
+    journal = tmp_path / "batch.journal"
+    assert (
+        main(
+            [
+                "serve-batch",
+                "--requests",
+                "2",
+                "--workers",
+                "1",
+                "--seed",
+                "3",
+                "--analog-time-limit",
+                "1e-3",
+                "--certify",
+                "--journal",
+                str(journal),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    lines = []
+    tampered = False
+    for line in journal.read_text(encoding="utf-8").splitlines():
+        record = json.loads(line)
+        if (
+            not tampered
+            and record.get("kind") == "outcome_committed"
+            and record["outcome"].get("solution") is not None
+        ):
+            record.pop("sha256", None)
+            outcome = record["outcome"]
+            outcome["solution"] = encode_array(
+                decode_array(outcome["solution"]) * 1.001
+            )
+            record["sha256"] = payload_digest(record)
+            line = json.dumps(record)
+            tampered = True
+        lines.append(line)
+    assert tampered
+    journal.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    assert main(["verify-journal", str(journal)]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_verify_journal_missing_file_exits_two(tmp_path, capsys):
+    assert main(["verify-journal", str(tmp_path / "nope.journal")]) == 2
+    assert "cannot audit" in capsys.readouterr().err
+
+
+def test_serve_canary_interval_requires_boards():
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "serve",
+                "--requests",
+                "2",
+                "--canary-interval",
+                "2",
+            ]
+        )

@@ -19,6 +19,11 @@ PACKAGES = [
     "repro.reporting",
     "repro.runtime",
     "repro.service",
+    "repro.trace",
+    "repro.checkpoint",
+    "repro.fleet",
+    "repro.bench",
+    "repro.certify",
     "repro.cli",
 ]
 
